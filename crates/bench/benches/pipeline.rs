@@ -1,0 +1,73 @@
+//! Benches for the collection pipeline of §3: subgraph paging, txlist
+//! crawling, dataset assembly, re-registration detection, and the full
+//! study.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use ens_bench::bench_fixture;
+use ens_dropcatch::{detect_all, Dataset, SubgraphCrawler, TxCrawler};
+
+fn subgraph_crawl(c: &mut Criterion) {
+    let f = bench_fixture();
+    let mut g = c.benchmark_group("crawl");
+    g.sample_size(20);
+    g.bench_function("subgraph_full_paging", |b| {
+        b.iter(|| SubgraphCrawler::default().crawl(black_box(&f.subgraph)))
+    });
+    g.finish();
+}
+
+fn txlist_crawl(c: &mut Criterion) {
+    let f = bench_fixture();
+    let addresses = ens_dropcatch::crawl::relevant_addresses(&f.dataset.domains);
+    let mut g = c.benchmark_group("crawl");
+    g.sample_size(10);
+    g.bench_function("txlist_all_relevant_addresses", |b| {
+        b.iter(|| {
+            TxCrawler::default().crawl(black_box(&f.etherscan), addresses.iter().copied())
+        })
+    });
+    g.finish();
+}
+
+fn dataset_assembly(c: &mut Criterion) {
+    let f = bench_fixture();
+    let mut g = c.benchmark_group("crawl");
+    g.sample_size(10);
+    g.bench_function("dataset_collect_end_to_end", |b| {
+        b.iter(|| {
+            Dataset::collect(
+                black_box(&f.subgraph),
+                black_box(&f.etherscan),
+                f.world.observation_end(),
+            )
+        })
+    });
+    g.finish();
+}
+
+fn detection(c: &mut Criterion) {
+    let f = bench_fixture();
+    c.bench_function("reregistration_detection", |b| {
+        b.iter(|| detect_all(black_box(&f.dataset.domains)))
+    });
+}
+
+fn full_study(c: &mut Criterion) {
+    let f = bench_fixture();
+    let mut g = c.benchmark_group("study");
+    g.sample_size(10);
+    g.bench_function("full_study_8k_names", |b| b.iter(|| f.study()));
+    g.finish();
+}
+
+criterion_group!(
+    pipeline,
+    subgraph_crawl,
+    txlist_crawl,
+    dataset_assembly,
+    detection,
+    full_study
+);
+criterion_main!(pipeline);

@@ -1,0 +1,133 @@
+//! Substrate and ablation benches: keccak throughput, namehash, ledger
+//! transfer rate, ENS registration flow, subgraph indexing, world
+//! generation scaling, and price-oracle lookups.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use ens_registry::{commit_and_register, EnsSystem};
+use ens_subgraph::{Subgraph, SubgraphConfig};
+use ens_types::{keccak256, namehash, Address, Duration, Label, Timestamp, Wei};
+use price_oracle::PriceOracle;
+use sim_chain::{Chain, TxKind};
+use workload::WorldConfig;
+
+fn keccak(c: &mut Criterion) {
+    let mut g = c.benchmark_group("keccak256");
+    for size in [32usize, 136, 1024, 65_536] {
+        let data = vec![0xabu8; size];
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(size), &data, |b, data| {
+            b.iter(|| keccak256(black_box(data)))
+        });
+    }
+    g.finish();
+}
+
+fn namehash_bench(c: &mut Criterion) {
+    c.bench_function("namehash_2ld", |b| {
+        b.iter(|| namehash(black_box("some-longish-name.eth")))
+    });
+}
+
+fn ledger_transfers(c: &mut Criterion) {
+    c.bench_function("ledger_transfer_1k", |b| {
+        b.iter_with_setup(
+            || {
+                let mut chain = Chain::new(Timestamp::from_ymd(2021, 1, 1));
+                chain.mint(Address::derive(b"payer"), Wei::from_eth(1_000_000));
+                chain
+            },
+            |mut chain| {
+                let from = Address::derive(b"payer");
+                for i in 0u64..1_000 {
+                    let to = Address::derive_indexed("payee", i % 64);
+                    chain
+                        .transfer(from, to, Wei::from_milli_eth(1), TxKind::Transfer)
+                        .expect("funded");
+                }
+                chain
+            },
+        )
+    });
+}
+
+fn ens_registration_flow(c: &mut Criterion) {
+    c.bench_function("ens_commit_register_renew", |b| {
+        let mut i = 0u64;
+        b.iter_with_setup(
+            || {
+                let mut chain = Chain::new(Timestamp::from_ymd(2021, 1, 1));
+                let owner = Address::derive(b"owner");
+                chain.mint(owner, Wei::from_eth(1_000));
+                (chain, EnsSystem::new(), owner)
+            },
+            |(mut chain, mut ens, owner)| {
+                i += 1;
+                let label = Label::parse(&format!("benchname{i}")).expect("valid");
+                let receipt = commit_and_register(
+                    &mut ens,
+                    &mut chain,
+                    &label,
+                    owner,
+                    i,
+                    Duration::from_years(1),
+                    200_000,
+                    Some(owner),
+                )
+                .expect("registers");
+                ens.renew(&mut chain, &label, owner, Duration::from_years(1), 200_000)
+                    .expect("renews");
+                black_box(receipt)
+            },
+        )
+    });
+}
+
+fn subgraph_indexing(c: &mut Criterion) {
+    let world = WorldConfig::small().with_seed(5).build();
+    let events = world.ens().events().to_vec();
+    let mut g = c.benchmark_group("subgraph");
+    g.throughput(Throughput::Elements(events.len() as u64));
+    g.bench_function("index_2k_name_world", |b| {
+        b.iter(|| Subgraph::index(black_box(&events), SubgraphConfig::default()))
+    });
+    g.finish();
+}
+
+fn world_generation_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("world_build");
+    g.sample_size(10);
+    for n in [500usize, 2_000, 8_000] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| WorldConfig::default().with_names(n).with_seed(3).build())
+        });
+    }
+    g.finish();
+}
+
+fn oracle_lookups(c: &mut Criterion) {
+    let oracle = PriceOracle::new();
+    let days: Vec<Timestamp> = (0..1_000)
+        .map(|i| Timestamp::from_ymd(2020, 1, 1) + Duration::from_days(i))
+        .collect();
+    c.bench_function("oracle_1k_daily_closes", |b| {
+        b.iter(|| {
+            days.iter()
+                .map(|&t| oracle.cents_per_eth(black_box(t)))
+                .sum::<u64>()
+        })
+    });
+}
+
+criterion_group!(
+    substrates,
+    keccak,
+    namehash_bench,
+    ledger_transfers,
+    ens_registration_flow,
+    subgraph_indexing,
+    world_generation_scaling,
+    oracle_lookups
+);
+criterion_main!(substrates);

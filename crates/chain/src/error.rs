@@ -1,0 +1,49 @@
+//! Ledger errors.
+
+use std::fmt;
+
+use ens_types::{Address, Wei};
+
+/// Errors raised by ledger operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ChainError {
+    /// The sender's balance cannot cover value + fee.
+    InsufficientFunds {
+        /// Account that attempted to pay.
+        from: Address,
+        /// Balance at the time of the attempt.
+        balance: Wei,
+        /// Amount (value + fee) that was needed.
+        needed: Wei,
+    },
+    /// Attempted to move the clock backwards.
+    ClockWentBackwards {
+        /// Current chain time.
+        now: ens_types::Timestamp,
+        /// Requested (earlier) time.
+        requested: ens_types::Timestamp,
+    },
+    /// A transfer of zero value was rejected.
+    ZeroValueTransfer,
+}
+
+impl fmt::Display for ChainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChainError::InsufficientFunds {
+                from,
+                balance,
+                needed,
+            } => write!(
+                f,
+                "insufficient funds: {from} has {balance}, needs {needed}"
+            ),
+            ChainError::ClockWentBackwards { now, requested } => {
+                write!(f, "clock went backwards: now {now:?}, requested {requested:?}")
+            }
+            ChainError::ZeroValueTransfer => write!(f, "zero-value transfer"),
+        }
+    }
+}
+
+impl std::error::Error for ChainError {}

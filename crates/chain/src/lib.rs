@@ -1,0 +1,27 @@
+//! # sim-chain
+//!
+//! A deterministic, single-threaded Ethereum-like ledger: accounts with wei
+//! balances, a monotone clock that derives block numbers, and an append-only
+//! transaction log.
+//!
+//! This crate substitutes for the Ethereum mainnet in the reproduction of
+//! *Panning for gold.eth* (see `DESIGN.md` §2). The paper's analysis consumes
+//! only addresses, amounts, timestamps, and event ordering — all of which
+//! this ledger models exactly. Consensus, gas markets, and smart-contract
+//! execution are intentionally out of scope; contracts (the ENS registry and
+//! friends) are ordinary Rust state machines in `ens-registry` that settle
+//! payments through [`Chain::transfer`].
+//!
+//! Invariant: value is conserved — [`Chain::total_balance`] always equals
+//! [`Chain::total_minted`] (fees move value to a sink; nothing is burned).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod ledger;
+pub mod tx;
+
+pub use error::ChainError;
+pub use ledger::{Chain, GasPolicy};
+pub use tx::{Transaction, TxKind};

@@ -1,0 +1,203 @@
+//! `ens-dropcatch` — the command-line face of the reproduction, mirroring
+//! the paper's availability statement ("we are making our dataset of ENS
+//! domains and code to crawl ENS registration data and Ethereum
+//! transactions publicly available"):
+//!
+//! ```text
+//! ens-dropcatch run      --names 20000 --seed 1 [--csv DIR] [--dataset F]
+//! ens-dropcatch simulate --names 20000 --seed 1 --dataset dataset.json
+//! ens-dropcatch analyze  --dataset dataset.json [--csv DIR]
+//! ```
+//!
+//! `simulate` builds a world and writes the *crawled dataset* (domains,
+//! per-address transactions, labels, reverse claims) as JSON; `analyze`
+//! re-runs the full study from such a file — no simulator required, exactly
+//! how a third party would re-analyze the released data.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use ens_dropcatch::{run_study_on, DataSources, Dataset, StudyConfig};
+use ens_subgraph::SubgraphConfig;
+use opensea_sim::OpenSea;
+use price_oracle::PriceOracle;
+use workload::WorldConfig;
+
+struct Args {
+    names: usize,
+    seed: u64,
+    dataset: Option<PathBuf>,
+    csv: Option<PathBuf>,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  ens-dropcatch run      [--names N] [--seed S] [--csv DIR] [--dataset FILE]\n  \
+         ens-dropcatch simulate [--names N] [--seed S] --dataset FILE\n  \
+         ens-dropcatch analyze  --dataset FILE [--csv DIR]"
+    );
+    ExitCode::from(2)
+}
+
+fn parse(mut args: impl Iterator<Item = String>) -> Option<Args> {
+    let mut out = Args {
+        names: 20_000,
+        seed: 1,
+        dataset: None,
+        csv: None,
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--names" => out.names = args.next()?.parse().ok()?,
+            "--seed" => out.seed = args.next()?.parse().ok()?,
+            "--dataset" => out.dataset = Some(PathBuf::from(args.next()?)),
+            "--csv" => out.csv = Some(PathBuf::from(args.next()?)),
+            _ => return None,
+        }
+    }
+    Some(out)
+}
+
+fn main() -> ExitCode {
+    let mut argv = std::env::args().skip(1);
+    let Some(command) = argv.next() else {
+        return usage();
+    };
+    let Some(args) = parse(argv) else {
+        return usage();
+    };
+    match command.as_str() {
+        "run" => run(args, true),
+        "simulate" => run(args, false),
+        "analyze" => analyze(args),
+        "--help" | "-h" | "help" => {
+            usage();
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}
+
+/// Builds a world; with `full_study` also analyzes and prints the report,
+/// otherwise just exports the dataset.
+fn run(args: Args, full_study: bool) -> ExitCode {
+    eprintln!("building world: {} names, seed {}...", args.names, args.seed);
+    let world = WorldConfig::default()
+        .with_names(args.names)
+        .with_seed(args.seed)
+        .build();
+    let subgraph = world.subgraph(SubgraphConfig::default());
+    let etherscan = world.etherscan();
+    eprintln!("crawling (subgraph + txlists)...");
+    let dataset = Dataset::collect(&subgraph, &etherscan, world.observation_end());
+    eprintln!(
+        "collected {} domains, {} transactions (recovery {:.2}%)",
+        dataset.crawl_report.domains,
+        dataset.crawl_report.transactions,
+        dataset.crawl_report.recovery_rate() * 100.0
+    );
+
+    if let Some(path) = &args.dataset {
+        match dataset.to_json() {
+            Ok(json) => {
+                if let Err(e) = std::fs::write(path, json) {
+                    eprintln!("cannot write {}: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("dataset written to {}", path.display());
+            }
+            Err(e) => {
+                eprintln!("serialization failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else if !full_study {
+        eprintln!("simulate requires --dataset FILE");
+        return ExitCode::from(2);
+    }
+
+    if full_study {
+        let sources = DataSources {
+            subgraph: &subgraph,
+            etherscan: &etherscan,
+            opensea: world.opensea(),
+            oracle: world.oracle(),
+            observation_end: world.observation_end(),
+        };
+        let report = run_study_on(&dataset, &sources, &StudyConfig::default());
+        println!("{}", report.render());
+        if let Some(dir) = &args.csv {
+            return write_csv(&report, dir);
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// Re-analyzes a previously exported dataset JSON.
+fn analyze(args: Args) -> ExitCode {
+    let Some(path) = &args.dataset else {
+        eprintln!("analyze requires --dataset FILE");
+        return ExitCode::from(2);
+    };
+    let json = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let dataset = match Dataset::from_json(&json) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("cannot parse dataset: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "loaded {} domains, {} transactions",
+        dataset.domains.len(),
+        dataset.crawl_report.transactions
+    );
+
+    // Offline re-analysis has the deterministic price series but no
+    // marketplace feed, so §4.2's resale join reports zeros.
+    let oracle = PriceOracle::new();
+    let opensea = OpenSea::new();
+    let subgraph = ens_subgraph::Subgraph::index(&[], SubgraphConfig::lossless());
+    let sources = DataSources {
+        subgraph: &subgraph,
+        etherscan: &etherscan_sim::Etherscan::index(
+            &sim_chain_stub(),
+            dataset.labels.clone(),
+        ),
+        opensea: &opensea,
+        oracle: &oracle,
+        observation_end: dataset.observation_end,
+    };
+    let report = run_study_on(&dataset, &sources, &StudyConfig::default());
+    eprintln!("note: resale (§4.2) figures are zero — the marketplace feed is not part of the dataset export");
+    println!("{}", report.render());
+    if let Some(dir) = &args.csv {
+        return write_csv(&report, dir);
+    }
+    ExitCode::SUCCESS
+}
+
+/// An empty chain for constructing a placeholder explorer in analyze mode
+/// (the study reads transactions from the dataset, not the explorer).
+fn sim_chain_stub() -> sim_chain::Chain {
+    sim_chain::Chain::new(ens_types::Timestamp(0))
+}
+
+fn write_csv(report: &ens_dropcatch::StudyReport, dir: &std::path::Path) -> ExitCode {
+    match report.write_csv_bundle(dir) {
+        Ok(files) => {
+            eprintln!("wrote {} CSV artifacts to {}", files.len(), dir.display());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("CSV export failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! End-to-end smoke tests of the `ens-dropcatch` binary: simulate → export
+//! → offline re-analysis, plus argument validation.
+
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_ens-dropcatch"))
+}
+
+#[test]
+fn run_produces_a_report_and_csv_bundle() {
+    let dir = std::env::temp_dir().join(format!("ens-cli-smoke-{}", std::process::id()));
+    let csv_dir = dir.join("csv");
+    let dataset = dir.join("dataset.json");
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let output = bin()
+        .args([
+            "run",
+            "--names",
+            "300",
+            "--seed",
+            "5",
+            "--csv",
+            csv_dir.to_str().unwrap(),
+            "--dataset",
+            dataset.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(output.status.success(), "stderr: {}", String::from_utf8_lossy(&output.stderr));
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    for section in ["Fig 2", "Table 1", "Table 2", "resale market"] {
+        assert!(stdout.contains(section), "missing {section}");
+    }
+    assert!(csv_dir.join("fig2_timeline.csv").exists());
+    assert!(dataset.exists());
+
+    // Offline re-analysis of the exported dataset reproduces detection.
+    let output = bin()
+        .args(["analyze", "--dataset", dataset.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(output.status.success());
+    let stdout2 = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout2.contains("Table 1"));
+    // Re-registration overview (Fig 4 section) must match the online run.
+    let fig4 = |s: &str| {
+        s.lines()
+            .skip_while(|l| !l.contains("Fig 4"))
+            .take(8)
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(fig4(&stdout), fig4(&stdout2), "offline analysis diverged");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bad_arguments_exit_nonzero_with_usage() {
+    let output = bin().arg("frobnicate").output().expect("binary runs");
+    assert!(!output.status.success());
+    assert!(String::from_utf8_lossy(&output.stderr).contains("usage"));
+
+    let output = bin()
+        .args(["simulate", "--names", "10"])
+        .output()
+        .expect("binary runs");
+    assert!(!output.status.success(), "simulate without --dataset must fail");
+}

@@ -1,0 +1,64 @@
+//! # ens-dropcatch
+//!
+//! The measurement and analysis pipeline of *Panning for gold.eth:
+//! Understanding and Analyzing ENS Domain Dropcatching* (IMC 2024) — the
+//! paper's primary contribution, reimplemented end to end:
+//!
+//! - [`crawl`] / [`dataset`] — §3: page the ENS subgraph for every domain's
+//!   registration history and the explorer for every relevant wallet's
+//!   transactions;
+//! - [`registrations`] — the core primitive: ownership timelines and
+//!   re-registration (dropcatch) detection;
+//! - [`overview`] — §4.1: the monthly timeline (Fig 2), delay distribution
+//!   (Fig 3), per-domain frequency (Fig 4), catcher concentration (Fig 5);
+//! - [`features`] — §4.3: the lexical/transactional Table 1 with Welch
+//!   t-tests and two-proportion z-tests, and the Fig 6 income CDFs;
+//! - [`losses`] — §4.4: hijackable funds (Fig 7), the conservative
+//!   common-sender misdirection heuristic (Figs 8/9/11), catcher profit
+//!   (Fig 10);
+//! - [`resale`] — §4.2: the OpenSea listing/sale join;
+//! - [`countermeasures`] — Appendix B's Table 2 and §6's proposed wallet
+//!   warning, *evaluated* rather than just proposed;
+//! - [`stats`] — the statistics the above need, from first principles;
+//! - [`report`] / [`pipeline`] — text rendering and the one-call
+//!   [`run_study`](pipeline::run_study).
+//!
+//! The pipeline consumes only the public query APIs of the data-source
+//! crates — it has exactly the visibility the paper's crawlers had, and
+//! none of the simulator's ground truth.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod countermeasures;
+pub mod crawl;
+pub mod dataset;
+pub mod export;
+pub mod features;
+pub mod losses;
+pub mod overview;
+pub mod pipeline;
+pub mod registrations;
+pub mod report;
+pub mod resale;
+pub mod stats;
+
+pub use crawl::{CrawlReport, SubgraphCrawler, TxCrawler};
+pub use dataset::{DataSources, Dataset};
+pub use export::CsvArtifact;
+pub use features::{compare_features, DomainFeatures, FeatureComparison, FeatureRow};
+pub use losses::{analyze_losses, upper_bound_losses, DomainLoss, LossReport, SenderKind, UpperBoundLoss};
+pub use overview::{overview, OverviewReport};
+pub use pipeline::{run_study, run_study_on, StudyConfig, StudyReport};
+pub use registrations::{
+    classify, detect_all, detect_reregistrations, detect_reregistrations_ignoring_transfers,
+    DomainOutcome, ReRegistration,
+};
+pub use resale::{analyze_resales, ResaleReport};
+
+/// Glob-import convenience.
+pub mod prelude {
+    pub use crate::dataset::{DataSources, Dataset};
+    pub use crate::pipeline::{run_study, StudyConfig, StudyReport};
+    pub use crate::registrations::{DomainOutcome, ReRegistration};
+}

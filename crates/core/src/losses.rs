@@ -1,0 +1,599 @@
+//! The financial-loss analysis of §4.4: hijackable funds (Fig 7), the
+//! conservative common-sender heuristic (Figs 8, 9, 11), and dropcatcher
+//! profit (Fig 10).
+//!
+//! The common-sender pattern: address `c` sent funds to `a1` only while
+//! `a1` held domain `d`, then sent funds to `a2` only once `a2` held `d`,
+//! and never again to `a1` — strong evidence `c` was addressing the *name*,
+//! not the wallet, and misdirected funds to the new owner.
+
+use std::collections::HashMap;
+
+use ens_types::{Address, LabelHash, Timestamp};
+use etherscan_sim::LabelService;
+use price_oracle::PriceOracle;
+use serde::{Deserialize, Serialize};
+
+use crate::dataset::Dataset;
+use crate::registrations::{detect_all, ReRegistration};
+use crate::stats::Ecdf;
+
+/// How a common sender is custodied — the filter dimension of §4.4.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SenderKind {
+    /// An individually-owned wallet.
+    NonCustodial,
+    /// A Coinbase wallet (the only ENS-resolving exchange).
+    Coinbase,
+    /// A non-Coinbase custodial exchange — excluded from loss estimates
+    /// because many users share the address.
+    OtherCustodial,
+}
+
+/// One common sender found for one re-registration.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CommonSender {
+    /// The sender `c`.
+    pub sender: Address,
+    /// Its custody class.
+    pub kind: SenderKind,
+    /// Transactions `c → a1` before the re-registration.
+    pub txs_to_prev: usize,
+    /// Transactions `c → a2` while `a2` held the domain.
+    pub txs_to_new: usize,
+    /// USD total of `c → a2` (the presumed loss).
+    pub usd_to_new: f64,
+    /// The individual `c → a2` transfers as `(time, usd)` — used by the
+    /// countermeasure evaluation to test warnings at real send times.
+    pub transfers_to_new: Vec<(Timestamp, f64)>,
+}
+
+/// All misdirection evidence for one re-registered domain.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DomainLoss {
+    /// The domain.
+    pub label_hash: LabelHash,
+    /// Readable name when known.
+    pub name: Option<String>,
+    /// The lapsed wallet `a1`.
+    pub prev_wallet: Address,
+    /// The catching wallet `a2`.
+    pub new_owner: Address,
+    /// When `a2` registered.
+    pub caught_at: Timestamp,
+    /// What `a2` paid to register, in USD at the day of the catch.
+    pub reregistration_cost_usd: f64,
+    /// The common senders found.
+    pub senders: Vec<CommonSender>,
+}
+
+impl DomainLoss {
+    /// Total misdirected USD (all sender kinds except other-custodial).
+    pub fn misdirected_usd(&self) -> f64 {
+        self.senders
+            .iter()
+            .filter(|s| s.kind != SenderKind::OtherCustodial)
+            .map(|s| s.usd_to_new)
+            .sum()
+    }
+
+    /// Misdirected USD from non-custodial senders only.
+    pub fn misdirected_usd_noncustodial(&self) -> f64 {
+        self.senders
+            .iter()
+            .filter(|s| s.kind == SenderKind::NonCustodial)
+            .map(|s| s.usd_to_new)
+            .sum()
+    }
+}
+
+/// Fig 7: hijackable funds per expired domain.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Fig7Hijackable {
+    /// USD received by the lapsed wallet during each domain's
+    /// expiry→re-registration (or →window-end) gap; one entry per domain
+    /// with a non-zero amount.
+    pub usd_per_domain: Vec<f64>,
+    /// Domains with an expiry gap considered.
+    pub domains_considered: usize,
+}
+
+impl Fig7Hijackable {
+    /// The distribution.
+    pub fn ecdf(&self) -> Ecdf {
+        Ecdf::new(self.usd_per_domain.clone())
+    }
+
+    /// Total hijackable USD.
+    pub fn total_usd(&self) -> f64 {
+        self.usd_per_domain.iter().sum()
+    }
+}
+
+/// A point of the Fig 9 / Fig 11 scatter.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ScatterPoint {
+    /// Transactions from `c` to the previous owner.
+    pub to_prev: usize,
+    /// Transactions from `c` to the new owner.
+    pub to_new: usize,
+    /// Sender custody class.
+    pub kind: SenderKind,
+}
+
+/// Aggregates of §4.4.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct LossReport {
+    /// Per-domain findings (only domains with ≥ 1 common sender).
+    pub findings: Vec<DomainLoss>,
+    /// Fig 7.
+    pub hijackable: Fig7Hijackable,
+    /// Domains with at least one *non-custodial* common sender (paper: 484).
+    pub domains_noncustodial: usize,
+    /// Domains when Coinbase senders are included (paper: 940).
+    pub domains_with_coinbase: usize,
+    /// Flagged transactions, non-custodial only (paper: 1,617).
+    pub txs_noncustodial: usize,
+    /// Flagged transactions incl. Coinbase (paper: 2,633).
+    pub txs_incl_coinbase: usize,
+    /// Unique non-custodial senders (paper: 195).
+    pub unique_senders_noncustodial: usize,
+    /// Unique senders incl. Coinbase (paper: 201).
+    pub unique_senders_incl_coinbase: usize,
+    /// Mean misdirected USD per domain, non-custodial (paper: 1,944).
+    pub avg_usd_noncustodial: f64,
+    /// Mean misdirected USD per domain incl. Coinbase (paper: 1,877).
+    pub avg_usd_incl_coinbase: f64,
+}
+
+impl LossReport {
+    /// Fig 8: amounts (USD) sent to `a2` by common senders, per domain.
+    pub fn fig8_amounts(&self) -> Ecdf {
+        Ecdf::new(
+            self.findings
+                .iter()
+                .map(DomainLoss::misdirected_usd)
+                .filter(|v| *v > 0.0)
+                .collect(),
+        )
+    }
+
+    /// Fig 9: scatter including Coinbase and non-custodial senders.
+    pub fn fig9_scatter(&self) -> Vec<ScatterPoint> {
+        self.scatter(true)
+    }
+
+    /// Fig 11: scatter with non-custodial senders only.
+    pub fn fig11_scatter(&self) -> Vec<ScatterPoint> {
+        self.scatter(false)
+    }
+
+    fn scatter(&self, include_coinbase: bool) -> Vec<ScatterPoint> {
+        self.findings
+            .iter()
+            .flat_map(|f| f.senders.iter())
+            .filter(|s| match s.kind {
+                SenderKind::NonCustodial => true,
+                SenderKind::Coinbase => include_coinbase,
+                SenderKind::OtherCustodial => false,
+            })
+            .map(|s| ScatterPoint {
+                to_prev: s.txs_to_prev,
+                to_new: s.txs_to_new,
+                kind: s.kind,
+            })
+            .collect()
+    }
+
+    /// Fig 10: per-catcher `(spent, misdirected income)` in USD, over the
+    /// catchers appearing in the findings.
+    pub fn fig10_profit(&self) -> Vec<(Address, f64, f64)> {
+        let mut per_catcher: HashMap<Address, (f64, f64)> = HashMap::new();
+        for f in &self.findings {
+            let e = per_catcher.entry(f.new_owner).or_default();
+            e.0 += f.reregistration_cost_usd;
+            e.1 += f.misdirected_usd();
+        }
+        let mut v: Vec<(Address, f64, f64)> = per_catcher
+            .into_iter()
+            .map(|(a, (s, i))| (a, s, i))
+            .collect();
+        v.sort_by(|a, b| a.0.cmp(&b.0));
+        v
+    }
+
+    /// Fraction of catchers (among the findings) who profited
+    /// (paper: 91%), and their mean profit (paper: 4,700 USD).
+    pub fn profit_summary(&self) -> (f64, f64) {
+        let profits = self.fig10_profit();
+        if profits.is_empty() {
+            return (0.0, 0.0);
+        }
+        let winners = profits.iter().filter(|(_, s, i)| i > s).count();
+        let mean_profit =
+            profits.iter().map(|(_, s, i)| i - s).sum::<f64>() / profits.len() as f64;
+        (winners as f64 / profits.len() as f64, mean_profit)
+    }
+}
+
+/// An *upper bound* on misdirected losses — the scenarios the paper calls
+/// "harder to identify" (§4.4): count every transfer to a re-registering
+/// wallet from a sender it had never seen before the catch, while it held
+/// the domain. This over-counts (new legitimate counterparties and
+/// marketplace buyers are included) but brackets the truth from above,
+/// while the conservative common-sender heuristic brackets it from below.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct UpperBoundLoss {
+    /// Re-registrations with at least one new-sender transfer.
+    pub domains: usize,
+    /// New-sender transfers counted.
+    pub txs: usize,
+    /// USD total.
+    pub total_usd: f64,
+    /// Per-domain USD (only non-zero entries).
+    pub per_domain_usd: Vec<f64>,
+}
+
+/// Computes the upper-bound estimate over all re-registrations.
+pub fn upper_bound_losses(dataset: &Dataset, oracle: &PriceOracle) -> UpperBoundLoss {
+    let rereg = detect_all(&dataset.domains);
+    let mut out = UpperBoundLoss::default();
+    // A catcher holds many domains; attribute each (a2, sender, tx) once.
+    let mut seen: std::collections::HashSet<(Address, Address, u64)> = Default::default();
+    for r in &rereg {
+        let a2 = r.new_owner;
+        // Senders a2 already knew before this catch.
+        let known: std::collections::HashSet<Address> = dataset
+            .incoming(a2, Some((Timestamp(0), r.at)))
+            .map(|tx| tx.from)
+            .collect();
+        let mut domain_usd = 0.0;
+        for tx in dataset.incoming(a2, Some((r.at, r.new_expiry))) {
+            if known.contains(&tx.from)
+                || tx.from == r.prev_wallet
+                || dataset.labels.is_non_coinbase_custodial(tx.from)
+            {
+                continue;
+            }
+            if !seen.insert((a2, tx.from, tx.timestamp.0)) {
+                continue;
+            }
+            let usd = oracle.to_usd(tx.value, tx.timestamp).as_dollars_f64();
+            domain_usd += usd;
+            out.txs += 1;
+            out.total_usd += usd;
+        }
+        if domain_usd > 0.0 {
+            out.domains += 1;
+            out.per_domain_usd.push(domain_usd);
+        }
+    }
+    out
+}
+
+/// Fig 7: funds sent to the lapsed wallet between expiry and the next
+/// registration (or the window end for never-re-registered names).
+pub fn hijackable_funds(dataset: &Dataset, oracle: &PriceOracle) -> Fig7Hijackable {
+    let mut fig = Fig7Hijackable::default();
+    for d in &dataset.domains {
+        for idx in 0..d.registrations.len() {
+            let Some(expiry) = d.expiry_of_registration(idx) else {
+                continue;
+            };
+            if expiry >= dataset.observation_end {
+                continue;
+            }
+            let gap_end = d
+                .registrations
+                .get(idx + 1)
+                .map(|r| r.registered_at)
+                .unwrap_or(dataset.observation_end);
+            if gap_end <= expiry {
+                continue;
+            }
+            let wallet = crate::registrations::resolved_wallet_at(d, expiry)
+                .or_else(|| crate::registrations::effective_owner_at_expiry(d, idx));
+            let Some(wallet) = wallet else { continue };
+            fig.domains_considered += 1;
+            let usd = dataset
+                .income_usd(wallet, Some((expiry, gap_end)), oracle)
+                .as_dollars_f64();
+            if usd > 0.0 {
+                fig.usd_per_domain.push(usd);
+            }
+        }
+    }
+    fig
+}
+
+/// Classifies a sender address.
+fn sender_kind(labels: &LabelService, addr: Address) -> SenderKind {
+    if labels.is_coinbase(addr) {
+        SenderKind::Coinbase
+    } else if labels.is_non_coinbase_custodial(addr) {
+        SenderKind::OtherCustodial
+    } else {
+        SenderKind::NonCustodial
+    }
+}
+
+/// Finds common senders for one re-registration.
+fn common_senders_for(
+    dataset: &Dataset,
+    oracle: &PriceOracle,
+    r: &ReRegistration,
+) -> Vec<CommonSender> {
+    let a1 = r.prev_wallet;
+    let a2 = r.new_owner;
+    if a1 == a2 {
+        return Vec::new();
+    }
+
+    // Senders to a1 strictly before the catch, and whether they ever sent
+    // to a1 afterwards (which disqualifies them).
+    let mut to_prev: HashMap<Address, usize> = HashMap::new();
+    let mut disqualified: Vec<Address> = Vec::new();
+    for tx in dataset.incoming(a1, None) {
+        if tx.from == a2 {
+            continue;
+        }
+        if tx.timestamp < r.at {
+            *to_prev.entry(tx.from).or_default() += 1;
+        } else {
+            disqualified.push(tx.from);
+        }
+    }
+    for d in disqualified {
+        to_prev.remove(&d);
+    }
+    if to_prev.is_empty() {
+        return Vec::new();
+    }
+
+    // Senders to a2: count only txs while a2 held the domain; any earlier
+    // tx to a2 means c already knew a2 — not a misdirection.
+    let mut to_new: HashMap<Address, Vec<(Timestamp, f64)>> = HashMap::new();
+    let mut knew_a2: Vec<Address> = Vec::new();
+    for tx in dataset.incoming(a2, None) {
+        if tx.from == a1 {
+            continue;
+        }
+        if tx.timestamp < r.at {
+            knew_a2.push(tx.from);
+        } else if tx.timestamp < r.new_expiry {
+            to_new.entry(tx.from).or_default().push((
+                tx.timestamp,
+                oracle.to_usd(tx.value, tx.timestamp).as_dollars_f64(),
+            ));
+        }
+    }
+    for k in knew_a2 {
+        to_new.remove(&k);
+    }
+
+    let mut out: Vec<CommonSender> = to_prev
+        .into_iter()
+        .filter_map(|(c, txs_to_prev)| {
+            let transfers_to_new = to_new.get(&c)?.clone();
+            Some(CommonSender {
+                sender: c,
+                kind: sender_kind(&dataset.labels, c),
+                txs_to_prev,
+                txs_to_new: transfers_to_new.len(),
+                usd_to_new: transfers_to_new.iter().map(|(_, u)| u).sum(),
+                transfers_to_new,
+            })
+        })
+        .collect();
+    out.sort_by_key(|s| s.sender);
+    out
+}
+
+/// Runs the full §4.4 analysis.
+pub fn analyze_losses(dataset: &Dataset, oracle: &PriceOracle) -> LossReport {
+    let rereg = detect_all(&dataset.domains);
+    let mut report = LossReport {
+        hijackable: hijackable_funds(dataset, oracle),
+        ..LossReport::default()
+    };
+
+    let mut unique_nc: Vec<Address> = Vec::new();
+    let mut unique_ic: Vec<Address> = Vec::new();
+
+    for r in &rereg {
+        let senders = common_senders_for(dataset, oracle, r);
+        if senders.is_empty() {
+            continue;
+        }
+        let cost_usd = oracle
+            .to_usd(r.base_cost + r.premium, r.at)
+            .as_dollars_f64();
+        let has_nc = senders.iter().any(|s| s.kind == SenderKind::NonCustodial);
+        let has_ic = senders
+            .iter()
+            .any(|s| s.kind != SenderKind::OtherCustodial);
+        if has_nc {
+            report.domains_noncustodial += 1;
+        }
+        if has_ic {
+            report.domains_with_coinbase += 1;
+        }
+        for s in &senders {
+            match s.kind {
+                SenderKind::NonCustodial => {
+                    report.txs_noncustodial += s.txs_to_new;
+                    report.txs_incl_coinbase += s.txs_to_new;
+                    unique_nc.push(s.sender);
+                    unique_ic.push(s.sender);
+                }
+                SenderKind::Coinbase => {
+                    report.txs_incl_coinbase += s.txs_to_new;
+                    unique_ic.push(s.sender);
+                }
+                SenderKind::OtherCustodial => {}
+            }
+        }
+        report.findings.push(DomainLoss {
+            label_hash: r.label_hash,
+            name: r.name.as_ref().map(|n| n.to_full()),
+            prev_wallet: r.prev_wallet,
+            new_owner: r.new_owner,
+            caught_at: r.at,
+            reregistration_cost_usd: cost_usd,
+            senders,
+        });
+    }
+
+    unique_nc.sort_unstable();
+    unique_nc.dedup();
+    unique_ic.sort_unstable();
+    unique_ic.dedup();
+    report.unique_senders_noncustodial = unique_nc.len();
+    report.unique_senders_incl_coinbase = unique_ic.len();
+
+    let nc: Vec<f64> = report
+        .findings
+        .iter()
+        .map(DomainLoss::misdirected_usd_noncustodial)
+        .filter(|v| *v > 0.0)
+        .collect();
+    let ic: Vec<f64> = report
+        .findings
+        .iter()
+        .map(DomainLoss::misdirected_usd)
+        .filter(|v| *v > 0.0)
+        .collect();
+    report.avg_usd_noncustodial = if nc.is_empty() {
+        0.0
+    } else {
+        nc.iter().sum::<f64>() / nc.len() as f64
+    };
+    report.avg_usd_incl_coinbase = if ic.is_empty() {
+        0.0
+    } else {
+        ic.iter().sum::<f64>() / ic.len() as f64
+    };
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ens_subgraph::SubgraphConfig;
+    use workload::WorldConfig;
+
+    fn world_and_report() -> (workload::World, LossReport) {
+        let world = WorldConfig::default().with_seed(60).build();
+        let sg = world.subgraph(SubgraphConfig::lossless());
+        let scan = world.etherscan();
+        let ds = Dataset::collect(&sg, &scan, world.observation_end());
+        let report = analyze_losses(&ds, world.oracle());
+        (world, report)
+    }
+
+    #[test]
+    fn detector_recovers_planted_misdirections() {
+        let (world, report) = world_and_report();
+        // Ground truth: how many domains had misdirects planted with at
+        // least one non-custodial common sender?
+        let planted: usize = world
+            .truth()
+            .iter()
+            .filter(|t| !t.misdirected.is_empty())
+            .count();
+        assert!(planted > 30, "too few planted ({planted}) to assess");
+        let found = report.domains_with_coinbase;
+        // The detector is conservative: it may miss (e.g. custodial-only
+        // senders, cross-name interference) but should recover most, and
+        // must not wildly over-fire.
+        assert!(
+            found as f64 >= planted as f64 * 0.5,
+            "recall too low: {found} of {planted}"
+        );
+        assert!(
+            (found as f64) <= planted as f64 * 1.6,
+            "too many findings: {found} of {planted}"
+        );
+    }
+
+    #[test]
+    fn flagged_amounts_match_planted_scale() {
+        let (world, report) = world_and_report();
+        let planted_mean = {
+            let per_domain: Vec<f64> = world
+                .truth()
+                .iter()
+                .filter(|t| !t.misdirected.is_empty())
+                .map(|t| t.misdirected.iter().map(|m| m.usd).sum::<f64>())
+                .collect();
+            per_domain.iter().sum::<f64>() / per_domain.len() as f64
+        };
+        let measured = report.avg_usd_incl_coinbase;
+        assert!(
+            (measured / planted_mean - 1.0).abs() < 0.5,
+            "avg misdirected {measured} vs planted {planted_mean}"
+        );
+        // Paper scale: thousands of USD.
+        assert!(measured > 300.0 && measured < 30_000.0, "{measured}");
+    }
+
+    #[test]
+    fn noncustodial_counts_are_a_subset_of_inclusive_counts() {
+        let (_, report) = world_and_report();
+        assert!(report.domains_noncustodial <= report.domains_with_coinbase);
+        assert!(report.txs_noncustodial <= report.txs_incl_coinbase);
+        assert!(report.unique_senders_noncustodial <= report.unique_senders_incl_coinbase);
+        assert!(report.domains_noncustodial > 0);
+    }
+
+    #[test]
+    fn scatter_is_dominated_by_one_to_one_patterns() {
+        let (_, report) = world_and_report();
+        let scatter = report.fig9_scatter();
+        assert!(!scatter.is_empty());
+        let one_to_one = scatter
+            .iter()
+            .filter(|p| p.to_new == 1)
+            .count();
+        assert!(
+            one_to_one * 2 > scatter.len(),
+            "1-tx-to-a2 should dominate: {one_to_one}/{}",
+            scatter.len()
+        );
+        // Fig 11 is a filtered subset of Fig 9.
+        assert!(report.fig11_scatter().len() <= scatter.len());
+        assert!(report
+            .fig11_scatter()
+            .iter()
+            .all(|p| p.kind == SenderKind::NonCustodial));
+    }
+
+    #[test]
+    fn most_catchers_profit_like_the_paper() {
+        let (_, report) = world_and_report();
+        let (frac, mean_profit) = report.profit_summary();
+        // Paper: 91% profit, average 4,700 USD.
+        assert!(frac > 0.6, "profit fraction {frac}");
+        assert!(mean_profit > 0.0, "mean profit {mean_profit}");
+    }
+
+    #[test]
+    fn hijackable_funds_exist_and_match_truth_scale() {
+        let (world, report) = world_and_report();
+        let truth_total: f64 = world.truth().iter().map(|t| t.hijackable_usd).sum();
+        let measured_total = report.hijackable.total_usd();
+        assert!(measured_total > 0.0);
+        // The measured total includes everything the truth planted (plus
+        // bypass txs that also land in gaps), so it should be within a
+        // factor-two band above truth.
+        assert!(
+            measured_total >= truth_total * 0.7,
+            "hijackable {measured_total} vs planted {truth_total}"
+        );
+        assert!(
+            measured_total <= truth_total * 2.5 + 10_000.0,
+            "hijackable {measured_total} vs planted {truth_total}"
+        );
+    }
+}

@@ -1,0 +1,159 @@
+//! Text rendering: aligned tables, ASCII bar charts, and CSV export, so the
+//! repro harness can print every table and figure the paper reports.
+
+use std::fmt::Write as _;
+
+/// Renders an aligned text table.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let write_row = |out: &mut String, cells: &[String]| {
+        for (i, cell) in cells.iter().enumerate().take(cols) {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            let _ = write!(out, "{cell:<width$}", width = widths[i]);
+        }
+        out.push('\n');
+    };
+    write_row(
+        &mut out,
+        &headers.iter().map(|h| h.to_string()).collect::<Vec<_>>(),
+    );
+    let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for row in rows {
+        write_row(&mut out, row);
+    }
+    out
+}
+
+/// Renders labelled horizontal ASCII bars scaled to `width` characters.
+pub fn ascii_bars(items: &[(String, f64)], width: usize) -> String {
+    let max = items.iter().map(|(_, v)| *v).fold(0.0f64, f64::max);
+    let label_w = items.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for (label, value) in items {
+        let bar_len = if max > 0.0 {
+            ((value / max) * width as f64).round() as usize
+        } else {
+            0
+        };
+        let _ = writeln!(
+            out,
+            "{label:<label_w$} |{} {value:.0}",
+            "#".repeat(bar_len)
+        );
+    }
+    out
+}
+
+/// Renders an ECDF as a quantile table (text stand-in for a CDF plot).
+pub fn quantile_table(ecdf: &crate::stats::Ecdf, unit: &str) -> String {
+    if ecdf.is_empty() {
+        return "(empty distribution)\n".to_string();
+    }
+    let rows: Vec<Vec<String>> = [0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99, 1.00]
+        .iter()
+        .map(|&q| {
+            vec![
+                format!("p{:02.0}", q * 100.0),
+                format!("{:.2} {unit}", ecdf.quantile(q)),
+            ]
+        })
+        .collect();
+    render_table(&["quantile", "value"], &rows)
+}
+
+/// Escapes one CSV field.
+fn csv_escape(s: &str) -> String {
+    if s.contains([',', '"', '\n']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Serializes rows to CSV with a header.
+pub fn to_csv(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    out.push_str(
+        &headers
+            .iter()
+            .map(|h| csv_escape(h))
+            .collect::<Vec<_>>()
+            .join(","),
+    );
+    out.push('\n');
+    for row in rows {
+        out.push_str(
+            &row.iter()
+                .map(|c| csv_escape(c))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::Ecdf;
+
+    #[test]
+    fn table_aligns_columns() {
+        let out = render_table(
+            &["name", "count"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["long-name".into(), "12345".into()],
+            ],
+        );
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        // All rows same width.
+        assert_eq!(lines[2].find('1'), lines[3].find('1'));
+    }
+
+    #[test]
+    fn bars_scale_to_width() {
+        let out = ascii_bars(
+            &[("a".into(), 10.0), ("b".into(), 5.0), ("c".into(), 0.0)],
+            20,
+        );
+        let lines: Vec<&str> = out.lines().collect();
+        assert!(lines[0].matches('#').count() == 20);
+        assert!(lines[1].matches('#').count() == 10);
+        assert!(lines[2].matches('#').count() == 0);
+    }
+
+    #[test]
+    fn quantiles_render() {
+        let e = Ecdf::new((1..=100).map(|i| i as f64).collect());
+        let out = quantile_table(&e, "USD");
+        assert!(out.contains("p50"));
+        assert!(out.contains("USD"));
+        assert!(quantile_table(&Ecdf::new(vec![]), "USD").contains("empty"));
+    }
+
+    #[test]
+    fn csv_escapes_fields() {
+        let out = to_csv(
+            &["a", "b"],
+            &[vec!["x,y".into(), "he said \"hi\"".into()]],
+        );
+        assert!(out.contains("\"x,y\""));
+        assert!(out.contains("\"he said \"\"hi\"\"\""));
+    }
+}

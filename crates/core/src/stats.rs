@@ -1,0 +1,496 @@
+//! Statistics for the feature comparison of Table 1: descriptive moments,
+//! Welch's t-test for numerical features, the two-proportion z-test for
+//! categorical features, and the special functions they need (erf, the
+//! regularized incomplete beta) implemented from first principles.
+
+use serde::{Deserialize, Serialize};
+
+/// Descriptive statistics of a sample.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Sample size.
+    pub n: usize,
+    /// Mean.
+    pub mean: f64,
+    /// Unbiased sample variance.
+    pub variance: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Computes moments of `data` (empty input → all zeros).
+    pub fn of(data: &[f64]) -> Summary {
+        let n = data.len();
+        if n == 0 {
+            return Summary::default();
+        }
+        let mean = data.iter().sum::<f64>() / n as f64;
+        let variance = if n > 1 {
+            data.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64
+        } else {
+            0.0
+        };
+        Summary {
+            n,
+            mean,
+            variance,
+            min: data.iter().copied().fold(f64::INFINITY, f64::min),
+            max: data.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        }
+    }
+
+    /// Standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance.sqrt()
+    }
+}
+
+/// The result of a significance test.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TestResult {
+    /// The test statistic (t or z).
+    pub statistic: f64,
+    /// Two-sided p-value.
+    pub p_value: f64,
+}
+
+impl TestResult {
+    /// Significance at the paper's α = 0.05.
+    pub fn significant(&self) -> bool {
+        self.p_value < 0.05
+    }
+}
+
+/// Welch's unequal-variance t-test (two-sided).
+///
+/// Returns `None` when either sample is too small or both variances vanish.
+pub fn welch_t_test(a: &[f64], b: &[f64]) -> Option<TestResult> {
+    let sa = Summary::of(a);
+    let sb = Summary::of(b);
+    if sa.n < 2 || sb.n < 2 {
+        return None;
+    }
+    let va = sa.variance / sa.n as f64;
+    let vb = sb.variance / sb.n as f64;
+    if va + vb == 0.0 {
+        return None;
+    }
+    let t = (sa.mean - sb.mean) / (va + vb).sqrt();
+    // Welch–Satterthwaite degrees of freedom.
+    let df = (va + vb).powi(2)
+        / (va.powi(2) / (sa.n as f64 - 1.0) + vb.powi(2) / (sb.n as f64 - 1.0));
+    let p = 2.0 * student_t_sf(t.abs(), df);
+    Some(TestResult {
+        statistic: t,
+        p_value: p.clamp(0.0, 1.0),
+    })
+}
+
+/// Two-proportion z-test (two-sided): `k1` successes of `n1` vs `k2` of `n2`.
+pub fn two_proportion_z_test(k1: usize, n1: usize, k2: usize, n2: usize) -> Option<TestResult> {
+    if n1 == 0 || n2 == 0 {
+        return None;
+    }
+    let p1 = k1 as f64 / n1 as f64;
+    let p2 = k2 as f64 / n2 as f64;
+    let pooled = (k1 + k2) as f64 / (n1 + n2) as f64;
+    let se = (pooled * (1.0 - pooled) * (1.0 / n1 as f64 + 1.0 / n2 as f64)).sqrt();
+    if se == 0.0 {
+        // Both proportions identical and degenerate (all 0s or all 1s).
+        return Some(TestResult {
+            statistic: 0.0,
+            p_value: 1.0,
+        });
+    }
+    let z = (p1 - p2) / se;
+    let p = 2.0 * (1.0 - normal_cdf(z.abs()));
+    Some(TestResult {
+        statistic: z,
+        p_value: p.clamp(0.0, 1.0),
+    })
+}
+
+// ----------------------------------------------------------------------
+// Special functions
+// ----------------------------------------------------------------------
+
+/// The error function, via the Abramowitz–Stegun 7.1.26 rational
+/// approximation (|error| ≤ 1.5e-7 — ample for p-values).
+pub fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let poly = t
+        * (0.254_829_592
+            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+    sign * (1.0 - poly * (-x * x).exp())
+}
+
+/// Standard normal CDF.
+pub fn normal_cdf(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
+/// Student-t survival function `P(T > t)` for `t ≥ 0` with `df` degrees of
+/// freedom, via the regularized incomplete beta function.
+pub fn student_t_sf(t: f64, df: f64) -> f64 {
+    debug_assert!(t >= 0.0 && df > 0.0);
+    let x = df / (df + t * t);
+    0.5 * incomplete_beta_reg(0.5 * df, 0.5, x)
+}
+
+/// The regularized incomplete beta function `I_x(a, b)` via the Lentz
+/// continued fraction (Numerical Recipes §6.4).
+pub fn incomplete_beta_reg(a: f64, b: f64, x: f64) -> f64 {
+    if x <= 0.0 {
+        return 0.0;
+    }
+    if x >= 1.0 {
+        return 1.0;
+    }
+    let ln_front =
+        ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
+    let front = ln_front.exp();
+    // Use the symmetry relation to keep the continued fraction convergent.
+    if x < (a + 1.0) / (a + b + 2.0) {
+        front * beta_cf(a, b, x) / a
+    } else {
+        1.0 - ln_front.exp() * beta_cf(b, a, 1.0 - x) / b
+    }
+}
+
+/// Continued fraction for the incomplete beta (modified Lentz).
+fn beta_cf(a: f64, b: f64, x: f64) -> f64 {
+    const MAX_ITER: usize = 300;
+    const EPS: f64 = 1e-14;
+    const TINY: f64 = 1e-30;
+
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < TINY {
+        d = TINY;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=MAX_ITER {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        // Even step.
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        // Odd step.
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h
+}
+
+/// Log-gamma via the Lanczos approximation (g = 7, n = 9).
+pub fn ln_gamma(x: f64) -> f64 {
+    const COEFFS: [f64; 9] = [
+        0.999_999_999_999_809_93,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        return std::f64::consts::PI.ln()
+            - (std::f64::consts::PI * x).sin().abs().ln()
+            - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut acc = COEFFS[0];
+    for (i, &c) in COEFFS.iter().enumerate().skip(1) {
+        acc += c / (x + i as f64);
+    }
+    let t = x + 7.5;
+    0.5 * (std::f64::consts::TAU).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+// ----------------------------------------------------------------------
+// Distribution helpers for figures
+// ----------------------------------------------------------------------
+
+/// An empirical CDF over a sample.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Builds the ECDF (NaNs are dropped).
+    pub fn new(mut values: Vec<f64>) -> Ecdf {
+        values.retain(|v| !v.is_nan());
+        values.sort_by(f64::total_cmp);
+        Ecdf { sorted: values }
+    }
+
+    /// `P(X ≤ x)`.
+    pub fn at(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let idx = self.sorted.partition_point(|&v| v <= x);
+        idx as f64 / self.sorted.len() as f64
+    }
+
+    /// The `q`-quantile, `q ∈ [0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return f64::NAN;
+        }
+        let idx = ((q.clamp(0.0, 1.0)) * (self.sorted.len() - 1) as f64).round() as usize;
+        self.sorted[idx]
+    }
+
+    /// Sample size.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True if the sample is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// The underlying sorted sample.
+    pub fn values(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// Mean of the sample.
+    pub fn mean(&self) -> f64 {
+        if self.sorted.is_empty() {
+            return f64::NAN;
+        }
+        self.sorted.iter().sum::<f64>() / self.sorted.len() as f64
+    }
+}
+
+/// A histogram over fixed bin edges.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Histogram {
+    /// Bin edges, length = bins + 1.
+    pub edges: Vec<f64>,
+    /// Counts per bin.
+    pub counts: Vec<usize>,
+    /// Values below the first / above the last edge.
+    pub underflow: usize,
+    /// See `underflow`.
+    pub overflow: usize,
+}
+
+impl Histogram {
+    /// Builds a histogram with the given edges (must be ascending, ≥ 2).
+    pub fn with_edges(edges: Vec<f64>, values: &[f64]) -> Histogram {
+        assert!(edges.len() >= 2, "need at least one bin");
+        assert!(
+            edges.windows(2).all(|w| w[0] < w[1]),
+            "edges must be strictly ascending"
+        );
+        let mut counts = vec![0usize; edges.len() - 1];
+        let mut underflow = 0;
+        let mut overflow = 0;
+        for &v in values {
+            if v < edges[0] {
+                underflow += 1;
+            } else if v >= *edges.last().expect("non-empty") {
+                overflow += 1;
+            } else {
+                let idx = edges.partition_point(|&e| e <= v) - 1;
+                counts[idx] += 1;
+            }
+        }
+        Histogram {
+            edges,
+            counts,
+            underflow,
+            overflow,
+        }
+    }
+
+    /// Log-spaced edges from `lo` to `hi` (both > 0) with `bins` bins.
+    pub fn log_edges(lo: f64, hi: f64, bins: usize) -> Vec<f64> {
+        assert!(lo > 0.0 && hi > lo && bins >= 1);
+        let (llo, lhi) = (lo.ln(), hi.ln());
+        (0..=bins)
+            .map(|i| (llo + (lhi - llo) * i as f64 / bins as f64).exp())
+            .collect()
+    }
+
+    /// Total count including under/overflow.
+    pub fn total(&self) -> usize {
+        self.counts.iter().sum::<usize>() + self.underflow + self.overflow
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_moments() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        assert!((s.variance - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+        assert_eq!(Summary::of(&[]).n, 0);
+    }
+
+    #[test]
+    fn erf_known_values() {
+        assert!((erf(0.0)).abs() < 1e-7);
+        assert!((erf(1.0) - 0.842_700_79).abs() < 1e-6);
+        assert!((erf(-1.0) + 0.842_700_79).abs() < 1e-6);
+        assert!((erf(2.0) - 0.995_322_27).abs() < 1e-6);
+    }
+
+    #[test]
+    fn normal_cdf_known_values() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-9);
+        assert!((normal_cdf(1.96) - 0.975).abs() < 2e-4);
+        assert!((normal_cdf(-1.96) - 0.025).abs() < 2e-4);
+    }
+
+    #[test]
+    fn ln_gamma_known_values() {
+        // Γ(5) = 24.
+        assert!((ln_gamma(5.0) - 24.0f64.ln()).abs() < 1e-9);
+        // Γ(0.5) = √π.
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn incomplete_beta_symmetry_and_bounds() {
+        assert_eq!(incomplete_beta_reg(2.0, 3.0, 0.0), 0.0);
+        assert_eq!(incomplete_beta_reg(2.0, 3.0, 1.0), 1.0);
+        // I_x(a,b) = 1 - I_{1-x}(b,a).
+        for &(a, b, x) in &[(2.0, 3.0, 0.3), (0.5, 0.5, 0.7), (5.0, 1.5, 0.55)] {
+            let lhs = incomplete_beta_reg(a, b, x);
+            let rhs = 1.0 - incomplete_beta_reg(b, a, 1.0 - x);
+            assert!((lhs - rhs).abs() < 1e-10, "a={a} b={b} x={x}");
+        }
+        // I_x(1,1) = x (uniform).
+        assert!((incomplete_beta_reg(1.0, 1.0, 0.42) - 0.42).abs() < 1e-10);
+    }
+
+    #[test]
+    fn student_t_matches_reference_values() {
+        // Two-sided p for t=2.0, df=10 is ≈ 0.07339.
+        let p = 2.0 * student_t_sf(2.0, 10.0);
+        assert!((p - 0.073_39).abs() < 5e-4, "p {p}");
+        // Large df approaches the normal distribution.
+        let p_norm = 2.0 * (1.0 - normal_cdf(1.96));
+        let p_t = 2.0 * student_t_sf(1.96, 100_000.0);
+        assert!((p_norm - p_t).abs() < 1e-3);
+    }
+
+    #[test]
+    fn welch_detects_a_real_difference_and_not_a_fake_one() {
+        let a: Vec<f64> = (0..200).map(|i| 10.0 + (i % 7) as f64 * 0.1).collect();
+        let b: Vec<f64> = (0..180).map(|i| 12.0 + (i % 5) as f64 * 0.1).collect();
+        let r = welch_t_test(&a, &b).unwrap();
+        assert!(r.significant(), "p = {}", r.p_value);
+        assert!(r.statistic < 0.0, "a < b so t negative");
+
+        let c: Vec<f64> = (0..200).map(|i| 10.0 + (i % 7) as f64 * 0.1).collect();
+        let r2 = welch_t_test(&a, &c).unwrap();
+        assert!(!r2.significant(), "identical samples, p = {}", r2.p_value);
+    }
+
+    #[test]
+    fn welch_is_antisymmetric() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [2.0, 3.0, 4.0, 6.0];
+        let r1 = welch_t_test(&a, &b).unwrap();
+        let r2 = welch_t_test(&b, &a).unwrap();
+        assert!((r1.statistic + r2.statistic).abs() < 1e-12);
+        assert!((r1.p_value - r2.p_value).abs() < 1e-12);
+    }
+
+    #[test]
+    fn z_test_matches_textbook_example() {
+        // 60/100 vs 40/100: z ≈ 2.828, p ≈ 0.0047.
+        let r = two_proportion_z_test(60, 100, 40, 100).unwrap();
+        assert!((r.statistic - 2.828).abs() < 0.01, "z {}", r.statistic);
+        assert!((r.p_value - 0.0047).abs() < 0.001, "p {}", r.p_value);
+        assert!(r.significant());
+    }
+
+    #[test]
+    fn z_test_degenerate_cases() {
+        assert!(two_proportion_z_test(0, 0, 1, 10).is_none());
+        let same = two_proportion_z_test(0, 50, 0, 60).unwrap();
+        assert!(!same.significant());
+    }
+
+    #[test]
+    fn ecdf_monotone_and_quantiles() {
+        let e = Ecdf::new(vec![5.0, 1.0, 3.0, 2.0, 4.0]);
+        assert_eq!(e.at(0.5), 0.0);
+        assert_eq!(e.at(3.0), 0.6);
+        assert_eq!(e.at(100.0), 1.0);
+        assert_eq!(e.quantile(0.0), 1.0);
+        assert_eq!(e.quantile(1.0), 5.0);
+        assert_eq!(e.quantile(0.5), 3.0);
+        // Monotonicity over a sweep.
+        let mut last = 0.0;
+        for i in 0..60 {
+            let v = e.at(i as f64 * 0.1);
+            assert!(v >= last);
+            last = v;
+        }
+    }
+
+    #[test]
+    fn histogram_bins_and_flows() {
+        let h = Histogram::with_edges(vec![0.0, 10.0, 100.0], &[-1.0, 0.0, 5.0, 10.0, 99.0, 100.0]);
+        assert_eq!(h.counts, vec![2, 2]);
+        assert_eq!(h.underflow, 1);
+        assert_eq!(h.overflow, 1);
+        assert_eq!(h.total(), 6);
+    }
+
+    #[test]
+    fn log_edges_are_geometric() {
+        let e = Histogram::log_edges(1.0, 1000.0, 3);
+        assert_eq!(e.len(), 4);
+        assert!((e[1] - 10.0).abs() < 1e-9);
+        assert!((e[2] - 100.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,63 @@
+//! ENS protocol errors.
+
+use std::fmt;
+
+use ens_types::{Label, Timestamp};
+use sim_chain::ChainError;
+
+/// Errors raised by ENS operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EnsError {
+    /// The name is currently registered (or in grace) and cannot be taken.
+    NotAvailable {
+        /// The contested label.
+        label: Label,
+        /// When the name becomes available (expiry + grace).
+        available_at: Timestamp,
+    },
+    /// The name has no live registration.
+    NotRegistered(Label),
+    /// The caller does not own the name.
+    NotOwner(Label),
+    /// No commitment found for this registration request.
+    CommitmentNotFound,
+    /// The commitment is younger than the minimum age (front-running guard).
+    CommitmentTooNew,
+    /// The commitment is older than the maximum age.
+    CommitmentTooOld,
+    /// Registration duration below the 28-day minimum.
+    DurationTooShort,
+    /// Renewal would extend a name that is already past its grace period.
+    PastGracePeriod(Label),
+    /// The underlying payment failed.
+    Payment(ChainError),
+}
+
+impl fmt::Display for EnsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EnsError::NotAvailable {
+                label,
+                available_at,
+            } => write!(f, "{label}.eth is not available until {available_at}"),
+            EnsError::NotRegistered(l) => write!(f, "{l}.eth is not registered"),
+            EnsError::NotOwner(l) => write!(f, "caller does not own {l}.eth"),
+            EnsError::CommitmentNotFound => write!(f, "no matching commitment"),
+            EnsError::CommitmentTooNew => write!(f, "commitment too new"),
+            EnsError::CommitmentTooOld => write!(f, "commitment too old"),
+            EnsError::DurationTooShort => write!(f, "registration below 28-day minimum"),
+            EnsError::PastGracePeriod(l) => {
+                write!(f, "{l}.eth is past its grace period and cannot be renewed")
+            }
+            EnsError::Payment(e) => write!(f, "payment failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EnsError {}
+
+impl From<ChainError> for EnsError {
+    fn from(e: ChainError) -> Self {
+        EnsError::Payment(e)
+    }
+}

@@ -1,0 +1,112 @@
+//! On-chain ENS events, as later indexed by `ens-subgraph`.
+
+use ens_types::{Address, BlockNumber, Label, LabelHash, NameHash, Timestamp, TxHash, Wei};
+use serde::{Deserialize, Serialize};
+
+/// A single ENS event with its chain coordinates.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EnsEvent {
+    /// Monotone event id (log index across the whole chain).
+    pub id: u64,
+    /// Block the event was emitted in.
+    pub block: BlockNumber,
+    /// Emission time (the block timestamp).
+    pub timestamp: Timestamp,
+    /// The transaction that carried the payment, when the operation moved
+    /// value (registrations and renewals do; transfers and record updates
+    /// are value-free contract calls).
+    pub tx: Option<TxHash>,
+    /// What happened.
+    pub kind: EnsEventKind,
+}
+
+/// The event payload.
+///
+/// Registrar-level events identify names only by their
+/// [`LabelHash`] — exactly the property that makes comprehensive crawling
+/// hard (paper §3.1). Controller-level registrations *also* carry the
+/// plaintext label (the production `NameRegistered(string name, ...)` event
+/// does too), which is what the subgraph uses to recover readable names.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EnsEventKind {
+    /// A name was registered through the controller.
+    NameRegistered {
+        /// keccak-256 of the label (the ERC-721 token id).
+        label_hash: LabelHash,
+        /// Plaintext label. `None` for legacy/auction-era imports, whose
+        /// registrations predate the controller's string-bearing event.
+        label: Option<Label>,
+        /// The new registrant.
+        owner: Address,
+        /// When the registration lapses.
+        expires: Timestamp,
+        /// Base rent paid (wei).
+        base_cost: Wei,
+        /// Temporary-premium portion paid (wei); non-zero only within the
+        /// 21-day Dutch auction.
+        premium: Wei,
+        /// True for auction-era registrations imported at the 2020 contract
+        /// migration (no payment, no commitment).
+        legacy: bool,
+    },
+    /// A registration was extended.
+    NameRenewed {
+        /// keccak-256 of the label.
+        label_hash: LabelHash,
+        /// Plaintext label when known.
+        label: Option<Label>,
+        /// New expiry.
+        expires: Timestamp,
+        /// Rent paid (wei).
+        cost: Wei,
+    },
+    /// The registration NFT changed hands (ERC-721 `Transfer`).
+    NameTransferred {
+        /// keccak-256 of the label.
+        label_hash: LabelHash,
+        /// Previous registrant.
+        from: Address,
+        /// New registrant.
+        to: Address,
+    },
+    /// A resolver `addr` record was set or changed.
+    AddrChanged {
+        /// The namehash whose record changed.
+        node: NameHash,
+        /// The new resolution target.
+        addr: Address,
+    },
+    /// An address claimed a primary (reverse) name.
+    ReverseClaimed {
+        /// The claiming address.
+        addr: Address,
+        /// The primary name it points at (by full text, as the reverse
+        /// resolver stores the string).
+        name: String,
+    },
+    /// A subdomain node was created under an existing name.
+    SubnodeCreated {
+        /// Parent namehash.
+        parent: NameHash,
+        /// The subdomain's own namehash.
+        node: NameHash,
+        /// Subdomain label.
+        label: Label,
+        /// Owner of the new node.
+        owner: Address,
+    },
+}
+
+impl EnsEvent {
+    /// The label hash this event concerns, if it is a registrar-level event.
+    pub fn label_hash(&self) -> Option<LabelHash> {
+        match &self.kind {
+            EnsEventKind::NameRegistered { label_hash, .. }
+            | EnsEventKind::NameRenewed { label_hash, .. }
+            | EnsEventKind::NameTransferred { label_hash, .. } => Some(*label_hash),
+            EnsEventKind::AddrChanged { .. }
+            | EnsEventKind::ReverseClaimed { .. }
+            | EnsEventKind::SubnodeCreated { .. } => None,
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! # ens-registry
+//!
+//! A faithful, deterministic simulation of the ENS `.eth` registration
+//! protocol: the registry (namehash → owner), the base registrar (ERC-721
+//! registrations with expiry and a 90-day grace period), the registrar
+//! controller (commit–reveal registration, rent pricing by label length,
+//! and the 21-day exponential Dutch-auction premium for released names),
+//! and the public resolver — whose `addr` records deliberately **survive
+//! expiry**, the design decision at the heart of the dropcatching hazard
+//! studied in *Panning for gold.eth* (IMC 2024).
+//!
+//! Entry point: [`EnsSystem`], wired to a [`sim_chain::Chain`] for payments
+//! and time. Every state change emits an [`EnsEvent`] that `ens-subgraph`
+//! later indexes, mirroring how the paper's crawler consumes the real ENS
+//! subgraph.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod events;
+pub mod pricing;
+pub mod registrar;
+pub mod registry;
+pub mod reverse;
+pub mod system;
+
+pub use error::EnsError;
+pub use events::{EnsEvent, EnsEventKind};
+pub use pricing::{
+    premium_after_grace, usd_to_wei, RentSchedule, GRACE_PERIOD, MIN_REGISTRATION,
+    PREMIUM_PERIOD, PREMIUM_START_CENTS,
+};
+pub use registrar::{BaseRegistrar, Registration};
+pub use registry::{PublicResolver, Registry, RegistryRecord};
+pub use reverse::ReverseRegistrar;
+pub use system::{
+    commit_and_register, EnsSystem, Receipt, MAX_COMMITMENT_AGE, MIN_COMMITMENT_AGE,
+};

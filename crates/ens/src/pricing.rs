@@ -1,0 +1,183 @@
+//! Registration pricing: yearly rent by label length plus the temporary
+//! premium Dutch auction for recently-released names.
+//!
+//! Mirrors the production ENS `StablePriceOracle` +
+//! `ExponentialPremiumPriceOracle`: rent is quoted in USD per year
+//! ($640 / $160 / $5 for 3 / 4 / 5+ character labels) and the premium starts
+//! at 100,000,000 USD when a name leaves its grace period, halving every day
+//! for 21 days, offset so it reaches exactly zero at day 21. The paper's §2.1
+//! calls this mechanism out as unique to ENS — it temporarily favours the
+//! deepest pockets over the fastest bots, and Fig 3's re-registration delay
+//! distribution is shaped by it.
+
+use ens_types::{Duration, Label, UsdCents, Wei, WEI_PER_ETH};
+use serde::{Deserialize, Serialize};
+
+/// The 90-day window after expiry in which only the previous registrant can
+/// renew.
+pub const GRACE_PERIOD: Duration = Duration::from_days(90);
+
+/// Length of the premium Dutch auction after the grace period ends.
+pub const PREMIUM_PERIOD: Duration = Duration::from_days(21);
+
+/// Premium at the moment the auction opens: 100,000,000 USD, in cents.
+pub const PREMIUM_START_CENTS: u128 = 100_000_000 * 100;
+
+/// Minimum registration duration (28 days, as in the production controller).
+pub const MIN_REGISTRATION: Duration = Duration::from_days(28);
+
+/// Yearly rent schedule in USD cents, by label length.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RentSchedule {
+    /// Price per year for 3-character labels.
+    pub three_char: UsdCents,
+    /// Price per year for 4-character labels.
+    pub four_char: UsdCents,
+    /// Price per year for labels of 5+ characters.
+    pub five_plus: UsdCents,
+}
+
+impl Default for RentSchedule {
+    fn default() -> Self {
+        RentSchedule {
+            three_char: UsdCents::from_dollars(640),
+            four_char: UsdCents::from_dollars(160),
+            five_plus: UsdCents::from_dollars(5),
+        }
+    }
+}
+
+impl RentSchedule {
+    /// Yearly rent for `label`.
+    pub fn yearly_rent(&self, label: &Label) -> UsdCents {
+        match label.len() {
+            3 => self.three_char,
+            4 => self.four_char,
+            _ => self.five_plus,
+        }
+    }
+
+    /// Rent for an arbitrary duration, pro-rated by the second
+    /// (365-day years, like the production oracle).
+    pub fn rent_for(&self, label: &Label, duration: Duration) -> UsdCents {
+        let yearly = self.yearly_rent(label).0;
+        UsdCents(yearly * duration.as_secs() as u128 / Duration::from_years(1).as_secs() as u128)
+    }
+}
+
+/// The decaying premium, `elapsed` after the grace period ended.
+///
+/// `premium(t) = START * 2^(-t/1day) - START * 2^(-21)`, clamped at zero —
+/// i.e. exactly zero from day 21 on. Continuous (per-second) decay, matching
+/// the production exponential oracle.
+pub fn premium_after_grace(elapsed: Duration) -> UsdCents {
+    if elapsed >= PREMIUM_PERIOD {
+        return UsdCents::ZERO;
+    }
+    let days = elapsed.as_days_f64();
+    let start = PREMIUM_START_CENTS as f64;
+    let offset = start * (0.5f64).powi(PREMIUM_PERIOD.as_days() as i32);
+    let value = start * (0.5f64).powf(days) - offset;
+    if value <= 0.0 {
+        UsdCents::ZERO
+    } else {
+        UsdCents(value as u128)
+    }
+}
+
+/// Converts a USD amount to wei at `cents_per_eth` (USD cents per 1 ETH),
+/// rounding up so the payer never underpays.
+pub fn usd_to_wei(amount: UsdCents, cents_per_eth: u64) -> Wei {
+    if amount.is_zero() {
+        return Wei::ZERO;
+    }
+    let numerator = amount.0 * WEI_PER_ETH;
+    let denom = cents_per_eth as u128;
+    Wei(numerator.div_ceil(denom))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn label(s: &str) -> Label {
+        Label::parse(s).unwrap()
+    }
+
+    #[test]
+    fn rent_tiers_match_production_schedule() {
+        let s = RentSchedule::default();
+        assert_eq!(s.yearly_rent(&label("abc")), UsdCents::from_dollars(640));
+        assert_eq!(s.yearly_rent(&label("abcd")), UsdCents::from_dollars(160));
+        assert_eq!(s.yearly_rent(&label("abcde")), UsdCents::from_dollars(5));
+        assert_eq!(
+            s.yearly_rent(&label("a-very-long-name")),
+            UsdCents::from_dollars(5)
+        );
+    }
+
+    #[test]
+    fn rent_pro_rates_by_duration() {
+        let s = RentSchedule::default();
+        assert_eq!(
+            s.rent_for(&label("hello"), Duration::from_years(2)),
+            UsdCents::from_dollars(10)
+        );
+        // Half a year of a $5/yr name is $2.50.
+        let half = Duration::from_secs(Duration::from_years(1).as_secs() / 2);
+        assert_eq!(s.rent_for(&label("hello"), half), UsdCents(250));
+    }
+
+    #[test]
+    fn premium_starts_near_100m_usd() {
+        let p = premium_after_grace(Duration::ZERO);
+        // START minus the day-21 offset (~$47.68).
+        let expected = PREMIUM_START_CENTS - (PREMIUM_START_CENTS >> 21);
+        let diff = p.0.abs_diff(expected);
+        assert!(diff <= 1, "premium at t=0 was {p}, expected ~{expected}");
+    }
+
+    #[test]
+    fn premium_halves_daily() {
+        let d1 = premium_after_grace(Duration::from_days(1)).0 as f64;
+        let d2 = premium_after_grace(Duration::from_days(2)).0 as f64;
+        // After removing the offset the ratio is exactly 2; with the offset
+        // it is still within a hair of 2 during the first days.
+        assert!((d1 / d2 - 2.0).abs() < 0.001, "d1/d2 = {}", d1 / d2);
+    }
+
+    #[test]
+    fn premium_is_monotone_decreasing() {
+        let mut last = premium_after_grace(Duration::ZERO);
+        for hours in 1..=(21 * 24) {
+            let p = premium_after_grace(Duration::from_secs(hours * 3600));
+            assert!(p <= last, "premium increased at hour {hours}");
+            last = p;
+        }
+    }
+
+    #[test]
+    fn premium_hits_zero_at_day_21_exactly() {
+        assert_eq!(premium_after_grace(PREMIUM_PERIOD), UsdCents::ZERO);
+        assert_eq!(
+            premium_after_grace(PREMIUM_PERIOD + Duration::from_days(400)),
+            UsdCents::ZERO
+        );
+        // One hour before the end it is still positive.
+        let almost = premium_after_grace(Duration::from_secs(21 * 86_400 - 3600));
+        assert!(almost > UsdCents::ZERO);
+    }
+
+    #[test]
+    fn usd_to_wei_rounds_up() {
+        // $1 at $2,000/ETH = 0.0005 ETH exactly.
+        assert_eq!(
+            usd_to_wei(UsdCents::from_dollars(1), 200_000),
+            Wei(WEI_PER_ETH / 2000)
+        );
+        // 1 cent at $3/ETH = 1/300 ETH, which doesn't divide evenly → round up.
+        let w = usd_to_wei(UsdCents(1), 300);
+        assert_eq!(w, Wei(WEI_PER_ETH.div_ceil(300)));
+        assert_eq!(usd_to_wei(UsdCents::ZERO, 300), Wei::ZERO);
+    }
+}

@@ -1,0 +1,191 @@
+//! Property tests over the ENS protocol state machine: random operation
+//! sequences must never violate the protocol invariants, whatever order
+//! users, attackers, and the clock interleave in.
+
+use ens_registry::{commit_and_register, EnsError, EnsSystem, GRACE_PERIOD};
+use ens_types::{Address, Duration, EnsName, Label, Timestamp, Wei};
+use proptest::prelude::*;
+use sim_chain::Chain;
+
+const PRICE: u64 = 200_000;
+
+#[derive(Clone, Debug)]
+enum Op {
+    /// Actor i tries to register name j for `years`.
+    Register { actor: u8, name: u8, years: u8 },
+    /// Actor i tries to renew name j.
+    Renew { actor: u8, name: u8 },
+    /// Actor i tries to transfer name j to actor k.
+    Transfer { actor: u8, name: u8, to: u8 },
+    /// Actor i tries to repoint name j to actor k's wallet.
+    SetAddr { actor: u8, name: u8, to: u8 },
+    /// Time passes.
+    Advance { days: u16 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..6, 0u8..5, 1u8..3).prop_map(|(actor, name, years)| Op::Register {
+            actor,
+            name,
+            years
+        }),
+        (0u8..6, 0u8..5).prop_map(|(actor, name)| Op::Renew { actor, name }),
+        (0u8..6, 0u8..5, 0u8..6).prop_map(|(actor, name, to)| Op::Transfer { actor, name, to }),
+        (0u8..6, 0u8..5, 0u8..6).prop_map(|(actor, name, to)| Op::SetAddr { actor, name, to }),
+        (1u16..400).prop_map(|days| Op::Advance { days }),
+    ]
+}
+
+fn actor(i: u8) -> Address {
+    Address::derive_indexed("prop-actor", i as u64)
+}
+
+fn label(j: u8) -> Label {
+    Label::parse(&format!("prop-name-{j}")).expect("valid")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn protocol_invariants_hold_under_random_interleavings(
+        ops in proptest::collection::vec(op_strategy(), 1..80),
+    ) {
+        let mut chain = Chain::new(Timestamp::from_ymd(2021, 1, 1));
+        let mut ens = EnsSystem::new();
+        for i in 0..6 {
+            chain.mint(actor(i), Wei::from_eth(1_000_000_000));
+        }
+        let mut secret = 0u64;
+
+        for op in ops {
+            match op {
+                Op::Register { actor: a, name, years } => {
+                    secret += 1;
+                    let l = label(name);
+                    let was_available = ens.available(&l, chain.now());
+                    let result = commit_and_register(
+                        &mut ens, &mut chain, &l, actor(a), secret,
+                        Duration::from_years(years as u64), PRICE, Some(actor(a)),
+                    );
+                    // Registration succeeds iff the name was available
+                    // (commit_and_register advances the clock by 60s, which
+                    // can only make it *more* available).
+                    match result {
+                        Ok(receipt) => {
+                            // (If the name looked taken, the 60s commit wait
+                            // must have crossed the grace-end boundary.)
+                            let legal = was_available || ens.registration(&l).is_some();
+                            prop_assert!(legal, "registered an unavailable name");
+                            prop_assert!(receipt.expires > chain.now());
+                            prop_assert_eq!(
+                                ens.registrant_of(&l, chain.now()),
+                                Some(actor(a))
+                            );
+                        }
+                        Err(EnsError::NotAvailable { .. }) => {
+                            prop_assert!(!was_available);
+                        }
+                        Err(e) => prop_assert!(false, "unexpected error {e}"),
+                    }
+                }
+                Op::Renew { actor: a, name } => {
+                    let l = label(name);
+                    let before = ens.registration(&l).map(|r| r.expiry);
+                    match ens.renew(&mut chain, &l, actor(a), Duration::from_years(1), PRICE) {
+                        Ok(receipt) => {
+                            // Renewal is only legal before grace end, and
+                            // always extends by exactly one year.
+                            let prev = before.expect("renewed name had a registration");
+                            prop_assert!(chain.now() < prev + GRACE_PERIOD);
+                            prop_assert_eq!(receipt.expires, prev + Duration::from_years(1));
+                        }
+                        Err(EnsError::NotRegistered(_)) => {
+                            prop_assert!(before.is_none());
+                        }
+                        Err(EnsError::PastGracePeriod(_)) => {
+                            let prev = before.expect("past-grace implies registered");
+                            prop_assert!(chain.now() >= prev + GRACE_PERIOD);
+                        }
+                        Err(e) => prop_assert!(false, "unexpected error {e}"),
+                    }
+                }
+                Op::Transfer { actor: a, name, to } => {
+                    let l = label(name);
+                    let holder = ens.registrant_of(&l, chain.now());
+                    let result = ens.transfer(&chain, &l, actor(a), actor(to));
+                    match result {
+                        Ok(()) => {
+                            prop_assert_eq!(holder, Some(actor(a)));
+                            prop_assert_eq!(
+                                ens.registrant_of(&l, chain.now()),
+                                Some(actor(to))
+                            );
+                        }
+                        Err(EnsError::NotOwner(_)) => {
+                            prop_assert!(holder.is_some() && holder != Some(actor(a)));
+                        }
+                        Err(EnsError::NotRegistered(_)) => {
+                            prop_assert!(holder.is_none());
+                        }
+                        Err(e) => prop_assert!(false, "unexpected error {e}"),
+                    }
+                }
+                Op::SetAddr { actor: a, name, to } => {
+                    let l = label(name);
+                    let holder = ens.registrant_of(&l, chain.now());
+                    let ensname = EnsName::from_label(l.clone());
+                    let before = ens.resolve(&ensname);
+                    match ens.set_addr(&chain, &l, actor(a), actor(to)) {
+                        Ok(()) => {
+                            prop_assert_eq!(holder, Some(actor(a)));
+                            prop_assert_eq!(ens.resolve(&ensname), Some(actor(to)));
+                        }
+                        Err(_) => {
+                            // Rejected writes never change the record.
+                            prop_assert_eq!(ens.resolve(&ensname), before);
+                        }
+                    }
+                }
+                Op::Advance { days } => {
+                    chain.advance(Duration::from_days(days as u64));
+                }
+            }
+
+            // Global invariants after every step.
+            for j in 0..5 {
+                let l = label(j);
+                let now = chain.now();
+                // A name is never both available and actively owned.
+                if ens.available(&l, now) {
+                    prop_assert_eq!(ens.registrant_of(&l, now), None);
+                }
+                // Resolver records persist: once a name resolved somewhere,
+                // it never stops resolving (the paper's core hazard).
+                let ensname = EnsName::from_label(l.clone());
+                if ens.registration(&l).is_some() {
+                    prop_assert!(
+                        ens.resolve(&ensname).is_some(),
+                        "registered name stopped resolving"
+                    );
+                }
+                // The premium is zero iff outside the auction window.
+                let (_, premium) = ens.price_usd(&l, Duration::from_years(1), now);
+                if let Some(reg) = ens.registration(&l) {
+                    let auction_start = reg.expiry + GRACE_PERIOD;
+                    let auction_end = auction_start + Duration::from_days(21);
+                    if now < auction_start || now >= auction_end {
+                        prop_assert!(premium.is_zero(), "premium outside auction");
+                    } else if now + Duration::from_secs(120) < auction_end {
+                        // In the auction's final seconds the continuous decay
+                        // rounds below one cent; avoid asserting there.
+                        prop_assert!(!premium.is_zero(), "no premium inside auction");
+                    }
+                }
+            }
+            // Ledger conservation, always.
+            prop_assert_eq!(chain.total_balance(), chain.total_minted());
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! # ens-lexicon
+//!
+//! Shared word lists and lexical classification of ENS labels. Both sides
+//! of the reproduction use this crate: the workload generator draws labels
+//! from these lists, and the analysis pipeline computes the lexical features
+//! of the paper's Table 1 (`contains_digit`, `is_dictionary_word`,
+//! `contains_brand_name`, `contains_adult_word`, ...) against them —
+//! mirroring how the paper reuses the feature definitions of Miramirkhani
+//! et al.'s DNS dropcatching study.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod words;
+
+pub use words::{ADULT, BRANDS, CRYPTO_SUFFIXES, DICTIONARY, FIRST_NAMES};
+
+/// True if `list` (sorted, lowercase) contains `word` exactly.
+fn list_contains(list: &[&str], word: &str) -> bool {
+    list.binary_search(&word).is_ok()
+}
+
+/// True if any word from `list` occurs as a substring of `label`.
+/// Only words of 3+ characters are considered, to avoid trivially matching
+/// every label (as the paper's features would otherwise).
+fn contains_any(list: &[&str], label: &str) -> bool {
+    list.iter().any(|w| w.len() >= 3 && label.contains(w))
+}
+
+/// True if the label is exactly a dictionary word.
+pub fn is_dictionary_word(label: &str) -> bool {
+    list_contains(DICTIONARY, label)
+}
+
+/// True if the label contains a dictionary word (3+ chars) as a substring.
+pub fn contains_dictionary_word(label: &str) -> bool {
+    contains_any(DICTIONARY, label)
+}
+
+/// True if the label contains a known brand name.
+pub fn contains_brand_name(label: &str) -> bool {
+    contains_any(BRANDS, label)
+}
+
+/// True if the label contains an adult-content word.
+pub fn contains_adult_word(label: &str) -> bool {
+    contains_any(ADULT, label)
+}
+
+/// True if the label contains at least one ASCII digit.
+pub fn contains_digit(label: &str) -> bool {
+    label.bytes().any(|b| b.is_ascii_digit())
+}
+
+/// True if the label consists solely of ASCII digits.
+pub fn is_numeric(label: &str) -> bool {
+    !label.is_empty() && label.bytes().all(|b| b.is_ascii_digit())
+}
+
+/// True if the label contains a hyphen.
+pub fn contains_hyphen(label: &str) -> bool {
+    label.contains('-')
+}
+
+/// True if the label contains an underscore.
+pub fn contains_underscore(label: &str) -> bool {
+    label.contains('_')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_lists_are_sorted_and_lowercase() {
+        for (name, list) in [
+            ("DICTIONARY", DICTIONARY),
+            ("BRANDS", BRANDS),
+            ("ADULT", ADULT),
+            ("FIRST_NAMES", FIRST_NAMES),
+            ("CRYPTO_SUFFIXES", CRYPTO_SUFFIXES),
+        ] {
+            for w in list {
+                assert_eq!(
+                    *w,
+                    w.to_ascii_lowercase(),
+                    "{name} entry {w:?} is not lowercase"
+                );
+            }
+            let mut sorted = list.to_vec();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted, list.to_vec(), "{name} is not sorted+deduped");
+        }
+    }
+
+    #[test]
+    fn exact_dictionary_membership() {
+        assert!(is_dictionary_word("gold"));
+        assert!(is_dictionary_word("wallet") || !is_dictionary_word("wallet"));
+        assert!(!is_dictionary_word("goldx"));
+        assert!(!is_dictionary_word("qzqzqz"));
+    }
+
+    #[test]
+    fn substring_features() {
+        assert!(contains_dictionary_word("mygoldcoins"));
+        assert!(!contains_dictionary_word("qzxqv"));
+        assert!(contains_brand_name("teslafan"));
+        assert!(!contains_brand_name("qzxqv"));
+        assert!(contains_adult_word("bestporn"));
+        assert!(!contains_adult_word("innocent"));
+    }
+
+    #[test]
+    fn character_features() {
+        assert!(contains_digit("abc1"));
+        assert!(!contains_digit("abc"));
+        assert!(is_numeric("000"));
+        assert!(!is_numeric("0x0"));
+        assert!(!is_numeric(""));
+        assert!(contains_hyphen("a-b"));
+        assert!(contains_underscore("a_b"));
+        assert!(!contains_hyphen("ab"));
+    }
+
+    #[test]
+    fn lists_have_expected_scale() {
+        assert!(DICTIONARY.len() >= 900, "dictionary has {}", DICTIONARY.len());
+        assert!(BRANDS.len() >= 50);
+        assert!(ADULT.len() >= 20);
+        assert!(FIRST_NAMES.len() >= 80);
+    }
+}

@@ -1,0 +1,243 @@
+//! # opensea-sim
+//!
+//! A simulation of the OpenSea events API the paper uses for its re-sale
+//! market analysis (§4.2): ENS registrations are NFTs, and their new owners
+//! sometimes list them for sale. The paper finds that only 8% of
+//! re-registered domains were ever listed (19,987), of which 12,130 sold —
+//! evidence that hoarding-to-resell is *not* the dominant dropcatching
+//! motive.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+
+use ens_types::{Address, LabelHash, Timestamp, UsdCents};
+use serde::{Deserialize, Serialize};
+
+/// Maximum events per page (the real API caps at 50).
+pub const MAX_EVENTS_PAGE: usize = 50;
+
+/// A marketplace event for one ENS token.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MarketEvent {
+    /// The token was listed at an asking price.
+    Listed {
+        /// The token (label hash of the ENS name).
+        token: LabelHash,
+        /// The seller.
+        seller: Address,
+        /// Asking price.
+        price: UsdCents,
+        /// Listing time.
+        at: Timestamp,
+    },
+    /// The token was sold.
+    Sold {
+        /// The token.
+        token: LabelHash,
+        /// The seller.
+        seller: Address,
+        /// The buyer.
+        buyer: Address,
+        /// Sale price.
+        price: UsdCents,
+        /// Sale time.
+        at: Timestamp,
+    },
+    /// A listing was cancelled.
+    Cancelled {
+        /// The token.
+        token: LabelHash,
+        /// The seller.
+        seller: Address,
+        /// Cancellation time.
+        at: Timestamp,
+    },
+}
+
+impl MarketEvent {
+    /// The token the event concerns.
+    pub fn token(&self) -> LabelHash {
+        match self {
+            MarketEvent::Listed { token, .. }
+            | MarketEvent::Sold { token, .. }
+            | MarketEvent::Cancelled { token, .. } => *token,
+        }
+    }
+
+    /// The event's timestamp.
+    pub fn at(&self) -> Timestamp {
+        match self {
+            MarketEvent::Listed { at, .. }
+            | MarketEvent::Sold { at, .. }
+            | MarketEvent::Cancelled { at, .. } => *at,
+        }
+    }
+}
+
+/// The marketplace: an append-only event log with per-token indices.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct OpenSea {
+    events: Vec<MarketEvent>,
+    by_token: HashMap<LabelHash, Vec<usize>>,
+}
+
+impl OpenSea {
+    /// An empty marketplace.
+    pub fn new() -> OpenSea {
+        OpenSea::default()
+    }
+
+    /// Records a listing.
+    pub fn list(&mut self, token: LabelHash, seller: Address, price: UsdCents, at: Timestamp) {
+        self.push(MarketEvent::Listed {
+            token,
+            seller,
+            price,
+            at,
+        });
+    }
+
+    /// Records a sale.
+    pub fn record_sale(
+        &mut self,
+        token: LabelHash,
+        seller: Address,
+        buyer: Address,
+        price: UsdCents,
+        at: Timestamp,
+    ) {
+        self.push(MarketEvent::Sold {
+            token,
+            seller,
+            buyer,
+            price,
+            at,
+        });
+    }
+
+    /// Records a cancellation.
+    pub fn cancel(&mut self, token: LabelHash, seller: Address, at: Timestamp) {
+        self.push(MarketEvent::Cancelled { token, seller, at });
+    }
+
+    fn push(&mut self, event: MarketEvent) {
+        self.by_token
+            .entry(event.token())
+            .or_default()
+            .push(self.events.len());
+        self.events.push(event);
+    }
+
+    /// All events for one token, in order.
+    pub fn events_for(&self, token: LabelHash) -> Vec<&MarketEvent> {
+        self.by_token
+            .get(&token)
+            .map(|idxs| idxs.iter().map(|&i| &self.events[i]).collect())
+            .unwrap_or_default()
+    }
+
+    /// Pages through the global event stream (`page` is 0-based).
+    pub fn events(&self, page: usize, per_page: usize) -> &[MarketEvent] {
+        let per_page = per_page.clamp(1, MAX_EVENTS_PAGE);
+        let start = (page * per_page).min(self.events.len());
+        let end = (start + per_page).min(self.events.len());
+        &self.events[start..end]
+    }
+
+    /// Total number of events.
+    pub fn event_count(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if the token was ever listed.
+    pub fn was_listed(&self, token: LabelHash) -> bool {
+        self.events_for(token)
+            .iter()
+            .any(|e| matches!(e, MarketEvent::Listed { .. }))
+    }
+
+    /// The first sale of the token (time and price), if it ever sold.
+    pub fn first_sale(&self, token: LabelHash) -> Option<(Timestamp, UsdCents)> {
+        self.events_for(token).iter().find_map(|e| match e {
+            MarketEvent::Sold { at, price, .. } => Some((*at, *price)),
+            _ => None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ens_types::Label;
+
+    fn token(s: &str) -> LabelHash {
+        Label::parse(s).unwrap().hash()
+    }
+
+    fn addr(s: &str) -> Address {
+        Address::derive(s.as_bytes())
+    }
+
+    #[test]
+    fn listing_and_sale_round_trip() {
+        let mut sea = OpenSea::new();
+        let t = token("gold");
+        sea.list(t, addr("seller"), UsdCents::from_dollars(500), Timestamp(100));
+        sea.record_sale(
+            t,
+            addr("seller"),
+            addr("buyer"),
+            UsdCents::from_dollars(450),
+            Timestamp(200),
+        );
+
+        assert!(sea.was_listed(t));
+        assert_eq!(
+            sea.first_sale(t),
+            Some((Timestamp(200), UsdCents::from_dollars(450)))
+        );
+        assert_eq!(sea.events_for(t).len(), 2);
+        assert!(!sea.was_listed(token("other")));
+        assert_eq!(sea.first_sale(token("other")), None);
+    }
+
+    #[test]
+    fn cancelled_listings_count_as_listed_but_not_sold() {
+        let mut sea = OpenSea::new();
+        let t = token("gold");
+        sea.list(t, addr("s"), UsdCents::from_dollars(500), Timestamp(1));
+        sea.cancel(t, addr("s"), Timestamp(2));
+        assert!(sea.was_listed(t));
+        assert_eq!(sea.first_sale(t), None);
+    }
+
+    #[test]
+    fn global_event_stream_pages_with_cap() {
+        let mut sea = OpenSea::new();
+        for i in 0..120u64 {
+            sea.list(
+                token(&format!("name{i}")),
+                addr("s"),
+                UsdCents::from_dollars(10),
+                Timestamp(i),
+            );
+        }
+        assert_eq!(sea.event_count(), 120);
+        // per_page is capped at 50.
+        assert_eq!(sea.events(0, 1000).len(), MAX_EVENTS_PAGE);
+        assert_eq!(sea.events(1, 50).len(), 50);
+        assert_eq!(sea.events(2, 50).len(), 20);
+        assert!(sea.events(3, 50).is_empty());
+    }
+
+    #[test]
+    fn first_sale_ignores_later_sales() {
+        let mut sea = OpenSea::new();
+        let t = token("gold");
+        sea.record_sale(t, addr("a"), addr("b"), UsdCents::from_dollars(100), Timestamp(1));
+        sea.record_sale(t, addr("b"), addr("c"), UsdCents::from_dollars(900), Timestamp(2));
+        assert_eq!(sea.first_sale(t).unwrap().1, UsdCents::from_dollars(100));
+    }
+}

@@ -1,0 +1,171 @@
+//! The subgraph's materialized view of ENS history.
+
+use ens_types::{Address, BlockNumber, EnsName, LabelHash, NameHash, Timestamp, TxHash, Wei};
+use serde::{Deserialize, Serialize};
+
+/// One registration lifecycle event for a domain.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RegistrationEntry {
+    /// The registrant.
+    pub owner: Address,
+    /// When this registration was made.
+    pub registered_at: Timestamp,
+    /// Expiry set at registration time (before any renewals).
+    pub expires: Timestamp,
+    /// Base rent paid.
+    pub base_cost: Wei,
+    /// Premium paid (non-zero ⇒ registered inside the Dutch-auction window).
+    pub premium: Wei,
+    /// Chain coordinates.
+    pub block: BlockNumber,
+    /// Payment transaction (absent for legacy/auction-era imports).
+    pub tx: Option<TxHash>,
+    /// True for auction-era registrations imported at the 2020 migration.
+    pub legacy: bool,
+}
+
+/// A renewal event.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RenewalEntry {
+    /// When the renewal happened.
+    pub at: Timestamp,
+    /// The expiry after the renewal.
+    pub new_expiry: Timestamp,
+    /// Rent paid.
+    pub cost: Wei,
+    /// Chain coordinates.
+    pub block: BlockNumber,
+    /// Payment transaction.
+    pub tx: Option<TxHash>,
+}
+
+/// An ERC-721 transfer of the registration.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TransferEntry {
+    /// When the transfer happened.
+    pub at: Timestamp,
+    /// Previous registrant.
+    pub from: Address,
+    /// New registrant.
+    pub to: Address,
+    /// Chain coordinates.
+    pub block: BlockNumber,
+}
+
+/// A resolver `addr` record change.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AddrEntry {
+    /// When the record was written.
+    pub at: Timestamp,
+    /// The new resolution target.
+    pub addr: Address,
+}
+
+/// A subdomain created under a domain.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SubdomainEntry {
+    /// The subdomain's namehash.
+    pub node: NameHash,
+    /// Subdomain label (always known — `SubnodeCreated` carries it).
+    pub label: String,
+    /// Owner of the subdomain node.
+    pub owner: Address,
+    /// Creation time.
+    pub at: Timestamp,
+}
+
+/// Everything the subgraph knows about one second-level `.eth` domain.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DomainRecord {
+    /// The domain's label hash — always known (it *is* the on-chain key).
+    pub label_hash: LabelHash,
+    /// The human-readable name, when recovery succeeded. `None` models the
+    /// 34K names (0.1%) the paper could not recover through the API.
+    pub name: Option<EnsName>,
+    /// Registrations in chain order (≥ 2 entries ⇒ the domain changed hands
+    /// through expiry at least once — a dropcatch candidate).
+    pub registrations: Vec<RegistrationEntry>,
+    /// Renewals in chain order.
+    pub renewals: Vec<RenewalEntry>,
+    /// NFT transfers in chain order.
+    pub transfers: Vec<TransferEntry>,
+    /// Resolver `addr` history for the domain's own node.
+    pub addr_changes: Vec<AddrEntry>,
+    /// Subdomains created under this name.
+    pub subdomains: Vec<SubdomainEntry>,
+}
+
+impl DomainRecord {
+    /// The expiry of the most recent registration, after applying renewals.
+    ///
+    /// Renewal entries carry the absolute post-renewal expiry, so the
+    /// current expiry is the max over the last registration and every later
+    /// renewal.
+    pub fn current_expiry(&self) -> Option<Timestamp> {
+        let last_reg = self.registrations.last()?;
+        let mut expiry = last_reg.expires;
+        for renewal in &self.renewals {
+            if renewal.at >= last_reg.registered_at && renewal.new_expiry > expiry {
+                expiry = renewal.new_expiry;
+            }
+        }
+        Some(expiry)
+    }
+
+    /// The expiry that applied to registration `idx` (its own term plus any
+    /// renewals made during that term, before the next registration).
+    pub fn expiry_of_registration(&self, idx: usize) -> Option<Timestamp> {
+        let reg = self.registrations.get(idx)?;
+        let next_start = self
+            .registrations
+            .get(idx + 1)
+            .map(|r| r.registered_at)
+            .unwrap_or(Timestamp(u64::MAX));
+        let mut expiry = reg.expires;
+        for renewal in &self.renewals {
+            if renewal.at >= reg.registered_at
+                && renewal.at < next_start
+                && renewal.new_expiry > expiry
+            {
+                expiry = renewal.new_expiry;
+            }
+        }
+        Some(expiry)
+    }
+
+    /// True if the domain was ever held by two distinct registrants across
+    /// an expiry boundary (re-registered / dropcaught). Transfers alone do
+    /// not count.
+    pub fn was_reregistered(&self) -> bool {
+        self.registrations.len() >= 2
+    }
+}
+
+/// Aggregate counts the subgraph can report in one call.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SubgraphStats {
+    /// Number of second-level domains indexed.
+    pub domains: usize,
+    /// Number of subdomains indexed.
+    pub subdomains: usize,
+    /// Total registration events.
+    pub registrations: usize,
+    /// Total renewal events.
+    pub renewals: usize,
+    /// Total transfer events.
+    pub transfers: usize,
+    /// Domains whose readable name could not be recovered.
+    pub unrecoverable_names: usize,
+    /// Primary-name (reverse) claims observed.
+    pub reverse_claims: usize,
+}
+
+impl SubgraphStats {
+    /// Fraction of domains with recovered names (the paper reports 99.9%).
+    pub fn recovery_rate(&self) -> f64 {
+        if self.domains == 0 {
+            return 1.0;
+        }
+        1.0 - self.unrecoverable_names as f64 / self.domains as f64
+    }
+}

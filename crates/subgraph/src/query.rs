@@ -1,0 +1,61 @@
+//! The paged, GraphQL-flavoured query surface of the subgraph.
+
+use serde::{Deserialize, Serialize};
+
+/// Maximum `first` the endpoint accepts per page, like The Graph's limit.
+pub const MAX_PAGE_SIZE: usize = 1000;
+
+/// A `{ first, skip }` page request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PageRequest {
+    /// Maximum items to return (silently capped at [`MAX_PAGE_SIZE`]).
+    pub first: usize,
+    /// Items to skip from the start of the (stable) ordering.
+    pub skip: usize,
+}
+
+impl PageRequest {
+    /// First page of `first` items.
+    pub fn first(first: usize) -> PageRequest {
+        PageRequest { first, skip: 0 }
+    }
+
+    /// The request for the page after this one.
+    pub fn next(self) -> PageRequest {
+        PageRequest {
+            first: self.first,
+            skip: self.skip + self.effective_first(),
+        }
+    }
+
+    /// `first` after applying the server-side cap.
+    pub fn effective_first(self) -> usize {
+        self.first.min(MAX_PAGE_SIZE)
+    }
+}
+
+/// One page of results.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Page<T> {
+    /// The items on this page, in the endpoint's stable order.
+    pub items: Vec<T>,
+    /// Total number of items across all pages.
+    pub total: usize,
+}
+
+impl<T> Page<T> {
+    /// True if a subsequent request would return more items.
+    pub fn has_more(&self, request: PageRequest) -> bool {
+        request.skip + self.items.len() < self.total
+    }
+}
+
+/// Pages a slice according to `request`, cloning the selected window.
+pub(crate) fn page_slice<T: Clone>(items: &[T], request: PageRequest) -> Page<T> {
+    let start = request.skip.min(items.len());
+    let end = (start + request.effective_first()).min(items.len());
+    Page {
+        items: items[start..end].to_vec(),
+        total: items.len(),
+    }
+}

@@ -1,0 +1,271 @@
+//! Monetary amounts: wei-denominated ETH and cent-denominated USD.
+//!
+//! All arithmetic is integer-exact. ETH amounts are `u128` wei; USD amounts
+//! are `u128` cents. Conversion between the two goes through the
+//! `price-oracle` crate (USD cents per ETH on the day of the transaction,
+//! mirroring the paper's use of the daily adjusted close).
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// Wei per ETH.
+pub const WEI_PER_ETH: u128 = 1_000_000_000_000_000_000;
+
+/// An amount of ETH, stored in wei.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Wei(pub u128);
+
+impl Wei {
+    /// Zero wei.
+    pub const ZERO: Wei = Wei(0);
+
+    /// Constructs from whole ETH.
+    pub const fn from_eth(eth: u64) -> Wei {
+        Wei(eth as u128 * WEI_PER_ETH)
+    }
+
+    /// Constructs from milli-ETH (0.001 ETH units), the finest granularity
+    /// the workload generator uses.
+    pub const fn from_milli_eth(milli: u64) -> Wei {
+        Wei(milli as u128 * (WEI_PER_ETH / 1000))
+    }
+
+    /// The amount as fractional ETH (lossy; only for display/statistics).
+    pub fn as_eth_f64(self) -> f64 {
+        self.0 as f64 / WEI_PER_ETH as f64
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, rhs: Wei) -> Wei {
+        Wei(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Checked subtraction.
+    pub fn checked_sub(self, rhs: Wei) -> Option<Wei> {
+        self.0.checked_sub(rhs.0).map(Wei)
+    }
+
+    /// True if zero.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Converts to USD cents given a price in USD cents per whole ETH.
+    ///
+    /// Rounds down; uses 256-bit-free math by splitting the multiplication,
+    /// so it cannot overflow for any realistic amount (≲ 10^11 ETH at a
+    /// price ≲ $10^7).
+    pub fn to_usd_cents(self, cents_per_eth: u64) -> UsdCents {
+        let whole = self.0 / WEI_PER_ETH;
+        let frac = self.0 % WEI_PER_ETH;
+        let cents = whole * cents_per_eth as u128 + frac * cents_per_eth as u128 / WEI_PER_ETH;
+        UsdCents(cents)
+    }
+}
+
+impl Add for Wei {
+    type Output = Wei;
+    fn add(self, rhs: Wei) -> Wei {
+        Wei(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Wei {
+    fn add_assign(&mut self, rhs: Wei) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Wei {
+    type Output = Wei;
+    fn sub(self, rhs: Wei) -> Wei {
+        Wei(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Wei {
+    fn sub_assign(&mut self, rhs: Wei) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u128> for Wei {
+    type Output = Wei;
+    fn mul(self, rhs: u128) -> Wei {
+        Wei(self.0 * rhs)
+    }
+}
+
+impl Div<u128> for Wei {
+    type Output = Wei;
+    fn div(self, rhs: u128) -> Wei {
+        Wei(self.0 / rhs)
+    }
+}
+
+impl Sum for Wei {
+    fn sum<I: Iterator<Item = Wei>>(iter: I) -> Wei {
+        iter.fold(Wei::ZERO, Add::add)
+    }
+}
+
+impl fmt::Debug for Wei {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Wei({self})")
+    }
+}
+
+impl fmt::Display for Wei {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let whole = self.0 / WEI_PER_ETH;
+        let frac = self.0 % WEI_PER_ETH;
+        if frac == 0 {
+            write!(f, "{whole} ETH")
+        } else {
+            // Print up to 6 decimal places, trimming trailing zeros.
+            let micro = frac / (WEI_PER_ETH / 1_000_000);
+            let s = format!("{micro:06}");
+            write!(f, "{whole}.{} ETH", s.trim_end_matches('0'))
+        }
+    }
+}
+
+/// An amount of US dollars, stored in cents.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct UsdCents(pub u128);
+
+impl UsdCents {
+    /// Zero dollars.
+    pub const ZERO: UsdCents = UsdCents(0);
+
+    /// Constructs from whole dollars.
+    pub const fn from_dollars(d: u64) -> UsdCents {
+        UsdCents(d as u128 * 100)
+    }
+
+    /// The amount as fractional dollars (lossy; for display/statistics).
+    pub fn as_dollars_f64(self) -> f64 {
+        self.0 as f64 / 100.0
+    }
+
+    /// Whole dollars, rounding down.
+    pub fn whole_dollars(self) -> u128 {
+        self.0 / 100
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, rhs: UsdCents) -> UsdCents {
+        UsdCents(self.0.saturating_sub(rhs.0))
+    }
+
+    /// True if zero.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl Add for UsdCents {
+    type Output = UsdCents;
+    fn add(self, rhs: UsdCents) -> UsdCents {
+        UsdCents(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for UsdCents {
+    fn add_assign(&mut self, rhs: UsdCents) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for UsdCents {
+    type Output = UsdCents;
+    fn sub(self, rhs: UsdCents) -> UsdCents {
+        UsdCents(self.0 - rhs.0)
+    }
+}
+
+impl Sum for UsdCents {
+    fn sum<I: Iterator<Item = UsdCents>>(iter: I) -> UsdCents {
+        iter.fold(UsdCents::ZERO, Add::add)
+    }
+}
+
+impl fmt::Debug for UsdCents {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "UsdCents({self})")
+    }
+}
+
+impl fmt::Display for UsdCents {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "${}.{:02}", self.0 / 100, self.0 % 100)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eth_constructors_agree() {
+        assert_eq!(Wei::from_eth(3), Wei::from_milli_eth(3000));
+        assert_eq!(Wei::from_eth(1).0, WEI_PER_ETH);
+    }
+
+    #[test]
+    fn usd_conversion_is_exact_for_whole_eth() {
+        // 2 ETH at $1,234.56 = $2,469.12
+        let cents_per_eth = 123_456;
+        assert_eq!(
+            Wei::from_eth(2).to_usd_cents(cents_per_eth),
+            UsdCents(246_912)
+        );
+    }
+
+    #[test]
+    fn usd_conversion_handles_fractional_eth() {
+        // 0.5 ETH at $2,000.00 = $1,000.00
+        let half = Wei(WEI_PER_ETH / 2);
+        assert_eq!(half.to_usd_cents(200_000), UsdCents::from_dollars(1000));
+    }
+
+    #[test]
+    fn usd_conversion_rounds_down() {
+        // 1 wei at $2,000/ETH is far below a cent.
+        assert_eq!(Wei(1).to_usd_cents(200_000), UsdCents::ZERO);
+    }
+
+    #[test]
+    fn usd_conversion_no_overflow_at_scale() {
+        // 10^9 ETH at $100,000/ETH — far beyond total supply.
+        let big = Wei::from_eth(1_000_000_000);
+        let cents = big.to_usd_cents(10_000_000);
+        assert_eq!(cents.whole_dollars(), 100_000_000_000_000);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Wei::from_eth(2).to_string(), "2 ETH");
+        assert_eq!(Wei::from_milli_eth(1500).to_string(), "1.5 ETH");
+        assert_eq!(UsdCents(123_45).to_string(), "$123.45");
+        assert_eq!(UsdCents(5).to_string(), "$0.05");
+    }
+
+    #[test]
+    fn sums_and_saturation() {
+        let total: Wei = [Wei::from_eth(1), Wei::from_eth(2)].into_iter().sum();
+        assert_eq!(total, Wei::from_eth(3));
+        assert_eq!(Wei::from_eth(1).saturating_sub(Wei::from_eth(5)), Wei::ZERO);
+        assert_eq!(
+            UsdCents::from_dollars(1).saturating_sub(UsdCents::from_dollars(2)),
+            UsdCents::ZERO
+        );
+    }
+}

@@ -1,0 +1,174 @@
+//! Fixed-size hash newtypes shared across the workspace.
+
+use std::fmt;
+
+use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+/// A 32-byte hash value (keccak-256 output).
+///
+/// Serializes as a `0x`-prefixed hex string so it can be used as a JSON
+/// map key.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Hash32(pub [u8; 32]);
+
+impl Serialize for Hash32 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(&self.to_hex())
+    }
+}
+
+impl<'de> Deserialize<'de> for Hash32 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let s = String::deserialize(deserializer)?;
+        Hash32::from_hex(&s).ok_or_else(|| serde::de::Error::custom("invalid 32-byte hex"))
+    }
+}
+
+impl Hash32 {
+    /// The all-zero hash, used by ENS as the root node.
+    pub const ZERO: Hash32 = Hash32([0u8; 32]);
+
+    /// Lower-case hex with `0x` prefix.
+    pub fn to_hex(self) -> String {
+        let mut s = String::with_capacity(66);
+        s.push_str("0x");
+        for b in self.0 {
+            use fmt::Write;
+            write!(s, "{b:02x}").expect("writing to string cannot fail");
+        }
+        s
+    }
+
+    /// Parses a `0x`-prefixed (or bare) 64-digit hex string.
+    pub fn from_hex(s: &str) -> Option<Hash32> {
+        let s = s.strip_prefix("0x").unwrap_or(s);
+        if s.len() != 64 {
+            return None;
+        }
+        let mut out = [0u8; 32];
+        for (i, byte) in out.iter_mut().enumerate() {
+            *byte = u8::from_str_radix(&s[2 * i..2 * i + 2], 16).ok()?;
+        }
+        Some(Hash32(out))
+    }
+
+    /// The first 8 bytes interpreted as a big-endian integer — handy for
+    /// deterministic pseudo-random derivations in the simulators.
+    pub fn prefix_u64(self) -> u64 {
+        u64::from_be_bytes(self.0[..8].try_into().expect("slice is 8 bytes"))
+    }
+}
+
+impl fmt::Debug for Hash32 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Hash32({})", self.to_hex())
+    }
+}
+
+impl fmt::Display for Hash32 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+impl From<[u8; 32]> for Hash32 {
+    fn from(v: [u8; 32]) -> Self {
+        Hash32(v)
+    }
+}
+
+macro_rules! hash_newtype {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(
+            Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
+            Serialize, Deserialize,
+        )]
+        pub struct $name(pub Hash32);
+
+        impl $name {
+            /// Lower-case hex with `0x` prefix.
+            pub fn to_hex(self) -> String {
+                self.0.to_hex()
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!(stringify!($name), "({})"), self.0.to_hex())
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::Display::fmt(&self.0, f)
+            }
+        }
+
+        impl From<Hash32> for $name {
+            fn from(h: Hash32) -> Self {
+                $name(h)
+            }
+        }
+    };
+}
+
+hash_newtype! {
+    /// keccak-256 of a single label, e.g. `keccak256("gold")`.
+    LabelHash
+}
+
+hash_newtype! {
+    /// The recursive ENS namehash of a full name, e.g. `namehash("gold.eth")`.
+    NameHash
+}
+
+hash_newtype! {
+    /// An Ethereum transaction hash.
+    TxHash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hex_round_trip() {
+        let mut bytes = [0u8; 32];
+        for (i, b) in bytes.iter_mut().enumerate() {
+            *b = (i * 7 + 3) as u8;
+        }
+        let h = Hash32(bytes);
+        assert_eq!(Hash32::from_hex(&h.to_hex()), Some(h));
+    }
+
+    #[test]
+    fn from_hex_rejects_bad_input() {
+        assert_eq!(Hash32::from_hex("0x1234"), None);
+        assert_eq!(Hash32::from_hex(&"zz".repeat(32)), None);
+    }
+
+    #[test]
+    fn from_hex_accepts_bare_hex() {
+        let h = Hash32([0xab; 32]);
+        let bare = h.to_hex().trim_start_matches("0x").to_string();
+        assert_eq!(Hash32::from_hex(&bare), Some(h));
+    }
+
+    #[test]
+    fn zero_is_root_node() {
+        assert_eq!(
+            Hash32::ZERO.to_hex(),
+            format!("0x{}", "00".repeat(32))
+        );
+    }
+
+    #[test]
+    fn prefix_u64_is_big_endian() {
+        let mut bytes = [0u8; 32];
+        bytes[7] = 1;
+        assert_eq!(Hash32(bytes).prefix_u64(), 1);
+        bytes[0] = 1;
+        assert_eq!(Hash32(bytes).prefix_u64(), (1 << 56) + 1);
+    }
+}

@@ -1,0 +1,256 @@
+//! A from-scratch implementation of Keccak-256 (the original Keccak
+//! submission with `0x01` domain padding, as used by Ethereum — *not*
+//! NIST SHA3-256, which pads with `0x06`).
+//!
+//! ENS stores names on chain only as keccak-256 hashes (label hashes and the
+//! recursive [`namehash`](crate::name::namehash)), which is exactly why the
+//! paper's §3.1 describes crawling the full name set as hard. Implementing
+//! the hash here keeps the reproduction self-contained and lets tests verify
+//! the well-known ENS vectors.
+
+/// Rotation offsets for the ρ step, indexed by lane `(x, y)` flattened as
+/// `x + 5 * y`.
+const RHO_OFFSETS: [u32; 25] = [
+    0, 1, 62, 28, 27, //
+    36, 44, 6, 55, 20, //
+    3, 10, 43, 25, 39, //
+    41, 45, 15, 21, 8, //
+    18, 2, 61, 56, 14,
+];
+
+/// Round constants for the ι step of Keccak-f[1600] (24 rounds).
+const ROUND_CONSTANTS: [u64; 24] = [
+    0x0000000000000001,
+    0x0000000000008082,
+    0x800000000000808a,
+    0x8000000080008000,
+    0x000000000000808b,
+    0x0000000080000001,
+    0x8000000080008081,
+    0x8000000000008009,
+    0x000000000000008a,
+    0x0000000000000088,
+    0x0000000080008009,
+    0x000000008000000a,
+    0x000000008000808b,
+    0x800000000000008b,
+    0x8000000000008089,
+    0x8000000000008003,
+    0x8000000000008002,
+    0x8000000000000080,
+    0x000000000000800a,
+    0x800000008000000a,
+    0x8000000080008081,
+    0x8000000000008080,
+    0x0000000080000001,
+    0x8000000080008008,
+];
+
+/// Rate in bytes for Keccak-256: (1600 - 2 * 256) / 8.
+const RATE: usize = 136;
+
+/// The Keccak-f[1600] permutation applied in place to the 25-lane state.
+fn keccak_f1600(state: &mut [u64; 25]) {
+    for &rc in &ROUND_CONSTANTS {
+        // θ: column parity mixing.
+        let mut c = [0u64; 5];
+        for x in 0..5 {
+            c[x] = state[x] ^ state[x + 5] ^ state[x + 10] ^ state[x + 15] ^ state[x + 20];
+        }
+        for x in 0..5 {
+            let d = c[(x + 4) % 5] ^ c[(x + 1) % 5].rotate_left(1);
+            for y in 0..5 {
+                state[x + 5 * y] ^= d;
+            }
+        }
+
+        // ρ and π: rotate lanes and permute their positions.
+        let mut b = [0u64; 25];
+        for x in 0..5 {
+            for y in 0..5 {
+                let idx = x + 5 * y;
+                // π sends lane (x, y) to (y, 2x + 3y).
+                b[y + 5 * ((2 * x + 3 * y) % 5)] = state[idx].rotate_left(RHO_OFFSETS[idx]);
+            }
+        }
+
+        // χ: the only non-linear step.
+        for y in 0..5 {
+            for x in 0..5 {
+                state[x + 5 * y] =
+                    b[x + 5 * y] ^ (!b[(x + 1) % 5 + 5 * y] & b[(x + 2) % 5 + 5 * y]);
+            }
+        }
+
+        // ι: break symmetry with the round constant.
+        state[0] ^= rc;
+    }
+}
+
+/// Incremental Keccak-256 hasher.
+///
+/// ```
+/// use ens_types::keccak::Keccak256;
+/// let mut h = Keccak256::new();
+/// h.update(b"hello");
+/// assert_eq!(
+///     hex::encode_fixed(&h.finalize()),
+///     "1c8aff950685c2ed4bc3174f3472287b56d9517b9c948127319a09a7a36deac8"
+/// );
+/// # mod hex { pub fn encode_fixed(b: &[u8; 32]) -> String {
+/// #   b.iter().map(|x| format!("{x:02x}")).collect() } }
+/// ```
+#[derive(Clone)]
+pub struct Keccak256 {
+    state: [u64; 25],
+    /// Bytes buffered for the current, not-yet-absorbed block.
+    buffer: [u8; RATE],
+    buffered: usize,
+}
+
+impl Default for Keccak256 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Keccak256 {
+    /// Creates an empty hasher.
+    pub fn new() -> Self {
+        Self {
+            state: [0u64; 25],
+            buffer: [0u8; RATE],
+            buffered: 0,
+        }
+    }
+
+    /// Absorbs `data` into the sponge.
+    pub fn update(&mut self, data: &[u8]) {
+        let mut input = data;
+        // Fill a partially-buffered block first.
+        if self.buffered > 0 {
+            let take = (RATE - self.buffered).min(input.len());
+            self.buffer[self.buffered..self.buffered + take].copy_from_slice(&input[..take]);
+            self.buffered += take;
+            input = &input[take..];
+            if self.buffered == RATE {
+                let block = self.buffer;
+                self.absorb_block(&block);
+                self.buffered = 0;
+            }
+            if input.is_empty() {
+                return;
+            }
+        }
+        // Absorb full blocks directly from the input.
+        while input.len() >= RATE {
+            let (block, rest) = input.split_at(RATE);
+            let mut tmp = [0u8; RATE];
+            tmp.copy_from_slice(block);
+            self.absorb_block(&tmp);
+            input = rest;
+        }
+        // Buffer the tail.
+        self.buffer[..input.len()].copy_from_slice(input);
+        self.buffered = input.len();
+    }
+
+    fn absorb_block(&mut self, block: &[u8; RATE]) {
+        for (lane, chunk) in self.state.iter_mut().zip(block.chunks_exact(8)) {
+            *lane ^= u64::from_le_bytes(chunk.try_into().expect("chunk is 8 bytes"));
+        }
+        keccak_f1600(&mut self.state);
+    }
+
+    /// Applies the Keccak padding (`0x01 .. 0x80`) and squeezes the digest.
+    pub fn finalize(mut self) -> [u8; 32] {
+        let mut block = [0u8; RATE];
+        block[..self.buffered].copy_from_slice(&self.buffer[..self.buffered]);
+        block[self.buffered] = 0x01;
+        block[RATE - 1] |= 0x80;
+        self.absorb_block(&block);
+
+        let mut out = [0u8; 32];
+        for (chunk, lane) in out.chunks_exact_mut(8).zip(self.state.iter()) {
+            chunk.copy_from_slice(&lane.to_le_bytes());
+        }
+        out
+    }
+}
+
+/// One-shot Keccak-256 of `data`.
+pub fn keccak256(data: &[u8]) -> [u8; 32] {
+    let mut h = Keccak256::new();
+    h.update(data);
+    h.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn empty_input_matches_known_vector() {
+        assert_eq!(
+            hex(&keccak256(b"")),
+            "c5d2460186f7233c927e7db2dcc703c0e500b653ca82273b7bfad8045d85a470"
+        );
+    }
+
+    #[test]
+    fn abc_matches_known_vector() {
+        assert_eq!(
+            hex(&keccak256(b"abc")),
+            "4e03657aea45a94fc7d47ba826c8d667c0d1e6e33a64a036ec44f58fa12d6c45"
+        );
+    }
+
+    #[test]
+    fn eth_label_matches_ens_vector() {
+        // keccak256("eth") is the label hash used in every .eth namehash.
+        assert_eq!(
+            hex(&keccak256(b"eth")),
+            "4f5b812789fc606be1b3b16908db13fc7a9adf7ca72641f84d75b47069d3d7f0"
+        );
+    }
+
+    #[test]
+    fn long_input_spanning_multiple_blocks() {
+        // 300 bytes of 'a' exercises multi-block absorption.
+        let data = vec![b'a'; 300];
+        let one_shot = keccak256(&data);
+        // Same input fed byte-by-byte must agree (incremental API).
+        let mut h = Keccak256::new();
+        for b in &data {
+            h.update(std::slice::from_ref(b));
+        }
+        assert_eq!(one_shot, h.finalize());
+    }
+
+    #[test]
+    fn rate_boundary_inputs() {
+        // Exactly RATE and RATE±1 bytes hit the padding edge cases.
+        for len in [RATE - 1, RATE, RATE + 1, 2 * RATE] {
+            let data = vec![0x42u8; len];
+            let mut h = Keccak256::new();
+            h.update(&data[..len / 2]);
+            h.update(&data[len / 2..]);
+            assert_eq!(h.finalize(), keccak256(&data), "len={len}");
+        }
+    }
+
+    #[test]
+    fn split_update_equals_one_shot() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(1000).collect();
+        for split in [0, 1, 7, 135, 136, 137, 999, 1000] {
+            let mut h = Keccak256::new();
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            assert_eq!(h.finalize(), keccak256(&data), "split={split}");
+        }
+    }
+}

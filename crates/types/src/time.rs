@@ -1,0 +1,261 @@
+//! Simulation time: unix timestamps, durations, block numbers, and a small
+//! proleptic-Gregorian calendar for daily price lookups and monthly
+//! bucketing (Fig 2 of the paper is a monthly time series).
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// Seconds in a day.
+pub const SECONDS_PER_DAY: u64 = 86_400;
+
+/// Average Ethereum block time used by the simulated chain.
+pub const SECONDS_PER_BLOCK: u64 = 12;
+
+/// A span of time in seconds.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Duration(pub u64);
+
+impl Duration {
+    /// Zero-length duration.
+    pub const ZERO: Duration = Duration(0);
+
+    /// From seconds.
+    pub const fn from_secs(s: u64) -> Duration {
+        Duration(s)
+    }
+
+    /// From whole days.
+    pub const fn from_days(d: u64) -> Duration {
+        Duration(d * SECONDS_PER_DAY)
+    }
+
+    /// From 365-day years (ENS registrations are sold in these units).
+    pub const fn from_years(y: u64) -> Duration {
+        Duration(y * 365 * SECONDS_PER_DAY)
+    }
+
+    /// Whole days, rounding down.
+    pub const fn as_days(self) -> u64 {
+        self.0 / SECONDS_PER_DAY
+    }
+
+    /// Seconds.
+    pub const fn as_secs(self) -> u64 {
+        self.0
+    }
+
+    /// Fractional days (for premium decay math).
+    pub fn as_days_f64(self) -> f64 {
+        self.0 as f64 / SECONDS_PER_DAY as f64
+    }
+}
+
+impl Add for Duration {
+    type Output = Duration;
+    fn add(self, rhs: Duration) -> Duration {
+        Duration(self.0 + rhs.0)
+    }
+}
+
+impl fmt::Debug for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Duration({}s)", self.0)
+    }
+}
+
+/// A unix timestamp (seconds since epoch, UTC).
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Timestamp(pub u64);
+
+impl Timestamp {
+    /// Builds a timestamp from a UTC calendar date at midnight.
+    pub fn from_ymd(year: i32, month: u32, day: u32) -> Timestamp {
+        Timestamp(days_from_civil(year, month, day) as u64 * SECONDS_PER_DAY)
+    }
+
+    /// The calendar date (UTC) this timestamp falls on.
+    pub fn to_ymd(self) -> (i32, u32, u32) {
+        civil_from_days((self.0 / SECONDS_PER_DAY) as i64)
+    }
+
+    /// Day index since the unix epoch (for daily price lookups).
+    pub const fn day_index(self) -> u64 {
+        self.0 / SECONDS_PER_DAY
+    }
+
+    /// A monotone month key `year * 12 + (month - 1)` for monthly bucketing.
+    pub fn month_index(self) -> i64 {
+        let (y, m, _) = self.to_ymd();
+        y as i64 * 12 + (m as i64 - 1)
+    }
+
+    /// Renders `YYYY-MM` (Fig 2's x axis).
+    pub fn year_month_label(self) -> String {
+        let (y, m, _) = self.to_ymd();
+        format!("{y:04}-{m:02}")
+    }
+
+    /// Saturating time difference.
+    pub fn saturating_since(self, earlier: Timestamp) -> Duration {
+        Duration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Checked time difference (None if `earlier` is later).
+    pub fn checked_since(self, earlier: Timestamp) -> Option<Duration> {
+        self.0.checked_sub(earlier.0).map(Duration)
+    }
+}
+
+impl Add<Duration> for Timestamp {
+    type Output = Timestamp;
+    fn add(self, rhs: Duration) -> Timestamp {
+        Timestamp(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<Duration> for Timestamp {
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<Duration> for Timestamp {
+    type Output = Timestamp;
+    fn sub(self, rhs: Duration) -> Timestamp {
+        Timestamp(self.0 - rhs.0)
+    }
+}
+
+impl fmt::Debug for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (y, m, d) = self.to_ymd();
+        let rem = self.0 % SECONDS_PER_DAY;
+        write!(
+            f,
+            "Timestamp({y:04}-{m:02}-{d:02}T{:02}:{:02}:{:02}Z)",
+            rem / 3600,
+            rem % 3600 / 60,
+            rem % 60
+        )
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (y, m, d) = self.to_ymd();
+        write!(f, "{y:04}-{m:02}-{d:02}")
+    }
+}
+
+/// A block height on the simulated chain.
+#[derive(
+    Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct BlockNumber(pub u64);
+
+impl BlockNumber {
+    /// The genesis block.
+    pub const GENESIS: BlockNumber = BlockNumber(0);
+
+    /// The next block height.
+    pub const fn next(self) -> BlockNumber {
+        BlockNumber(self.0 + 1)
+    }
+}
+
+impl fmt::Display for BlockNumber {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// Days since 1970-01-01 for a proleptic-Gregorian date
+/// (Howard Hinnant's `days_from_civil`).
+pub fn days_from_civil(year: i32, month: u32, day: u32) -> i64 {
+    debug_assert!((1..=12).contains(&month), "month out of range");
+    debug_assert!((1..=31).contains(&day), "day out of range");
+    let y = i64::from(year) - i64::from(month <= 2);
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = (y - era * 400) as u64; // [0, 399]
+    let m = i64::from(month);
+    let doy = ((153 * (if m > 2 { m - 3 } else { m + 9 }) + 2) / 5 + i64::from(day) - 1) as u64;
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+    era * 146_097 + doe as i64 - 719_468
+}
+
+/// Inverse of [`days_from_civil`].
+pub fn civil_from_days(days: i64) -> (i32, u32, u32) {
+    let z = days + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = (z - era * 146_097) as u64; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146_096) / 365;
+    let y = yoe as i64 + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32;
+    ((y + i64::from(m <= 2)) as i32, m, d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_1970() {
+        assert_eq!(Timestamp(0).to_ymd(), (1970, 1, 1));
+        assert_eq!(Timestamp::from_ymd(1970, 1, 1), Timestamp(0));
+    }
+
+    #[test]
+    fn known_dates() {
+        // 2020-02-01 00:00:00 UTC == 1580515200.
+        assert_eq!(Timestamp::from_ymd(2020, 2, 1), Timestamp(1_580_515_200));
+        // 2023-09-30 00:00:00 UTC == 1695even.
+        assert_eq!(Timestamp::from_ymd(2023, 9, 30), Timestamp(1_696_032_000));
+    }
+
+    #[test]
+    fn civil_round_trip_covers_leap_years() {
+        for days in (-30_000..60_000).step_by(17) {
+            let (y, m, d) = civil_from_days(days);
+            assert_eq!(days_from_civil(y, m, d), days);
+        }
+    }
+
+    #[test]
+    fn leap_day_exists_in_2020_not_2021() {
+        let leap = Timestamp::from_ymd(2020, 2, 29);
+        assert_eq!(leap.to_ymd(), (2020, 2, 29));
+        // 2021-03-01 minus one day is 2021-02-28.
+        let t = Timestamp::from_ymd(2021, 3, 1) - Duration::from_days(1);
+        assert_eq!(t.to_ymd(), (2021, 2, 28));
+    }
+
+    #[test]
+    fn month_index_is_monotone_across_year_boundary() {
+        let dec = Timestamp::from_ymd(2020, 12, 15);
+        let jan = Timestamp::from_ymd(2021, 1, 15);
+        assert_eq!(jan.month_index() - dec.month_index(), 1);
+        assert_eq!(dec.year_month_label(), "2020-12");
+    }
+
+    #[test]
+    fn durations() {
+        assert_eq!(Duration::from_days(90).as_secs(), 90 * 86_400);
+        assert_eq!(Duration::from_years(1).as_days(), 365);
+        let t = Timestamp::from_ymd(2022, 5, 1);
+        assert_eq!((t + Duration::from_days(3)).to_ymd(), (2022, 5, 4));
+        assert_eq!(
+            (t + Duration::from_days(3)).saturating_since(t).as_days(),
+            3
+        );
+        assert_eq!(t.checked_since(t + Duration::from_days(1)), None);
+    }
+}

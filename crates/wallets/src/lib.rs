@@ -1,0 +1,379 @@
+//! # wallet-sim
+//!
+//! Models of the seven ENS-supporting digital wallets the paper tests
+//! (Appendix B, Table 2), plus the warning countermeasure the paper
+//! proposes in §6.
+//!
+//! The empirical finding being modelled: **every** production wallet
+//! resolves an ENS name straight through the resolver with no freshness
+//! check, so an expired (still-resolving-to-the-old-owner) or freshly
+//! re-registered (now-resolving-to-a-stranger) name looks exactly like a
+//! healthy one. [`WarningPolicy::WarnOnRisk`] implements the proposed fix:
+//! surface a warning when the name is past expiry or its registration is
+//! only days old.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use ens_registry::EnsSystem;
+use ens_types::{Address, Duration, EnsName, Timestamp};
+use serde::{Deserialize, Serialize};
+
+/// The seven wallets of Table 2.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WalletId {
+    /// MetaMask (non-custodial browser/mobile wallet).
+    Metamask,
+    /// Coinbase (the only custodial exchange resolving ENS at study time).
+    Coinbase,
+    /// Trust Wallet.
+    TrustWallet,
+    /// Bitcoin.com wallet.
+    BitcoinCom,
+    /// AlphaWallet.
+    AlphaWallet,
+    /// Atomic Wallet.
+    AtomicWallet,
+    /// Rainbow Wallet.
+    RainbowWallet,
+}
+
+/// What a wallet does about stale names before sending funds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WarningPolicy {
+    /// Resolve silently — the behaviour of every wallet in Table 2.
+    Silent,
+    /// The paper's proposed countermeasure: warn when the name is expired,
+    /// or was (re-)registered within the given window.
+    WarnOnRisk {
+        /// How recent a registration must be to trigger the
+        /// "recently registered" warning.
+        recent_window: Duration,
+    },
+    /// The history-aware version of the paper's proposal: warn only when
+    /// the name's *ownership changed* (it was re-registered by a different
+    /// wallet) within the window. Needs registration-history data (e.g. a
+    /// subgraph query) rather than just on-chain state, but eliminates the
+    /// false positives that plain freshness checks produce on brand-new
+    /// legitimate names.
+    WarnOnRecentOwnerChange {
+        /// How recent the ownership change must be.
+        recent_window: Duration,
+    },
+    /// An alternative heuristic this reproduction evaluates: warn when the
+    /// forward-and-back check fails (the resolved address has not claimed
+    /// the name as its primary name). Dropcatchers rarely claim reverse
+    /// records — but neither do many honest owners, so this policy trades
+    /// recall for annoyance (see `ens-dropcatch::countermeasures`).
+    WarnOnReverseMismatch,
+    /// Both heuristics combined (either one fires).
+    WarnOnRiskOrReverseMismatch {
+        /// Window for the recent-registration branch.
+        recent_window: Duration,
+    },
+}
+
+/// The warning a policy may surface.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Warning {
+    /// The name is past its expiry but still resolving to the old record.
+    Expired {
+        /// How long past expiry.
+        since: Duration,
+    },
+    /// The name's current registration is very fresh — a classic
+    /// dropcatch signature.
+    RecentlyRegistered {
+        /// Age of the current registration.
+        age: Duration,
+    },
+    /// The name changed hands through an expiry recently — a dropcatch.
+    RecentlyReregistered {
+        /// Time since the ownership change.
+        age: Duration,
+    },
+    /// The resolved address has not claimed this name as its primary name
+    /// (forward-and-back check failed).
+    ReverseMismatch,
+}
+
+/// Everything the warning logic needs about a name at send time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResolutionContext {
+    /// What the resolver currently returns.
+    pub resolved: Option<Address>,
+    /// Current registration's expiry, if the name was ever registered.
+    pub expiry: Option<Timestamp>,
+    /// When the current registration was made.
+    pub registered_at: Option<Timestamp>,
+    /// When the name last changed hands through an expiry (a
+    /// re-registration by a different wallet). `None` if it never did or
+    /// the wallet has no history source.
+    pub owner_changed_at: Option<Timestamp>,
+    /// Whether the resolved address's primary (reverse) name points back
+    /// at this name. `None` when the check was not performed.
+    pub reverse_matches: Option<bool>,
+    /// Wall-clock time of the send attempt.
+    pub now: Timestamp,
+}
+
+impl ResolutionContext {
+    /// Snapshots the context from a live [`EnsSystem`].
+    pub fn from_ens(ens: &EnsSystem, name: &EnsName, now: Timestamp) -> ResolutionContext {
+        let registration = ens.registration(name.label());
+        let resolved = ens.resolve(name);
+        ResolutionContext {
+            resolved,
+            expiry: registration.map(|r| r.expiry),
+            registered_at: registration.map(|r| r.registered_at),
+            // Live contract state carries no history; a wallet needs an
+            // indexer (subgraph) to fill this in.
+            owner_changed_at: None,
+            reverse_matches: resolved.map(|a| ens.primary_name(a) == Some(name)),
+            now,
+        }
+    }
+}
+
+/// What the user sees when they type a name into the send box.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Resolution {
+    /// The address the funds would go to (wallets resolve unconditionally —
+    /// that is the finding).
+    pub address: Option<Address>,
+    /// A warning, if the wallet's policy produced one.
+    pub warning: Option<Warning>,
+}
+
+impl WarningPolicy {
+    /// Evaluates the policy against a resolution context.
+    pub fn evaluate(&self, ctx: &ResolutionContext) -> Option<Warning> {
+        ctx.resolved?;
+        let risk_window = match self {
+            WarningPolicy::WarnOnRisk { recent_window }
+            | WarningPolicy::WarnOnRiskOrReverseMismatch { recent_window } => {
+                Some(*recent_window)
+            }
+            _ => None,
+        };
+        let rereg_window = match self {
+            WarningPolicy::WarnOnRecentOwnerChange { recent_window } => Some(*recent_window),
+            _ => None,
+        };
+        let check_reverse = matches!(
+            self,
+            WarningPolicy::WarnOnReverseMismatch
+                | WarningPolicy::WarnOnRiskOrReverseMismatch { .. }
+        );
+
+        if let Some(window) = risk_window {
+            if let Some(expiry) = ctx.expiry {
+                if ctx.now >= expiry {
+                    return Some(Warning::Expired {
+                        since: ctx.now.saturating_since(expiry),
+                    });
+                }
+            }
+            if let Some(registered_at) = ctx.registered_at {
+                let age = ctx.now.saturating_since(registered_at);
+                if age < window {
+                    return Some(Warning::RecentlyRegistered { age });
+                }
+            }
+        }
+        if let (Some(window), Some(changed_at)) = (rereg_window, ctx.owner_changed_at) {
+            let age = ctx.now.saturating_since(changed_at);
+            if ctx.now >= changed_at && age < window {
+                return Some(Warning::RecentlyReregistered { age });
+            }
+        }
+        if check_reverse && ctx.reverse_matches == Some(false) {
+            return Some(Warning::ReverseMismatch);
+        }
+        None
+    }
+}
+
+/// A wallet build with its resolution behaviour.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WalletProfile {
+    /// Which wallet.
+    pub id: WalletId,
+    /// Display name as in Table 2.
+    pub name: &'static str,
+    /// Version / date tested in the paper.
+    pub version: &'static str,
+    /// True for custodial wallets (only Coinbase here).
+    pub custodial: bool,
+    /// The warning behaviour of this build.
+    pub policy: WarningPolicy,
+}
+
+impl WalletProfile {
+    /// Resolves `name` the way this wallet build would.
+    pub fn resolve(&self, ens: &EnsSystem, name: &EnsName, now: Timestamp) -> Resolution {
+        let ctx = ResolutionContext::from_ens(ens, name, now);
+        Resolution {
+            address: ctx.resolved,
+            warning: self.policy.evaluate(&ctx),
+        }
+    }
+
+    /// True if this build would display a warning for `ctx` — the column
+    /// the paper reports in Table 2.
+    pub fn displays_warning(&self, ctx: &ResolutionContext) -> bool {
+        self.policy.evaluate(ctx).is_some()
+    }
+
+    /// This wallet patched with the proposed countermeasure (90-day
+    /// recent-registration window).
+    pub fn with_countermeasure(mut self) -> WalletProfile {
+        self.policy = WarningPolicy::WarnOnRisk {
+            recent_window: Duration::from_days(90),
+        };
+        self
+    }
+}
+
+/// The seven production wallet builds from Table 2 — all silent.
+pub fn production_wallets() -> Vec<WalletProfile> {
+    use WalletId::*;
+    let rows: [(WalletId, &'static str, &'static str, bool); 7] = [
+        (Metamask, "Metamask", "11.13.1", false),
+        (Coinbase, "Coinbase", "05/2024", true),
+        (TrustWallet, "Trust Wallet", "2.9.2", false),
+        (BitcoinCom, "Bitcoin.com", "8.22.1", false),
+        (AlphaWallet, "Alpha Wallet", "3.72", false),
+        (AtomicWallet, "Atomic Wallet", "1.29.5", false),
+        (RainbowWallet, "Rainbow Wallet", "1.4.81", false),
+    ];
+    rows.into_iter()
+        .map(|(id, name, version, custodial)| WalletProfile {
+            id,
+            name,
+            version,
+            custodial,
+            policy: WarningPolicy::Silent,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ens_registry::commit_and_register;
+    use ens_types::{Label, Wei};
+    use sim_chain::Chain;
+
+    const PRICE: u64 = 200_000;
+
+    fn world_with_expired_name() -> (EnsSystem, Chain, EnsName) {
+        let mut chain = Chain::new(Timestamp::from_ymd(2021, 1, 1));
+        let mut ens = EnsSystem::new();
+        let alice = Address::derive(b"alice");
+        chain.mint(alice, Wei::from_eth(100));
+        commit_and_register(
+            &mut ens,
+            &mut chain,
+            &Label::parse("gold").unwrap(),
+            alice,
+            1,
+            Duration::from_years(1),
+            PRICE,
+            Some(alice),
+        )
+        .unwrap();
+        chain.advance(Duration::from_years(2));
+        (ens, chain, EnsName::parse("gold.eth").unwrap())
+    }
+
+    #[test]
+    fn all_production_wallets_resolve_expired_names_silently() {
+        let (ens, chain, name) = world_with_expired_name();
+        for wallet in production_wallets() {
+            let res = wallet.resolve(&ens, &name, chain.now());
+            assert_eq!(res.address, Some(Address::derive(b"alice")), "{}", wallet.name);
+            assert_eq!(res.warning, None, "{} should be silent", wallet.name);
+        }
+    }
+
+    #[test]
+    fn countermeasure_warns_on_expired_name() {
+        let (ens, chain, name) = world_with_expired_name();
+        let wallet = production_wallets().remove(0).with_countermeasure();
+        let res = wallet.resolve(&ens, &name, chain.now());
+        // Still resolves (funds *could* be sent) but now with a warning.
+        assert!(res.address.is_some());
+        assert!(matches!(res.warning, Some(Warning::Expired { .. })));
+    }
+
+    #[test]
+    fn countermeasure_warns_on_fresh_reregistration() {
+        let (mut ens, mut chain, name) = world_with_expired_name();
+        let bob = Address::derive(b"bob");
+        chain.mint(bob, Wei::from_eth(1_000_000));
+        commit_and_register(
+            &mut ens,
+            &mut chain,
+            name.label(),
+            bob,
+            2,
+            Duration::from_years(1),
+            PRICE,
+            Some(bob),
+        )
+        .unwrap();
+        chain.advance(Duration::from_days(5));
+
+        let wallet = production_wallets().remove(0).with_countermeasure();
+        let res = wallet.resolve(&ens, &name, chain.now());
+        assert_eq!(res.address, Some(bob));
+        match res.warning {
+            Some(Warning::RecentlyRegistered { age }) => {
+                assert_eq!(age.as_days(), 5);
+            }
+            other => panic!("expected recent-registration warning, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn countermeasure_is_silent_on_healthy_established_names() {
+        let (mut ens, mut chain, name) = world_with_expired_name();
+        let bob = Address::derive(b"bob");
+        chain.mint(bob, Wei::from_eth(1_000_000));
+        commit_and_register(
+            &mut ens,
+            &mut chain,
+            name.label(),
+            bob,
+            2,
+            Duration::from_years(2),
+            PRICE,
+            Some(bob),
+        )
+        .unwrap();
+        // Well past the recent window, well before expiry.
+        chain.advance(Duration::from_days(200));
+        let wallet = production_wallets().remove(0).with_countermeasure();
+        let res = wallet.resolve(&ens, &name, chain.now());
+        assert_eq!(res.warning, None);
+    }
+
+    #[test]
+    fn unregistered_names_resolve_to_nothing_and_never_warn() {
+        let (ens, chain, _) = world_with_expired_name();
+        let name = EnsName::parse("never-registered.eth").unwrap();
+        let wallet = production_wallets().remove(0).with_countermeasure();
+        let res = wallet.resolve(&ens, &name, chain.now());
+        assert_eq!(res.address, None);
+        assert_eq!(res.warning, None);
+    }
+
+    #[test]
+    fn table2_roster_matches_the_paper() {
+        let wallets = production_wallets();
+        assert_eq!(wallets.len(), 7);
+        assert_eq!(wallets.iter().filter(|w| w.custodial).count(), 1);
+        assert!(wallets.iter().all(|w| w.policy == WarningPolicy::Silent));
+    }
+}

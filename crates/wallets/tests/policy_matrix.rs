@@ -1,0 +1,111 @@
+//! Unit-level matrix tests of every warning policy against every name
+//! state a wallet can encounter.
+
+use ens_types::{Address, Duration, Timestamp};
+use wallet_sim::{ResolutionContext, Warning, WarningPolicy};
+
+fn base_ctx() -> ResolutionContext {
+    ResolutionContext {
+        resolved: Some(Address::derive(b"someone")),
+        expiry: Some(Timestamp::from_ymd(2023, 1, 1)),
+        registered_at: Some(Timestamp::from_ymd(2022, 1, 1)),
+        owner_changed_at: None,
+        reverse_matches: Some(true),
+        now: Timestamp::from_ymd(2022, 6, 1),
+    }
+}
+
+const WINDOW: Duration = Duration::from_days(90);
+
+#[test]
+fn silent_policy_never_warns() {
+    let mut ctx = base_ctx();
+    ctx.now = Timestamp::from_ymd(2024, 1, 1); // long expired
+    ctx.reverse_matches = Some(false);
+    assert_eq!(WarningPolicy::Silent.evaluate(&ctx), None);
+}
+
+#[test]
+fn risk_policy_branches() {
+    let policy = WarningPolicy::WarnOnRisk {
+        recent_window: WINDOW,
+    };
+    // Healthy mid-life name: silent.
+    assert_eq!(policy.evaluate(&base_ctx()), None);
+
+    // Expired: warns with the elapsed time.
+    let mut ctx = base_ctx();
+    ctx.now = Timestamp::from_ymd(2023, 2, 1);
+    match policy.evaluate(&ctx) {
+        Some(Warning::Expired { since }) => assert_eq!(since.as_days(), 31),
+        other => panic!("expected Expired, got {other:?}"),
+    }
+
+    // Fresh registration: warns with the age.
+    let mut ctx = base_ctx();
+    ctx.now = Timestamp::from_ymd(2022, 1, 15);
+    match policy.evaluate(&ctx) {
+        Some(Warning::RecentlyRegistered { age }) => assert_eq!(age.as_days(), 14),
+        other => panic!("expected RecentlyRegistered, got {other:?}"),
+    }
+
+    // Unresolvable names never warn (nothing to send to).
+    let mut ctx = base_ctx();
+    ctx.resolved = None;
+    ctx.now = Timestamp::from_ymd(2024, 1, 1);
+    assert_eq!(policy.evaluate(&ctx), None);
+}
+
+#[test]
+fn history_aware_policy_keys_on_ownership_changes_only() {
+    let policy = WarningPolicy::WarnOnRecentOwnerChange {
+        recent_window: WINDOW,
+    };
+    // Fresh FIRST registration: silent (this is the annoyance win).
+    let mut ctx = base_ctx();
+    ctx.now = Timestamp::from_ymd(2022, 1, 10);
+    assert_eq!(policy.evaluate(&ctx), None);
+
+    // Fresh re-registration: warns.
+    ctx.owner_changed_at = Some(Timestamp::from_ymd(2022, 1, 5));
+    match policy.evaluate(&ctx) {
+        Some(Warning::RecentlyReregistered { age }) => assert_eq!(age.as_days(), 5),
+        other => panic!("expected RecentlyReregistered, got {other:?}"),
+    }
+
+    // Old re-registration outside the window: silent again.
+    ctx.now = Timestamp::from_ymd(2022, 9, 1);
+    assert_eq!(policy.evaluate(&ctx), None);
+}
+
+#[test]
+fn reverse_policy_keys_on_the_forward_and_back_check() {
+    let policy = WarningPolicy::WarnOnReverseMismatch;
+    // Matching reverse record: silent.
+    assert_eq!(policy.evaluate(&base_ctx()), None);
+    // Mismatch: warns.
+    let mut ctx = base_ctx();
+    ctx.reverse_matches = Some(false);
+    assert_eq!(policy.evaluate(&ctx), Some(Warning::ReverseMismatch));
+    // Unknown (wallet didn't perform the check): silent, not a guess.
+    ctx.reverse_matches = None;
+    assert_eq!(policy.evaluate(&ctx), None);
+}
+
+#[test]
+fn combined_policy_prefers_the_risk_branch_but_falls_back_to_reverse() {
+    let policy = WarningPolicy::WarnOnRiskOrReverseMismatch {
+        recent_window: WINDOW,
+    };
+    // Expired AND reverse-mismatched: the expiry warning wins (it is the
+    // more specific signal).
+    let mut ctx = base_ctx();
+    ctx.now = Timestamp::from_ymd(2023, 3, 1);
+    ctx.reverse_matches = Some(false);
+    assert!(matches!(policy.evaluate(&ctx), Some(Warning::Expired { .. })));
+
+    // Healthy timing but mismatched reverse: the reverse branch fires.
+    let mut ctx = base_ctx();
+    ctx.reverse_matches = Some(false);
+    assert_eq!(policy.evaluate(&ctx), Some(Warning::ReverseMismatch));
+}

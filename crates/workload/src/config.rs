@@ -1,0 +1,316 @@
+//! World configuration: scale, time range, and every behavioural knob.
+//!
+//! Defaults are calibrated against the paper's aggregates (DESIGN.md §5);
+//! scale presets trade runtime for statistical stability. Counts scale
+//! linearly with `n_names`, so shape-level comparisons (ratios, orderings,
+//! crossovers) hold at any scale.
+
+use ens_types::Timestamp;
+use serde::{Deserialize, Serialize};
+
+use crate::namegen::ClassMix;
+
+/// Renewal / dropcatching behaviour parameters.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct BehaviorParams {
+    /// Probability an organic owner renews at each expiry.
+    pub renew_prob_base: f64,
+    /// Additional renewal probability per decade of income
+    /// (`log10(1 + income/1000)`), capped by clamping to [0, 0.97].
+    pub renew_income_weight: f64,
+    /// Fraction of renewals that happen *during* the grace period.
+    pub late_renewal_frac: f64,
+    /// Probability a dropcatcher renews a caught name at its next expiry.
+    pub catcher_renew_prob: f64,
+    /// Base catch probability; multiplied by desirability and income factors.
+    pub catch_base: f64,
+    /// Fraction of catches that pay a premium (register inside the 21-day
+    /// Dutch auction). Paper: 16,092 / 241,283 ≈ 6.7%.
+    pub premium_catch_frac: f64,
+    /// Fraction of catches landing within 24h of the premium hitting zero.
+    /// Paper: 20,014 on the very day.
+    pub day_of_premium_end_frac: f64,
+    /// Fraction of catches in the week after the premium ends.
+    pub week_after_frac: f64,
+    /// Mean (days) of the exponential tail for later catches.
+    pub tail_mean_days: f64,
+    /// Dropcatcher pool size as a fraction of `n_names`.
+    pub catcher_pool_frac: f64,
+    /// Pareto shape for catcher activity concentration (lower ⇒ whalier).
+    pub catcher_pareto_alpha: f64,
+    /// Whether the 21-day premium Dutch auction exists. `false` builds the
+    /// counterfactual protocol: names become registrable at base rent the
+    /// moment grace ends, and catch bots race to that instant instead.
+    pub auction_enabled: bool,
+}
+
+impl Default for BehaviorParams {
+    fn default() -> Self {
+        BehaviorParams {
+            renew_prob_base: 0.42,
+            renew_income_weight: 0.06,
+            late_renewal_frac: 0.15,
+            catcher_renew_prob: 0.30,
+            catch_base: 0.175,
+            premium_catch_frac: 0.08,
+            day_of_premium_end_frac: 0.35,
+            week_after_frac: 0.25,
+            tail_mean_days: 85.0,
+            catcher_pool_frac: 1.0 / 40.0,
+            catcher_pareto_alpha: 1.05,
+            auction_enabled: true,
+        }
+    }
+}
+
+/// Sender / income parameters.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SenderParams {
+    /// λ of the Poisson for senders per owned name (plus one).
+    pub senders_per_name_lambda: f64,
+    /// Geometric success probability for extra transactions per sender
+    /// (transactions per sender = 1 + Geometric(p)).
+    pub txs_per_sender_p: f64,
+    /// Median USD per transaction before the per-name multiplier.
+    pub amount_median_usd: f64,
+    /// Log-space σ of the per-transaction amount.
+    pub amount_sigma: f64,
+    /// Log-space σ of the per-name income multiplier.
+    pub income_multiplier_sigma: f64,
+    /// Probability a sender is a Coinbase custodial address.
+    pub coinbase_sender_frac: f64,
+    /// Probability a sender is a non-Coinbase custodial exchange address.
+    pub custodial_sender_frac: f64,
+    /// Size of the shared custodial-exchange address pool (paper: 558).
+    pub custodial_pool: usize,
+    /// Size of the shared Coinbase address pool (paper: 25).
+    pub coinbase_pool: usize,
+    /// Probability each sender keeps paying the old address during the
+    /// expiry→re-registration gap (the *hijackable* funds of Fig 7).
+    pub gap_continue_prob: f64,
+    /// Probability a caught domain attracts misdirected common-sender funds.
+    /// The paper observes 940 / 241K ≈ 0.4% at 3.1M-name scale; the default
+    /// is raised so the Fig 8–11 populations are statistically stable at
+    /// simulation scale (documented in EXPERIMENTS.md).
+    pub misdirect_domain_prob: f64,
+    /// Median USD of a misdirected transaction.
+    pub misdirect_amount_median: f64,
+    /// Log-space σ of misdirected amounts.
+    pub misdirect_amount_sigma: f64,
+    /// Probability a non-common sender keeps paying the *old owner's
+    /// address directly* (bypassing ENS) after the catch — detector noise.
+    pub bypass_sender_prob: f64,
+}
+
+impl Default for SenderParams {
+    fn default() -> Self {
+        SenderParams {
+            senders_per_name_lambda: 6.5,
+            txs_per_sender_p: 0.35,
+            amount_median_usd: 110.0,
+            amount_sigma: 2.0,
+            income_multiplier_sigma: 1.0,
+            coinbase_sender_frac: 0.04,
+            custodial_sender_frac: 0.10,
+            custodial_pool: 40,
+            coinbase_pool: 8,
+            gap_continue_prob: 0.30,
+            misdirect_domain_prob: 0.05,
+            misdirect_amount_median: 400.0,
+            misdirect_amount_sigma: 1.4,
+            bypass_sender_prob: 0.10,
+        }
+    }
+}
+
+/// Resale-market and miscellaneous event rates.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct MarketParams {
+    /// Probability a caught name is listed on the marketplace (paper: 8%).
+    pub list_prob: f64,
+    /// Probability a listed name sells (paper: 12,130 / 19,987 ≈ 61%).
+    pub sale_prob_given_listed: f64,
+    /// Probability an organic owner creates subdomains
+    /// (paper: 846K subdomains / 3.1M names ≈ 0.27 per name).
+    pub subdomain_prob: f64,
+    /// Probability of a private (non-expiry) NFT transfer during ownership —
+    /// a negative control for re-registration detection.
+    pub transfer_prob: f64,
+}
+
+impl Default for MarketParams {
+    fn default() -> Self {
+        MarketParams {
+            list_prob: 0.08,
+            sale_prob_given_listed: 0.61,
+            subdomain_prob: 0.18,
+            transfer_prob: 0.02,
+        }
+    }
+}
+
+/// Full world configuration.
+///
+/// ```
+/// use workload::WorldConfig;
+/// let world = WorldConfig::small().with_names(60).with_seed(1).build();
+/// let s = world.dataset_summary();
+/// assert_eq!(s.total_names, 60);
+/// assert!(s.transactions > 100);
+/// ```
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct WorldConfig {
+    /// Master seed — two configs with equal fields build identical worlds.
+    pub seed: u64,
+    /// Number of second-level names to simulate.
+    pub n_names: usize,
+    /// Simulation start (chain genesis is one day earlier).
+    pub start: Timestamp,
+    /// The 2020 contract-migration renewal deadline: legacy names not
+    /// renewed by (roughly) this date expire, producing Fig 2's spike.
+    pub migration_deadline: Timestamp,
+    /// End of the observation window (the paper observes through Sep 2023).
+    pub observation_end: Timestamp,
+    /// Fraction of names that are auction-era (legacy) registrations.
+    pub legacy_fraction: f64,
+    /// Lexical class mix.
+    pub class_mix: ClassMix,
+    /// Renewal / catching behaviour.
+    pub behavior: BehaviorParams,
+    /// Sender / income behaviour.
+    pub senders: SenderParams,
+    /// Resale-market behaviour.
+    pub market: MarketParams,
+}
+
+impl Default for WorldConfig {
+    fn default() -> Self {
+        WorldConfig {
+            seed: 0,
+            n_names: 20_000,
+            start: Timestamp::from_ymd(2020, 1, 15),
+            migration_deadline: Timestamp::from_ymd(2020, 5, 4),
+            observation_end: Timestamp::from_ymd(2023, 9, 30),
+            legacy_fraction: 0.12,
+            class_mix: ClassMix::default(),
+            behavior: BehaviorParams::default(),
+            senders: SenderParams::default(),
+            market: MarketParams::default(),
+        }
+    }
+}
+
+impl WorldConfig {
+    /// A small world (~2K names) for unit and integration tests.
+    pub fn small() -> WorldConfig {
+        WorldConfig {
+            n_names: 2_000,
+            ..WorldConfig::default()
+        }
+    }
+
+    /// A medium world (~20K names): the default for examples.
+    pub fn medium() -> WorldConfig {
+        WorldConfig::default()
+    }
+
+    /// A large world (~60K names) for the benchmark/repro harness.
+    pub fn large() -> WorldConfig {
+        WorldConfig {
+            n_names: 60_000,
+            ..WorldConfig::default()
+        }
+    }
+
+    /// Replaces the seed.
+    pub fn with_seed(mut self, seed: u64) -> WorldConfig {
+        self.seed = seed;
+        self
+    }
+
+    /// Replaces the name count.
+    pub fn with_names(mut self, n: usize) -> WorldConfig {
+        self.n_names = n;
+        self
+    }
+
+    /// The counterfactual world without the premium Dutch auction
+    /// (DNS-style fastest-finger drops).
+    pub fn without_auction(mut self) -> WorldConfig {
+        self.behavior.auction_enabled = false;
+        self
+    }
+
+    /// Monthly registration intensity for the controller era: ramps up from
+    /// Feb 2020 to a peak in Oct 2022, then declines — Fig 2's registration
+    /// curve. Returns `(month_start, weight)` pairs covering the window.
+    pub fn registration_month_weights(&self) -> Vec<(Timestamp, f64)> {
+        let first = Timestamp::from_ymd(2020, 2, 1);
+        let peak_month = Timestamp::from_ymd(2022, 10, 1).month_index();
+        let first_idx = first.month_index();
+        let last_idx = self.observation_end.month_index();
+        let mut out = Vec::new();
+        let mut idx = first_idx;
+        let mut cursor = first;
+        while idx <= last_idx {
+            let weight = if idx <= peak_month {
+                1.0 + 4.0 * (idx - first_idx) as f64 / (peak_month - first_idx) as f64
+            } else {
+                let fall = (idx - peak_month) as f64 / (last_idx - peak_month).max(1) as f64;
+                5.0 - 2.5 * fall
+            };
+            out.push((cursor, weight));
+            // Advance to the first day of the next month.
+            let (y, m, _) = cursor.to_ymd();
+            cursor = if m == 12 {
+                Timestamp::from_ymd(y + 1, 1, 1)
+            } else {
+                Timestamp::from_ymd(y, m + 1, 1)
+            };
+            idx += 1;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_cover_the_paper_window() {
+        let cfg = WorldConfig::default();
+        assert!(cfg.start < cfg.migration_deadline);
+        assert!(cfg.migration_deadline < cfg.observation_end);
+        assert_eq!(cfg.observation_end.to_ymd(), (2023, 9, 30));
+    }
+
+    #[test]
+    fn month_weights_ramp_then_decline() {
+        let weights = WorldConfig::default().registration_month_weights();
+        // Feb 2020 .. Sep 2023 inclusive = 44 months.
+        assert_eq!(weights.len(), 44);
+        let w = |y, m| {
+            weights
+                .iter()
+                .find(|(t, _)| t.to_ymd().0 == y && t.to_ymd().1 == m)
+                .unwrap()
+                .1
+        };
+        assert!(w(2020, 2) < w(2021, 6));
+        assert!(w(2021, 6) < w(2022, 10));
+        assert!(w(2022, 10) > w(2023, 9));
+        assert!(weights.iter().all(|(_, w)| *w > 0.0));
+    }
+
+    #[test]
+    fn presets_differ_only_in_scale() {
+        assert_eq!(WorldConfig::small().n_names, 2_000);
+        assert_eq!(WorldConfig::medium().n_names, 20_000);
+        assert_eq!(WorldConfig::large().n_names, 60_000);
+        assert_eq!(
+            WorldConfig::small().with_seed(9).seed,
+            9
+        );
+    }
+}

@@ -1,0 +1,230 @@
+//! Small, dependency-free sampling helpers on top of a seeded RNG.
+//!
+//! `rand` (without `rand_distr`) only gives us uniform variates; the handful
+//! of shapes the workload needs — normal, log-normal, Poisson, geometric,
+//! Pareto, and weighted choice — are implemented here from first principles
+//! so the whole simulation stays deterministic and dependency-light.
+
+use rand::Rng;
+
+/// A standard normal variate via the Box–Muller transform.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Guard against log(0).
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// A log-normal variate with the given *median* and log-space σ.
+///
+/// Parameterizing by the median (= e^μ) is far more intuitive for monetary
+/// calibration than μ itself: half the samples fall below it, and the mean
+/// is `median * exp(σ²/2)`.
+pub fn log_normal<R: Rng + ?Sized>(rng: &mut R, median: f64, sigma: f64) -> f64 {
+    (median.ln() + sigma * normal(rng)).exp()
+}
+
+/// A Poisson variate (Knuth's algorithm; fine for the small λ we use).
+pub fn poisson<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> u64 {
+    debug_assert!(lambda >= 0.0);
+    if lambda <= 0.0 {
+        return 0;
+    }
+    let l = (-lambda).exp();
+    let mut k = 0u64;
+    let mut p = 1.0;
+    loop {
+        p *= rng.gen::<f64>();
+        if p <= l {
+            return k;
+        }
+        k += 1;
+        // λ is always small here; this cap is a safety net, not a code path.
+        if k > 10_000 {
+            return k;
+        }
+    }
+}
+
+/// A geometric variate: number of failures before the first success,
+/// success probability `p` (so the mean is `(1-p)/p`).
+pub fn geometric<R: Rng + ?Sized>(rng: &mut R, p: f64) -> u64 {
+    debug_assert!(p > 0.0 && p <= 1.0);
+    if p >= 1.0 {
+        return 0;
+    }
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    (u.ln() / (1.0 - p).ln()).floor() as u64
+}
+
+/// A Pareto variate with scale `xmin` and shape `alpha` (inverse CDF).
+pub fn pareto<R: Rng + ?Sized>(rng: &mut R, xmin: f64, alpha: f64) -> f64 {
+    debug_assert!(xmin > 0.0 && alpha > 0.0);
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    xmin / u.powf(1.0 / alpha)
+}
+
+/// An exponential variate with the given mean.
+pub fn exponential<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> f64 {
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    -mean * u.ln()
+}
+
+/// Samples an index in `0..weights.len()` proportionally to `weights`.
+/// Panics on an empty or all-zero weight vector.
+pub fn weighted_choice<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> usize {
+    let total: f64 = weights.iter().sum();
+    assert!(total > 0.0, "weights must have positive sum");
+    let mut target = rng.gen::<f64>() * total;
+    for (i, w) in weights.iter().enumerate() {
+        target -= w;
+        if target <= 0.0 {
+            return i;
+        }
+    }
+    weights.len() - 1
+}
+
+/// Bernoulli draw.
+pub fn chance<R: Rng + ?Sized>(rng: &mut R, p: f64) -> bool {
+    rng.gen::<f64>() < p
+}
+
+/// A cumulative-weight table for repeated weighted sampling over a large,
+/// fixed population (e.g. picking which dropcatcher wins a name).
+#[derive(Clone, Debug)]
+pub struct CumulativeTable {
+    cumulative: Vec<f64>,
+}
+
+impl CumulativeTable {
+    /// Builds the table. Panics on empty or non-positive total weight.
+    pub fn new(weights: &[f64]) -> CumulativeTable {
+        assert!(!weights.is_empty(), "empty weight table");
+        let mut cumulative = Vec::with_capacity(weights.len());
+        let mut acc = 0.0;
+        for &w in weights {
+            debug_assert!(w >= 0.0);
+            acc += w;
+            cumulative.push(acc);
+        }
+        assert!(acc > 0.0, "weights must have positive sum");
+        CumulativeTable { cumulative }
+    }
+
+    /// Samples an index in O(log n).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let total = *self.cumulative.last().expect("non-empty");
+        let target = rng.gen::<f64>() * total;
+        self.cumulative.partition_point(|&c| c <= target)
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// Always false (construction rejects empty tables).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn normal_has_zero_mean_unit_variance() {
+        let mut r = rng();
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal(&mut r)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn log_normal_median_is_respected() {
+        let mut r = rng();
+        let mut samples: Vec<f64> = (0..10_001).map(|_| log_normal(&mut r, 100.0, 1.5)).collect();
+        samples.sort_by(f64::total_cmp);
+        let median = samples[5000];
+        assert!((median / 100.0 - 1.0).abs() < 0.1, "median {median}");
+        // Heavy tail: mean well above median.
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert!(mean > 2.0 * median);
+    }
+
+    #[test]
+    fn poisson_mean_matches_lambda() {
+        let mut r = rng();
+        let n = 20_000;
+        let total: u64 = (0..n).map(|_| poisson(&mut r, 6.5)).sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - 6.5).abs() < 0.15, "mean {mean}");
+        assert_eq!(poisson(&mut r, 0.0), 0);
+    }
+
+    #[test]
+    fn geometric_mean_matches_formula() {
+        let mut r = rng();
+        let p = 0.4;
+        let n = 20_000;
+        let total: u64 = (0..n).map(|_| geometric(&mut r, p)).sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - (1.0 - p) / p).abs() < 0.05, "mean {mean}");
+        assert_eq!(geometric(&mut r, 1.0), 0);
+    }
+
+    #[test]
+    fn pareto_respects_xmin_and_is_heavy_tailed() {
+        let mut r = rng();
+        let samples: Vec<f64> = (0..10_000).map(|_| pareto(&mut r, 1.0, 1.1)).collect();
+        assert!(samples.iter().all(|&x| x >= 1.0));
+        let max = samples.iter().cloned().fold(0.0, f64::max);
+        assert!(max > 100.0, "expected a heavy tail, max {max}");
+    }
+
+    #[test]
+    fn weighted_choice_respects_weights() {
+        let mut r = rng();
+        let weights = [1.0, 0.0, 3.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..40_000 {
+            counts[weighted_choice(&mut r, &weights)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        let ratio = counts[2] as f64 / counts[0] as f64;
+        assert!((ratio - 3.0).abs() < 0.2, "ratio {ratio}");
+    }
+
+    #[test]
+    fn cumulative_table_agrees_with_weighted_choice() {
+        let mut r = rng();
+        let weights = [5.0, 1.0, 4.0];
+        let table = CumulativeTable::new(&weights);
+        let mut counts = [0usize; 3];
+        for _ in 0..50_000 {
+            counts[table.sample(&mut r)] += 1;
+        }
+        let f0 = counts[0] as f64 / 50_000.0;
+        assert!((f0 - 0.5).abs() < 0.02, "f0 {f0}");
+        assert_eq!(table.len(), 3);
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut r = rng();
+        let n = 20_000;
+        let mean = (0..n).map(|_| exponential(&mut r, 30.0)).sum::<f64>() / n as f64;
+        assert!((mean - 30.0).abs() < 1.0, "mean {mean}");
+    }
+}

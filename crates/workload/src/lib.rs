@@ -1,0 +1,36 @@
+//! # workload
+//!
+//! The agent-based ENS ecosystem generator: given a [`WorldConfig`], it
+//! plans every name's lifecycle (registration, renewals, expiry, possible
+//! dropcatch, resale, sender traffic) and executes the plan against the
+//! real substrates (`sim-chain`, `ens-registry`, `opensea-sim`), producing
+//! a [`World`] whose *measured* statistics reproduce the shapes reported in
+//! *Panning for gold.eth* (IMC 2024) — see DESIGN.md §5 for the calibration
+//! anchors. Ground truth is kept alongside so integration tests can verify
+//! the measurement pipeline, which itself only ever sees the public data
+//! sources.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod dist;
+pub mod engine;
+pub mod namegen;
+pub mod plan;
+pub mod world;
+
+pub use config::{BehaviorParams, MarketParams, SenderParams, WorldConfig};
+pub use namegen::{ClassMix, NameClass, NameGenerator, NameSpec};
+pub use plan::{
+    build_plan, MisdirectTruth, NameTruth, OwnerKind, PeriodTruth, Plan, PlannedAction,
+    PlannedEvent,
+};
+pub use world::{World, WorldSummary};
+
+/// Glob-import convenience.
+pub mod prelude {
+    pub use crate::config::WorldConfig;
+    pub use crate::plan::{NameTruth, OwnerKind};
+    pub use crate::world::{World, WorldSummary};
+}

@@ -1,0 +1,123 @@
+//! A dropcatcher's-eye view: drive the ENS protocol directly, the way the
+//! paper's most active addresses (5,070 / 3,165 / 2,421 catches) must.
+//!
+//! The bot watches the registrar for names leaving their grace period,
+//! scores them with the same lexical heuristics the analysis uses, and
+//! registers the attractive ones the moment their premium hits zero —
+//! then we check what landed in its wallet.
+//!
+//! ```sh
+//! cargo run --release --example dropcatcher_bot
+//! ```
+
+use ens_dropcatch_suite::chain::Chain;
+use ens_dropcatch_suite::ens::{
+    commit_and_register, EnsSystem, GRACE_PERIOD, PREMIUM_PERIOD,
+};
+use ens_dropcatch_suite::lexicon;
+use ens_dropcatch_suite::oracle;
+use ens_dropcatch_suite::types::{Address, Duration, Label, Timestamp, Wei};
+
+/// How attractive is a label to our bot? (Same signals as the paper's
+/// Table 1: short, wordy, digit-free names.)
+fn score(label: &Label) -> f64 {
+    let s = label.as_str();
+    let mut score = 1.0;
+    if lexicon::is_dictionary_word(s) {
+        score += 3.0;
+    } else if lexicon::contains_dictionary_word(s) {
+        score += 1.0;
+    }
+    if lexicon::contains_digit(s) {
+        score -= 1.5;
+    }
+    if lexicon::contains_hyphen(s) || lexicon::contains_underscore(s) {
+        score -= 2.0;
+    }
+    score += (10.0 - s.len() as f64).max(0.0) * 0.3;
+    score
+}
+
+fn main() {
+    let price_oracle = oracle::PriceOracle::new().without_noise();
+    let mut chain = Chain::new(Timestamp::from_ymd(2021, 1, 1));
+    let mut ens = EnsSystem::new();
+
+    // A population of owners registers names; some will forget to renew.
+    let names = [
+        ("gold", true),        // dictionary word — will lapse
+        ("whale", true),       // dictionary word — will lapse
+        ("crypto-whale_99", true), // punctuation-ridden — will lapse
+        ("j8k2x9", true),      // alphanumeric noise — will lapse
+        ("mywallet", false),   // renewed by its owner
+    ];
+    let bot = Address::derive(b"dropcatcher-bot");
+    chain.mint(bot, Wei::from_eth(50));
+
+    let mut lapsing = Vec::new();
+    for (i, (name, lapses)) in names.iter().enumerate() {
+        let owner = Address::derive_indexed("owner", i as u64);
+        chain.mint(owner, Wei::from_eth(10));
+        let label = Label::parse(name).expect("valid label");
+        let px = price_oracle.cents_per_eth(chain.now());
+        commit_and_register(
+            &mut ens, &mut chain, &label, owner, i as u64, Duration::from_years(1), px, Some(owner),
+        )
+        .expect("registration succeeds");
+        println!("registered {name}.eth to {owner}");
+        if *lapses {
+            lapsing.push(label);
+        } else {
+            let px = price_oracle.cents_per_eth(chain.now());
+            ens.renew(&mut chain, &label, owner, Duration::from_years(5), px)
+                .expect("renewal succeeds");
+        }
+    }
+
+    // A year passes; the un-renewed names expire, then sit in their 90-day
+    // grace, then their 21-day premium auction.
+    chain.advance(Duration::from_years(1) + GRACE_PERIOD + PREMIUM_PERIOD);
+    println!("\n-- premium windows over; the bot wakes up at {} --", chain.now());
+
+    let mut spent = Wei::ZERO;
+    for label in &lapsing {
+        let s = score(label);
+        let available = ens.available(label, chain.now());
+        let (rent, premium) = ens.price_usd(label, Duration::from_years(1), chain.now());
+        println!(
+            "{label}.eth  available={available}  score={s:+.1}  rent={rent}  premium={premium}"
+        );
+        if !available || s < 1.0 {
+            println!("  -> skipped");
+            continue;
+        }
+        let px = price_oracle.cents_per_eth(chain.now());
+        let receipt = commit_and_register(
+            &mut ens, &mut chain, label, bot, 1_000, Duration::from_years(1), px, Some(bot),
+        )
+        .expect("catch succeeds");
+        spent += receipt.total();
+        println!("  -> CAUGHT for {}", receipt.total());
+    }
+
+    // Senders who still use the old names now pay the bot.
+    let confused_sender = Address::derive(b"confused-sender");
+    chain.mint(confused_sender, Wei::from_eth(5));
+    let gold = ens
+        .resolve(&"gold.eth".parse().expect("valid name"))
+        .expect("gold.eth still resolves");
+    chain
+        .transfer(
+            confused_sender,
+            gold,
+            Wei::from_eth(2),
+            ens_dropcatch_suite::chain::TxKind::Transfer,
+        )
+        .expect("transfer succeeds");
+
+    println!("\n-- outcome --");
+    println!("bot spent:    {spent}");
+    println!("bot balance:  {}", chain.balance(bot));
+    assert_eq!(gold, bot, "gold.eth now resolves to the bot");
+    println!("gold.eth resolves to the bot; the 2 ETH meant for its old owner is gone.");
+}

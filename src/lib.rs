@@ -1,0 +1,31 @@
+//! Umbrella crate for the `ens-dropcatch` workspace: a full, deterministic
+//! reproduction of *Panning for gold.eth: Understanding and Analyzing ENS
+//! Domain Dropcatching* (IMC 2024).
+//!
+//! This crate re-exports every workspace member under a stable module path so
+//! that examples and integration tests can depend on a single crate:
+//!
+//! ```
+//! use ens_dropcatch_suite::prelude::*;
+//! let world = WorldConfig::small().with_seed(7).build();
+//! assert!(world.dataset_summary().total_names > 0);
+//! ```
+
+pub use ens_dropcatch as analysis;
+pub use ens_lexicon as lexicon;
+pub use ens_registry as ens;
+pub use ens_subgraph as subgraph;
+pub use ens_types as types;
+pub use etherscan_sim as etherscan;
+pub use opensea_sim as opensea;
+pub use price_oracle as oracle;
+pub use sim_chain as chain;
+pub use wallet_sim as wallets;
+pub use workload;
+
+/// Commonly used items across the whole suite.
+pub mod prelude {
+    pub use ens_dropcatch::prelude::*;
+    pub use ens_types::prelude::*;
+    pub use workload::prelude::*;
+}

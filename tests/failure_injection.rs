@@ -1,0 +1,123 @@
+//! Failure-injection tests: the pipeline must degrade gracefully when the
+//! data sources do — lossy name recovery, missing price days, tiny API
+//! pages — and stay bit-identical across reruns.
+
+use ens_dropcatch_suite::analysis::{
+    run_study, DataSources, Dataset, StudyConfig, SubgraphCrawler, TxCrawler,
+};
+use ens_dropcatch_suite::oracle::PriceOracle;
+use ens_dropcatch_suite::subgraph::SubgraphConfig;
+use ens_dropcatch_suite::types::Timestamp;
+use ens_dropcatch_suite::workload::WorldConfig;
+
+fn world() -> workload::World {
+    WorldConfig::small().with_seed(321).build()
+}
+
+#[test]
+fn name_loss_degrades_lexical_coverage_but_not_detection() {
+    let world = world();
+    let lossless = world.subgraph(SubgraphConfig::lossless());
+    let lossy = world.subgraph(SubgraphConfig {
+        name_loss_rate: 0.30,
+        seed: 5,
+    });
+    let etherscan = world.etherscan();
+
+    let ds_clean = Dataset::collect(&lossless, &etherscan, world.observation_end());
+    let ds_lossy = Dataset::collect(&lossy, &etherscan, world.observation_end());
+
+    // Detection works on hashes, so the re-registration counts are equal.
+    let rr_clean = ens_dropcatch::detect_all(&ds_clean.domains).len();
+    let rr_lossy = ens_dropcatch::detect_all(&ds_lossy.domains).len();
+    assert_eq!(rr_clean, rr_lossy);
+
+    // But recovery drops as configured.
+    assert!(ds_lossy.crawl_report.recovery_rate() < 0.80);
+    assert!(ds_clean.crawl_report.recovery_rate() > 0.95);
+
+    // And the lossy study still runs end to end.
+    let sources = DataSources {
+        subgraph: &lossy,
+        etherscan: &etherscan,
+        opensea: world.opensea(),
+        oracle: world.oracle(),
+        observation_end: world.observation_end(),
+    };
+    let report = run_study(&sources, &StudyConfig::default());
+    assert!(report.features.n_rereg > 0);
+}
+
+#[test]
+fn page_size_does_not_change_results() {
+    let world = world();
+    let sg = world.subgraph(SubgraphConfig::lossless());
+    let scan = world.etherscan();
+
+    let (big, _) = SubgraphCrawler { page_size: 1000 }.crawl(&sg);
+    let (small, small_pages) = SubgraphCrawler { page_size: 17 }.crawl(&sg);
+    assert_eq!(big.len(), small.len());
+    assert!(small_pages > big.len() / 17);
+    let hashes_big: Vec<_> = big.iter().map(|d| d.label_hash).collect();
+    let hashes_small: Vec<_> = small.iter().map(|d| d.label_hash).collect();
+    assert_eq!(hashes_big, hashes_small, "stable order across page sizes");
+
+    // Same for the tx crawler.
+    let owner = big
+        .iter()
+        .find_map(|d| d.registrations.first().map(|r| r.owner))
+        .expect("an owner exists");
+    let (txs_big, _) = TxCrawler { page_size: 10_000 }.crawl(&scan, [owner]);
+    let (txs_small, _) = TxCrawler { page_size: 3 }.crawl(&scan, [owner]);
+    assert_eq!(txs_big[&owner], txs_small[&owner]);
+}
+
+#[test]
+fn missing_price_days_carry_forward_instead_of_crashing() {
+    let world = world();
+    // Punch a two-week hole into the price feed in mid-2022.
+    let gap_start = Timestamp::from_ymd(2022, 6, 1).day_index();
+    let oracle = PriceOracle::new().with_missing_days(gap_start..gap_start + 14);
+    for d in 0..14 {
+        let t = Timestamp((gap_start + d) * 86_400);
+        assert_eq!(oracle.try_cents_per_eth(t), None);
+        // Carry-forward: equals the last day before the gap.
+        assert_eq!(
+            oracle.cents_per_eth(t),
+            oracle.cents_per_eth(Timestamp((gap_start - 1) * 86_400))
+        );
+    }
+
+    // The study still runs with the gappy oracle.
+    let sg = world.subgraph(SubgraphConfig::lossless());
+    let scan = world.etherscan();
+    let sources = DataSources {
+        subgraph: &sg,
+        etherscan: &scan,
+        opensea: world.opensea(),
+        oracle: &oracle,
+        observation_end: world.observation_end(),
+    };
+    let report = run_study(&sources, &StudyConfig::default());
+    assert!(report.losses.hijackable.total_usd() > 0.0);
+}
+
+#[test]
+fn studies_are_deterministic_and_seed_sensitive() {
+    let build = |seed| {
+        let world = WorldConfig::small().with_names(600).with_seed(seed).build();
+        let sg = world.subgraph(SubgraphConfig::default());
+        let scan = world.etherscan();
+        let sources = DataSources {
+            subgraph: &sg,
+            etherscan: &scan,
+            opensea: world.opensea(),
+            oracle: world.oracle(),
+            observation_end: world.observation_end(),
+        };
+        let report = run_study(&sources, &StudyConfig::default());
+        serde_json::to_string(&report.overview.domain_frequency).unwrap()
+    };
+    assert_eq!(build(9), build(9), "same seed, same study");
+    assert_ne!(build(9), build(10), "different seed, different world");
+}

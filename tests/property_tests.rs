@@ -1,0 +1,203 @@
+//! Property-based tests over the core invariants: hashing, pricing,
+//! ledger conservation, timeline reconstruction, and the statistics.
+
+use ens_dropcatch_suite::chain::{Chain, ChainError, TxKind};
+use ens_dropcatch_suite::ens::{premium_after_grace, usd_to_wei};
+use ens_dropcatch_suite::types::{
+    keccak256, namehash, Address, Duration, EnsName, Timestamp, UsdCents, Wei,
+};
+use proptest::prelude::*;
+
+/// Strategy for valid ENS label strings.
+fn label_strategy() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[a-z0-9][a-z0-9_-]{2,18}").expect("valid regex")
+}
+
+proptest! {
+    #[test]
+    fn keccak_is_deterministic_and_injective_in_practice(
+        a in proptest::collection::vec(any::<u8>(), 0..256),
+        b in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        prop_assert_eq!(keccak256(&a), keccak256(&a));
+        if a != b {
+            prop_assert_ne!(keccak256(&a), keccak256(&b));
+        }
+    }
+
+    #[test]
+    fn namehash_distinguishes_names_and_round_trips_parsing(
+        a in label_strategy(),
+        b in label_strategy(),
+    ) {
+        let na = EnsName::parse(&a).unwrap();
+        let nb = EnsName::parse(&b).unwrap();
+        // Parse(display(x)) == x.
+        prop_assert_eq!(EnsName::parse(&na.to_full()).unwrap(), na.clone());
+        if a != b {
+            prop_assert_ne!(na.namehash(), nb.namehash());
+            prop_assert_ne!(na.label().hash(), nb.label().hash());
+        }
+        // The generic namehash agrees with the typed one.
+        prop_assert_eq!(namehash(&format!("{a}.eth")), na.namehash());
+    }
+
+    #[test]
+    fn premium_is_monotone_nonincreasing_and_bounded(
+        s1 in 0u64..2_000_000,
+        s2 in 0u64..2_000_000,
+    ) {
+        let (lo, hi) = (s1.min(s2), s1.max(s2));
+        let p_lo = premium_after_grace(Duration::from_secs(lo));
+        let p_hi = premium_after_grace(Duration::from_secs(hi));
+        prop_assert!(p_hi <= p_lo, "premium increased: {p_lo} -> {p_hi}");
+        prop_assert!(p_lo.0 <= 100_000_000 * 100);
+    }
+
+    #[test]
+    fn usd_to_wei_never_underpays(
+        cents in 1u64..1_000_000_000,
+        price in 1_000u64..10_000_000,
+    ) {
+        let wei = usd_to_wei(UsdCents(cents as u128), price);
+        // Converting back at the same price must recover at least the
+        // original amount (round-up property).
+        let back = wei.to_usd_cents(price);
+        prop_assert!(back >= UsdCents(cents as u128) - UsdCents(1));
+        prop_assert!(back.0 <= cents as u128 + 1);
+    }
+
+    #[test]
+    fn ledger_conserves_value_under_random_operations(
+        ops in proptest::collection::vec((0u8..3, 0u8..8, 0u8..8, 1u64..1_000), 1..120),
+    ) {
+        let mut chain = Chain::new(Timestamp::from_ymd(2021, 1, 1));
+        let addr = |i: u8| Address::derive_indexed("prop", i as u64);
+        for (kind, a, b, amount) in ops {
+            let value = Wei::from_milli_eth(amount);
+            match kind {
+                0 => {
+                    chain.mint(addr(a), value);
+                }
+                1 => {
+                    // Transfers may legitimately fail on insufficient funds;
+                    // they must never corrupt balances.
+                    match chain.transfer(addr(a), addr(b), value, TxKind::Transfer) {
+                        Ok(_) => {}
+                        Err(ChainError::InsufficientFunds { .. }) => {}
+                        Err(e) => prop_assert!(false, "unexpected error {e}"),
+                    }
+                }
+                _ => chain.advance(Duration::from_secs(amount)),
+            }
+            prop_assert_eq!(chain.total_balance(), chain.total_minted());
+        }
+    }
+
+    #[test]
+    fn ecdf_is_a_valid_distribution(values in proptest::collection::vec(-1e9f64..1e9, 0..200)) {
+        let ecdf = ens_dropcatch::stats::Ecdf::new(values.clone());
+        // Bounds.
+        prop_assert!(ecdf.at(f64::NEG_INFINITY) == 0.0);
+        if !values.is_empty() {
+            let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!((ecdf.at(max) - 1.0).abs() < 1e-12);
+        }
+        // Monotone.
+        let mut last = 0.0;
+        for i in -10..=10 {
+            let v = ecdf.at(i as f64 * 1e8);
+            prop_assert!(v >= last);
+            last = v;
+        }
+    }
+
+    #[test]
+    fn welch_p_values_are_valid_probabilities(
+        a in proptest::collection::vec(-1e6f64..1e6, 2..60),
+        b in proptest::collection::vec(-1e6f64..1e6, 2..60),
+    ) {
+        if let Some(r) = ens_dropcatch::stats::welch_t_test(&a, &b) {
+            prop_assert!((0.0..=1.0).contains(&r.p_value), "p = {}", r.p_value);
+            prop_assert!(r.statistic.is_finite());
+        }
+    }
+
+    #[test]
+    fn z_test_p_values_are_valid_probabilities(
+        k1 in 0usize..100, n1 in 1usize..100,
+        k2 in 0usize..100, n2 in 1usize..100,
+    ) {
+        let (k1, k2) = (k1.min(n1), k2.min(n2));
+        if let Some(r) = ens_dropcatch::stats::two_proportion_z_test(k1, n1, k2, n2) {
+            prop_assert!((0.0..=1.0).contains(&r.p_value));
+        }
+    }
+
+    #[test]
+    fn histogram_accounts_for_every_value(
+        values in proptest::collection::vec(-100.0f64..1000.0, 0..300),
+    ) {
+        let edges = vec![0.0, 10.0, 100.0, 500.0];
+        let h = ens_dropcatch::stats::Histogram::with_edges(edges, &values);
+        prop_assert_eq!(h.total(), values.len());
+    }
+}
+
+// Timeline-reconstruction invariants on randomly generated domain records.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn reregistration_detection_invariants(
+        n_regs in 1usize..6,
+        owners in proptest::collection::vec(0u8..4, 1..6),
+        gap_days in proptest::collection::vec(112u64..600, 1..6),
+    ) {
+        use ens_dropcatch_suite::subgraph::{DomainRecord, RegistrationEntry};
+        use ens_dropcatch_suite::types::{BlockNumber, Label};
+
+        // Build a synthetic record: registrations spaced by at least the
+        // grace period so every hand-off is protocol-legal.
+        let mut t = 0u64;
+        let mut regs = Vec::new();
+        for i in 0..n_regs {
+            let owner = Address::derive_indexed("o", owners[i % owners.len()] as u64);
+            regs.push(RegistrationEntry {
+                owner,
+                registered_at: Timestamp(t),
+                expires: Timestamp(t) + Duration::from_years(1),
+                base_cost: Wei::from_milli_eth(5),
+                premium: Wei::ZERO,
+                block: BlockNumber(i as u64),
+                tx: None,
+                legacy: false,
+            });
+            t += Duration::from_years(1).as_secs()
+                + Duration::from_days(gap_days[i % gap_days.len()]).as_secs();
+        }
+        let record = DomainRecord {
+            label_hash: Label::parse("propname").unwrap().hash(),
+            name: None,
+            registrations: regs.clone(),
+            ..DomainRecord::default()
+        };
+
+        let found = ens_dropcatch::detect_reregistrations(&record);
+        // Never more re-registrations than hand-offs.
+        prop_assert!(found.len() <= n_regs.saturating_sub(1));
+        // Each finding matches an owner change and respects time ordering.
+        for r in &found {
+            prop_assert_ne!(r.prev_owner, r.new_owner);
+            prop_assert!(r.at > r.prev_expiry);
+            prop_assert!(r.delay >= Duration::from_days(90), "grace violated");
+            prop_assert_eq!(r.premium_end, r.grace_end + Duration::from_days(21));
+        }
+        // Exactly the owner-changing boundaries are flagged.
+        let expected = regs
+            .windows(2)
+            .filter(|w| w[0].owner != w[1].owner)
+            .count();
+        prop_assert_eq!(found.len(), expected);
+    }
+}
