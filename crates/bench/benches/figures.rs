@@ -75,8 +75,12 @@ fn figs8_to_11(c: &mut Criterion) {
     g.bench_function("fig8_misdirected_amounts", |b| {
         b.iter(|| black_box(&losses).fig8_amounts())
     });
-    g.bench_function("fig9_scatter", |b| b.iter(|| black_box(&losses).fig9_scatter()));
-    g.bench_function("fig10_profit", |b| b.iter(|| black_box(&losses).fig10_profit()));
+    g.bench_function("fig9_scatter", |b| {
+        b.iter(|| black_box(&losses).fig9_scatter())
+    });
+    g.bench_function("fig10_profit", |b| {
+        b.iter(|| black_box(&losses).fig10_profit())
+    });
     g.bench_function("fig11_scatter_noncustodial", |b| {
         b.iter(|| black_box(&losses).fig11_scatter())
     });
@@ -95,15 +99,15 @@ fn table2(c: &mut Criterion) {
     let f = bench_fixture();
     let losses = analyze_losses(&f.dataset, f.world.oracle());
     c.bench_function("table2_countermeasure_eval", |b| {
-        b.iter(|| {
-            evaluate_countermeasure(black_box(&losses), &f.dataset, Duration::from_days(365))
-        })
+        b.iter(|| evaluate_countermeasure(black_box(&losses), &f.dataset, Duration::from_days(365)))
     });
 }
 
 fn income_cdf(c: &mut Criterion) {
     // Fig 6's raw building block: ECDF construction at scale.
-    let values: Vec<f64> = (0..100_000).map(|i| ((i * 2_654_435_761u64) % 1_000_000) as f64).collect();
+    let values: Vec<f64> = (0..100_000)
+        .map(|i| ((i * 2_654_435_761u64) % 1_000_000) as f64)
+        .collect();
     c.bench_function("ecdf_build_100k", |b| {
         b.iter(|| Ecdf::new(black_box(values.clone())))
     });

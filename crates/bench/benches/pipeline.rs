@@ -1,19 +1,19 @@
 //! Benches for the collection pipeline of §3: subgraph paging, txlist
-//! crawling, dataset assembly, re-registration detection, and the full
-//! study.
+//! crawling, dataset assembly (sequential and sharded across threads),
+//! re-registration detection, and the full study.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use ens_bench::bench_fixture;
-use ens_dropcatch::{detect_all, Dataset, SubgraphCrawler, TxCrawler};
+use ens_dropcatch::{detect_all, CrawlConfig, Crawler, Dataset};
 
 fn subgraph_crawl(c: &mut Criterion) {
     let f = bench_fixture();
     let mut g = c.benchmark_group("crawl");
     g.sample_size(20);
     g.bench_function("subgraph_full_paging", |b| {
-        b.iter(|| SubgraphCrawler::default().crawl(black_box(&f.subgraph)))
+        b.iter(|| Crawler::default().crawl(black_box(&f.subgraph)))
     });
     g.finish();
 }
@@ -21,11 +21,19 @@ fn subgraph_crawl(c: &mut Criterion) {
 fn txlist_crawl(c: &mut Criterion) {
     let f = bench_fixture();
     let addresses = ens_dropcatch::crawl::relevant_addresses(&f.dataset.domains);
+    let sources: Vec<_> = addresses
+        .iter()
+        .map(|&a| (a, f.etherscan.txlist_source(a)))
+        .collect();
     let mut g = c.benchmark_group("crawl");
     g.sample_size(10);
     g.bench_function("txlist_all_relevant_addresses", |b| {
         b.iter(|| {
-            TxCrawler::default().crawl(black_box(&f.etherscan), addresses.iter().copied())
+            Crawler {
+                page_size: 10_000,
+                ..Crawler::default()
+            }
+            .crawl_keyed(black_box(&sources))
         })
     });
     g.finish();
@@ -40,10 +48,38 @@ fn dataset_assembly(c: &mut Criterion) {
             Dataset::collect(
                 black_box(&f.subgraph),
                 black_box(&f.etherscan),
+                f.world.opensea(),
                 f.world.observation_end(),
             )
         })
     });
+    g.finish();
+}
+
+/// The headline of the sharded engine: end-to-end collection at 1/2/4/8
+/// worker threads. The assembled dataset is byte-identical at every point;
+/// only the wall clock moves.
+fn crawl_sharded(c: &mut Criterion) {
+    let f = bench_fixture();
+    let mut g = c.benchmark_group("crawl_sharded");
+    g.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    Dataset::collect_with(
+                        black_box(&f.subgraph),
+                        black_box(&f.etherscan),
+                        f.world.opensea(),
+                        f.world.observation_end(),
+                        &CrawlConfig::with_threads(threads),
+                    )
+                })
+            },
+        );
+    }
     g.finish();
 }
 
@@ -67,6 +103,7 @@ criterion_group!(
     subgraph_crawl,
     txlist_crawl,
     dataset_assembly,
+    crawl_sharded,
     detection,
     full_study
 );

@@ -18,9 +18,7 @@
 use ens_bench::Fixture;
 use ens_dropcatch::countermeasures::evaluate_countermeasure;
 use ens_dropcatch::losses::{analyze_losses, upper_bound_losses, SenderKind};
-use ens_dropcatch::registrations::{
-    detect_all, detect_reregistrations_ignoring_transfers,
-};
+use ens_dropcatch::registrations::{detect_all, detect_reregistrations_ignoring_transfers};
 use ens_types::Duration;
 
 fn parse_args() -> (usize, u64) {
@@ -115,9 +113,7 @@ fn main() {
             }
         }
     }
-    println!(
-        "common senders kept:           {kept_senders} (non-custodial + Coinbase)"
-    );
+    println!("common senders kept:           {kept_senders} (non-custodial + Coinbase)");
     println!(
         "excluded as custodial:         {custodial_senders} carrying ${custodial_usd:.0} \
          (shared exchange wallets — flagged txs may be other users')"
@@ -163,7 +159,12 @@ fn main() {
         .build();
     let cf_sg = cf_world.subgraph(ens_subgraph::SubgraphConfig::default());
     let cf_scan = cf_world.etherscan();
-    let cf_ds = ens_dropcatch::Dataset::collect(&cf_sg, &cf_scan, cf_world.observation_end());
+    let cf_ds = ens_dropcatch::Dataset::collect(
+        &cf_sg,
+        &cf_scan,
+        cf_world.opensea(),
+        cf_world.observation_end(),
+    );
     let cf_losses = analyze_losses(&cf_ds, cf_world.oracle());
 
     let rereg = detect_all(&dataset.domains);
@@ -171,13 +172,21 @@ fn main() {
     let median_delay = |rs: &[ens_dropcatch::ReRegistration]| {
         let mut d: Vec<f64> = rs.iter().map(|r| r.delay.as_days_f64()).collect();
         d.sort_by(f64::total_cmp);
-        if d.is_empty() { f64::NAN } else { d[d.len() / 2] }
+        if d.is_empty() {
+            f64::NAN
+        } else {
+            d[d.len() / 2]
+        }
     };
     let premium_usd = |ds: &ens_dropcatch::Dataset, w: &workload::World| -> f64 {
         ds.domains
             .iter()
             .flat_map(|d| &d.registrations)
-            .map(|r| w.oracle().to_usd(r.premium, r.registered_at).as_dollars_f64())
+            .map(|r| {
+                w.oracle()
+                    .to_usd(r.premium, r.registered_at)
+                    .as_dollars_f64()
+            })
             .sum()
     };
     println!("                              with auction    without auction");
@@ -193,7 +202,7 @@ fn main() {
     );
     println!(
         "premium revenue (USD)         {:>12.0}    {:>15.0}",
-        premium_usd(&dataset, world),
+        premium_usd(dataset, world),
         premium_usd(&cf_ds, &cf_world)
     );
     println!(
@@ -203,8 +212,16 @@ fn main() {
     );
     println!(
         "misdirected USD               {:>12.0}    {:>15.0}",
-        losses.findings.iter().map(|f| f.misdirected_usd()).sum::<f64>(),
-        cf_losses.findings.iter().map(|f| f.misdirected_usd()).sum::<f64>()
+        losses
+            .findings
+            .iter()
+            .map(|f| f.misdirected_usd())
+            .sum::<f64>(),
+        cf_losses
+            .findings
+            .iter()
+            .map(|f| f.misdirected_usd())
+            .sum::<f64>()
     );
     println!(
         "(the auction's first-order effects are timing and revenue: the \

@@ -31,7 +31,12 @@ impl Fixture {
             .build();
         let subgraph = world.subgraph(SubgraphConfig::default());
         let etherscan = world.etherscan();
-        let dataset = Dataset::collect(&subgraph, &etherscan, world.observation_end());
+        let dataset = Dataset::collect(
+            &subgraph,
+            &etherscan,
+            world.opensea(),
+            world.observation_end(),
+        );
         Fixture {
             world,
             subgraph,
@@ -48,6 +53,7 @@ impl Fixture {
             opensea: self.world.opensea(),
             oracle: self.world.oracle(),
             observation_end: self.world.observation_end(),
+            threads: 1,
         }
     }
 
@@ -117,7 +123,12 @@ pub fn compare_to_paper(world: &World, report: &StudyReport) -> Vec<Comparison> 
 
     // Fig 2
     let months = &report.overview.timeline.months;
-    let regs = |ym: &str| months.iter().find(|m| m.month == ym).map_or(0, |m| m.registrations);
+    let regs = |ym: &str| {
+        months
+            .iter()
+            .find(|m| m.month == ym)
+            .map_or(0, |m| m.registrations)
+    };
     let fig2_holds = regs("2022-09") > regs("2020-07") && regs("2022-09") > regs("2023-09");
     push(
         "Fig 2",
@@ -159,7 +170,10 @@ pub fn compare_to_paper(world: &World, report: &StudyReport) -> Vec<Comparison> 
     );
 
     // Fig 4
-    let multi = report.overview.domain_frequency.registered_more_than_twice();
+    let multi = report
+        .overview
+        .domain_frequency
+        .registered_more_than_twice();
     let multi_frac = multi as f64 / caught.max(1) as f64;
     push(
         "Fig 4",
@@ -171,7 +185,13 @@ pub fn compare_to_paper(world: &World, report: &StudyReport) -> Vec<Comparison> 
 
     // Fig 5
     let top = report.overview.catchers.top(3);
-    let catch_events: usize = report.overview.catchers.counts_desc.iter().map(|(_, c)| c).sum();
+    let catch_events: usize = report
+        .overview
+        .catchers
+        .counts_desc
+        .iter()
+        .map(|(_, c)| c)
+        .sum();
     push(
         "Fig 5",
         "top-3 catcher addresses",
@@ -236,7 +256,12 @@ pub fn compare_to_paper(world: &World, report: &StudyReport) -> Vec<Comparison> 
             r < c,
         );
     }
-    let significant = report.features.rows.iter().filter(|r| r.significant()).count();
+    let significant = report
+        .features
+        .rows
+        .iter()
+        .filter(|r| r.significant())
+        .count();
     let key_significant = [
         "average_income_USD",
         "average_length",

@@ -39,7 +39,10 @@ impl fmt::Display for ChainError {
                 "insufficient funds: {from} has {balance}, needs {needed}"
             ),
             ChainError::ClockWentBackwards { now, requested } => {
-                write!(f, "clock went backwards: now {now:?}, requested {requested:?}")
+                write!(
+                    f,
+                    "clock went backwards: now {now:?}, requested {requested:?}"
+                )
             }
             ChainError::ZeroValueTransfer => write!(f, "zero-value transfer"),
         }

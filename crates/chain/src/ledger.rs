@@ -3,9 +3,7 @@
 
 use std::collections::HashMap;
 
-use ens_types::{
-    Address, BlockNumber, Duration, Timestamp, TxHash, Wei, SECONDS_PER_BLOCK,
-};
+use ens_types::{Address, BlockNumber, Duration, Timestamp, TxHash, Wei, SECONDS_PER_BLOCK};
 use serde::{Deserialize, Serialize};
 
 use crate::error::ChainError;
@@ -245,7 +243,12 @@ mod tests {
         chain.mint(addr("a"), Wei::from_eth(5));
         for _ in 0..10 {
             chain
-                .transfer(addr("a"), addr("b"), Wei::from_milli_eth(100), TxKind::Transfer)
+                .transfer(
+                    addr("a"),
+                    addr("b"),
+                    Wei::from_milli_eth(100),
+                    TxKind::Transfer,
+                )
                 .unwrap();
         }
         assert_eq!(chain.total_balance(), chain.total_minted());

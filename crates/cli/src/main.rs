@@ -4,21 +4,25 @@
 //! transactions publicly available"):
 //!
 //! ```text
-//! ens-dropcatch run      --names 20000 --seed 1 [--csv DIR] [--dataset F]
-//! ens-dropcatch simulate --names 20000 --seed 1 --dataset dataset.json
-//! ens-dropcatch analyze  --dataset dataset.json [--csv DIR]
+//! ens-dropcatch run      --names 20000 --seed 1 [--threads N] [--csv DIR] [--dataset F]
+//! ens-dropcatch simulate --names 20000 --seed 1 [--threads N] --dataset dataset.json
+//! ens-dropcatch analyze  --dataset dataset.json [--threads N] [--csv DIR]
 //! ```
 //!
 //! `simulate` builds a world and writes the *crawled dataset* (domains,
-//! per-address transactions, labels, reverse claims) as JSON; `analyze`
-//! re-runs the full study from such a file — no simulator required, exactly
-//! how a third party would re-analyze the released data.
+//! per-address transactions, labels, reverse claims, marketplace events) as
+//! JSON; `analyze` re-runs the full study from such a file — no simulator
+//! required, exactly how a third party would re-analyze the released data.
+//! `--threads` shards the crawl (and the independent analysis passes)
+//! across worker threads; the dataset and report are byte-identical for
+//! any value.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use ens_dropcatch::{run_study_on, DataSources, Dataset, StudyConfig};
+use ens_dropcatch::{run_study_on, CrawlConfig, DataSources, Dataset, StudyConfig};
 use ens_subgraph::SubgraphConfig;
+use etherscan_sim::LabelService;
 use opensea_sim::OpenSea;
 use price_oracle::PriceOracle;
 use workload::WorldConfig;
@@ -26,15 +30,16 @@ use workload::WorldConfig;
 struct Args {
     names: usize,
     seed: u64,
+    threads: usize,
     dataset: Option<PathBuf>,
     csv: Option<PathBuf>,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  ens-dropcatch run      [--names N] [--seed S] [--csv DIR] [--dataset FILE]\n  \
-         ens-dropcatch simulate [--names N] [--seed S] --dataset FILE\n  \
-         ens-dropcatch analyze  --dataset FILE [--csv DIR]"
+        "usage:\n  ens-dropcatch run      [--names N] [--seed S] [--threads N] [--csv DIR] [--dataset FILE]\n  \
+         ens-dropcatch simulate [--names N] [--seed S] [--threads N] --dataset FILE\n  \
+         ens-dropcatch analyze  --dataset FILE [--threads N] [--csv DIR]"
     );
     ExitCode::from(2)
 }
@@ -43,6 +48,7 @@ fn parse(mut args: impl Iterator<Item = String>) -> Option<Args> {
     let mut out = Args {
         names: 20_000,
         seed: 1,
+        threads: 1,
         dataset: None,
         csv: None,
     };
@@ -50,6 +56,7 @@ fn parse(mut args: impl Iterator<Item = String>) -> Option<Args> {
         match arg.as_str() {
             "--names" => out.names = args.next()?.parse().ok()?,
             "--seed" => out.seed = args.next()?.parse().ok()?,
+            "--threads" => out.threads = args.next()?.parse::<usize>().ok()?.max(1),
             "--dataset" => out.dataset = Some(PathBuf::from(args.next()?)),
             "--csv" => out.csv = Some(PathBuf::from(args.next()?)),
             _ => return None,
@@ -81,20 +88,41 @@ fn main() -> ExitCode {
 /// Builds a world; with `full_study` also analyzes and prints the report,
 /// otherwise just exports the dataset.
 fn run(args: Args, full_study: bool) -> ExitCode {
-    eprintln!("building world: {} names, seed {}...", args.names, args.seed);
+    eprintln!(
+        "building world: {} names, seed {}...",
+        args.names, args.seed
+    );
     let world = WorldConfig::default()
         .with_names(args.names)
         .with_seed(args.seed)
         .build();
     let subgraph = world.subgraph(SubgraphConfig::default());
     let etherscan = world.etherscan();
-    eprintln!("crawling (subgraph + txlists)...");
-    let dataset = Dataset::collect(&subgraph, &etherscan, world.observation_end());
+    eprintln!(
+        "crawling (subgraph + txlists + market) on {} thread(s)...",
+        args.threads
+    );
+    let (dataset, timings) = Dataset::collect_with(
+        &subgraph,
+        &etherscan,
+        world.opensea(),
+        world.observation_end(),
+        &CrawlConfig::with_threads(args.threads),
+    );
     eprintln!(
         "collected {} domains, {} transactions (recovery {:.2}%)",
         dataset.crawl_report.domains,
         dataset.crawl_report.transactions,
         dataset.crawl_report.recovery_rate() * 100.0
+    );
+    // Timings go to stderr only: stdout must be identical across thread
+    // counts.
+    eprintln!(
+        "crawl took {:.1?} (subgraph {:.1?}, txlist {:.1?}, market {:.1?})",
+        timings.total(),
+        timings.subgraph,
+        timings.txlist,
+        timings.market
     );
 
     if let Some(path) = &args.dataset {
@@ -123,8 +151,13 @@ fn run(args: Args, full_study: bool) -> ExitCode {
             opensea: world.opensea(),
             oracle: world.oracle(),
             observation_end: world.observation_end(),
+            threads: args.threads,
         };
-        let report = run_study_on(&dataset, &sources, &StudyConfig::default());
+        let config = StudyConfig {
+            threads: args.threads,
+            ..StudyConfig::default()
+        };
+        let report = run_study_on(&dataset, &sources, &config);
         println!("{}", report.render());
         if let Some(dir) = &args.csv {
             return write_csv(&report, dir);
@@ -159,23 +192,26 @@ fn analyze(args: Args) -> ExitCode {
         dataset.crawl_report.transactions
     );
 
-    // Offline re-analysis has the deterministic price series but no
-    // marketplace feed, so §4.2's resale join reports zeros.
+    // Offline re-analysis is fully self-contained: the dataset carries its
+    // own labels, reverse claims and marketplace events, so every section
+    // (including §4.2's resale join) reproduces from the file alone. The
+    // placeholder sources below are never consulted by `run_study_on`.
     let oracle = PriceOracle::new();
     let opensea = OpenSea::new();
     let subgraph = ens_subgraph::Subgraph::index(&[], SubgraphConfig::lossless());
     let sources = DataSources {
         subgraph: &subgraph,
-        etherscan: &etherscan_sim::Etherscan::index(
-            &sim_chain_stub(),
-            dataset.labels.clone(),
-        ),
+        etherscan: &etherscan_sim::Etherscan::index(&sim_chain_stub(), LabelService::new()),
         opensea: &opensea,
         oracle: &oracle,
         observation_end: dataset.observation_end,
+        threads: args.threads,
     };
-    let report = run_study_on(&dataset, &sources, &StudyConfig::default());
-    eprintln!("note: resale (§4.2) figures are zero — the marketplace feed is not part of the dataset export");
+    let config = StudyConfig {
+        threads: args.threads,
+        ..StudyConfig::default()
+    };
+    let report = run_study_on(&dataset, &sources, &config);
     println!("{}", report.render());
     if let Some(dir) = &args.csv {
         return write_csv(&report, dir);

@@ -28,7 +28,11 @@ fn run_produces_a_report_and_csv_bundle() {
         ])
         .output()
         .expect("binary runs");
-    assert!(output.status.success(), "stderr: {}", String::from_utf8_lossy(&output.stderr));
+    assert!(
+        output.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
     let stdout = String::from_utf8_lossy(&output.stdout);
     for section in ["Fig 2", "Table 1", "Table 2", "resale market"] {
         assert!(stdout.contains(section), "missing {section}");
@@ -67,5 +71,8 @@ fn bad_arguments_exit_nonzero_with_usage() {
         .args(["simulate", "--names", "10"])
         .output()
         .expect("binary runs");
-    assert!(!output.status.success(), "simulate without --dataset must fail");
+    assert!(
+        !output.status.success(),
+        "simulate without --dataset must fail"
+    );
 }

@@ -139,11 +139,7 @@ fn wallet_with(policy: WarningPolicy) -> WalletProfile {
 
 /// Evaluates one policy against every misdirected transaction (interception)
 /// and every legitimate incoming transaction (annoyance).
-fn evaluate_policy(
-    losses: &LossReport,
-    dataset: &Dataset,
-    policy: WarningPolicy,
-) -> PolicyOutcome {
+fn evaluate_policy(losses: &LossReport, dataset: &Dataset, policy: WarningPolicy) -> PolicyOutcome {
     let wallet = wallet_with(policy);
     let mut outcome = PolicyOutcome::default();
 
@@ -157,8 +153,8 @@ fn evaluate_policy(
             }
             for &(send_time, usd) in &sender.transfers_to_new {
                 flagged_set.insert((sender.sender, send_time.0));
-                let reverse_matches = name
-                    .map(|n| dataset.primary_name_at(finding.new_owner, send_time) == Some(n));
+                let reverse_matches =
+                    name.map(|n| dataset.primary_name_at(finding.new_owner, send_time) == Some(n));
                 let ctx = ResolutionContext {
                     resolved: Some(finding.new_owner),
                     expiry: None,
@@ -274,7 +270,7 @@ mod tests {
         let world = WorldConfig::default().with_seed(80).build();
         let sg = world.subgraph(SubgraphConfig::lossless());
         let scan = world.etherscan();
-        let ds = Dataset::collect(&sg, &scan, world.observation_end());
+        let ds = Dataset::collect(&sg, &scan, world.opensea(), world.observation_end());
         let losses = analyze_losses(&ds, world.oracle());
         (ds, losses)
     }
@@ -333,14 +329,12 @@ mod tests {
         let report = evaluate_countermeasure(&losses, &ds, Duration::from_days(365));
         // Same (or better) interception than the naive freshness warning...
         assert!(
-            report.rereg_policy.interception_rate()
-                >= report.risk_policy.interception_rate() * 0.9
+            report.rereg_policy.interception_rate() >= report.risk_policy.interception_rate() * 0.9
         );
         // ...at a small fraction of the false positives: legitimate new
         // names never changed hands, so they never warn.
         assert!(
-            report.rereg_policy.annoyance_rate()
-                < report.risk_policy.annoyance_rate() * 0.5,
+            report.rereg_policy.annoyance_rate() < report.risk_policy.annoyance_rate() * 0.5,
             "rereg {} vs naive {}",
             report.rereg_policy.annoyance_rate(),
             report.risk_policy.annoyance_rate()

@@ -1,21 +1,58 @@
-//! Data collection (the paper's §3 / Fig 1): page through the ENS subgraph
-//! for every domain's registration history, then pull per-address
-//! transaction lists from the explorer for every wallet the analysis needs.
+//! Data collection (the paper's §3 / Fig 1): one generic, sharded crawl
+//! engine drives every paged data source — the ENS subgraph for domain
+//! histories, the explorer's per-address `txlist`, and the marketplace
+//! event stream — through the [`PagedSource`] trait.
+//!
+//! Pagination, bounded retry and partial-failure accounting live in exactly
+//! one place: [`drain`], the workspace's single pagination loop. On top of
+//! it, [`Crawler`] shards the key space across `std::thread::scope` workers
+//! — a source with a known total is split into fixed page ranges, a set of
+//! keyed sources (addresses) is split by stable key hash — and merges shard
+//! results in deterministic shard-index order, so every output (items,
+//! page/retry counts, the assembled [`Dataset`](crate::dataset::Dataset))
+//! is byte-identical for any thread count.
 //!
 //! The crawlers consume *only* the public query APIs of the data-source
 //! crates — never simulator internals — so the pipeline has exactly the
 //! same visibility as the paper's.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
 
-use ens_subgraph::{DomainRecord, PageRequest, Subgraph};
+use ens_subgraph::DomainRecord;
+use ens_types::paged::{PagedSource, ShardKey};
 use ens_types::Address;
-use etherscan_sim::Etherscan;
 use serde::{Deserialize, Serialize};
-use sim_chain::Transaction;
+
+/// Per-source crawl accounting: how many pages were fetched, how many items
+/// they carried, and how many transient failures were retried away. All
+/// three are deterministic — independent of thread count and interleaving —
+/// so they are safe to serialize inside the dataset. (Wall-clock timings
+/// are deliberately kept out of this struct; see [`CrawlTimings`].)
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SourceStats {
+    /// Pages fetched (including the single probe page of an empty source).
+    pub pages: usize,
+    /// Items returned across all pages.
+    pub items: usize,
+    /// Transient page failures that were retried successfully.
+    pub retries: usize,
+}
+
+impl SourceStats {
+    fn absorb(&mut self, other: SourceStats) {
+        self.pages += other.pages;
+        self.items += other.items;
+        self.retries += other.retries;
+    }
+}
 
 /// What the crawl recovered, mirroring the paper's §3 reporting
-/// ("data recovery rate of 99.9%", "9,725,874 transactions").
+/// ("data recovery rate of 99.9%", "9,725,874 transactions"), with
+/// per-source page/retry accounting.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct CrawlReport {
     /// Domains returned by the subgraph.
@@ -28,10 +65,12 @@ pub struct CrawlReport {
     pub addresses_crawled: usize,
     /// Total transactions collected.
     pub transactions: usize,
-    /// Subgraph pages fetched.
-    pub subgraph_pages: usize,
-    /// Explorer pages fetched.
-    pub txlist_pages: usize,
+    /// Subgraph paging statistics.
+    pub subgraph: SourceStats,
+    /// Explorer `txlist` paging statistics (summed over all addresses).
+    pub txlist: SourceStats,
+    /// Marketplace event-stream paging statistics.
+    pub market: SourceStats,
 }
 
 impl CrawlReport {
@@ -42,78 +81,302 @@ impl CrawlReport {
         }
         1.0 - self.unrecoverable_names as f64 / self.domains as f64
     }
-}
 
-/// Pages through every domain on the subgraph.
-pub struct SubgraphCrawler {
-    /// Page size (capped server-side at 1000).
-    pub page_size: usize,
-}
-
-impl Default for SubgraphCrawler {
-    fn default() -> Self {
-        SubgraphCrawler { page_size: 1000 }
+    /// Total pages fetched across all sources.
+    pub fn total_pages(&self) -> usize {
+        self.subgraph.pages + self.txlist.pages + self.market.pages
     }
 }
 
-impl SubgraphCrawler {
-    /// Fetches all domain records; returns them with the page count.
-    pub fn crawl(&self, subgraph: &Subgraph) -> (Vec<DomainRecord>, usize) {
-        let mut request = PageRequest::first(self.page_size);
-        let mut out = Vec::new();
-        let mut pages = 0;
-        loop {
-            let page = subgraph.domains(request);
-            pages += 1;
-            let done = !page.has_more(request);
-            out.extend(page.items);
-            if done {
-                break;
-            }
-            request = request.next();
+/// Wall-clock time spent per source. Kept separate from [`CrawlReport`]
+/// because timings vary run to run and thread count to thread count — they
+/// must never leak into the (byte-reproducible) dataset export.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CrawlTimings {
+    /// Time draining the subgraph.
+    pub subgraph: Duration,
+    /// Time draining every address's `txlist`.
+    pub txlist: Duration,
+    /// Time draining the marketplace event stream.
+    pub market: Duration,
+}
+
+impl CrawlTimings {
+    /// Total collection wall-clock.
+    pub fn total(&self) -> Duration {
+        self.subgraph + self.txlist + self.market
+    }
+}
+
+/// A page request that kept failing after every retry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CrawlError {
+    /// Which source failed.
+    pub source: &'static str,
+    /// The item offset of the failed request.
+    pub offset: usize,
+    /// Attempts made (1 initial + retries).
+    pub attempts: usize,
+    /// The last failure's message.
+    pub message: String,
+}
+
+impl fmt::Display for CrawlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} crawl gave up at offset {} after {} attempts: {}",
+            self.source, self.offset, self.attempts, self.message
+        )
+    }
+}
+
+impl std::error::Error for CrawlError {}
+
+/// The result of draining one source: items in the endpoint's stable
+/// order, deterministic accounting, and the (non-deterministic) wall time.
+#[derive(Clone, Debug)]
+pub struct Crawled<T> {
+    /// All items, in the source's stable order.
+    pub items: Vec<T>,
+    /// Page/item/retry accounting.
+    pub stats: SourceStats,
+    /// Wall-clock time of this crawl.
+    pub elapsed: Duration,
+}
+
+/// The result of draining a family of keyed sources (one `txlist` per
+/// address): a key-ordered map plus summed accounting.
+#[derive(Clone, Debug)]
+pub struct KeyedCrawl<K, T> {
+    /// Per-key items, in each source's stable order.
+    pub map: BTreeMap<K, Vec<T>>,
+    /// Accounting summed over every key's crawl.
+    pub stats: SourceStats,
+    /// Wall-clock time of the whole keyed crawl.
+    pub elapsed: Duration,
+}
+
+/// The generic crawl engine. One instance drives any [`PagedSource`]:
+///
+/// - [`Crawler::crawl`] drains a single source. If the source reports a
+///   total, the page space is split into fixed `page_size` ranges and
+///   `threads` scoped workers claim ranges from a shared counter; results
+///   are merged in page order, so output and accounting are identical for
+///   any thread count. Without a total the source is walked sequentially
+///   by cursor.
+/// - [`Crawler::crawl_keyed`] drains one source per key (the per-address
+///   `txlist`s), sharding keys across workers by their stable
+///   [`ShardKey::shard_hash`] and merging into a [`BTreeMap`].
+#[derive(Clone, Copy, Debug)]
+pub struct Crawler {
+    /// Items requested per page (endpoints may cap lower server-side).
+    pub page_size: usize,
+    /// Worker threads; `1` crawls inline on the calling thread.
+    pub threads: usize,
+    /// Retries per page before giving up with a [`CrawlError`].
+    pub max_retries: usize,
+}
+
+impl Default for Crawler {
+    fn default() -> Self {
+        Crawler {
+            page_size: 1000,
+            threads: 1,
+            max_retries: 3,
         }
-        (out, pages)
     }
 }
 
-/// Pulls `txlist` pages for a set of addresses.
-pub struct TxCrawler {
-    /// Transactions per page (capped server-side at 10,000).
-    pub page_size: usize,
-}
-
-impl Default for TxCrawler {
-    fn default() -> Self {
-        TxCrawler { page_size: 10_000 }
-    }
-}
-
-impl TxCrawler {
-    /// Fetches the complete transaction history of every address; returns
-    /// the per-address map and the page count.
-    pub fn crawl(
-        &self,
-        etherscan: &Etherscan,
-        addresses: impl IntoIterator<Item = Address>,
-    ) -> (HashMap<Address, Vec<Transaction>>, usize) {
-        let mut out = HashMap::new();
-        let mut pages = 0;
-        for address in addresses {
-            let mut txs: Vec<Transaction> = Vec::new();
-            let mut page = 1;
-            loop {
-                let batch = etherscan.txlist(address, page, self.page_size);
-                pages += 1;
-                let done = batch.len() < self.page_size;
-                txs.extend(batch);
-                if done {
-                    break;
+/// The workspace's single pagination loop: drains `source` from item
+/// `start` up to `end` (when the total is known) or until the cursor runs
+/// dry. Each page is retried up to `max_retries` times; every extra attempt
+/// is counted in `retries`.
+fn drain<S: PagedSource>(
+    source: &S,
+    start: usize,
+    end: Option<usize>,
+    page_size: usize,
+    max_retries: usize,
+) -> Result<(Vec<S::Item>, SourceStats), CrawlError> {
+    let mut out = Vec::new();
+    let mut stats = SourceStats::default();
+    let mut offset = start;
+    loop {
+        let limit = match end {
+            // An empty range still costs one probe request — a crawler
+            // cannot know a source is empty without asking it.
+            Some(e) if e > offset => (e - offset).min(page_size),
+            _ => page_size,
+        };
+        let mut attempt = 0;
+        let batch = loop {
+            match source.fetch(offset, limit) {
+                Ok(batch) => break batch,
+                Err(err) => {
+                    attempt += 1;
+                    if attempt > max_retries {
+                        return Err(CrawlError {
+                            source: source.source_name(),
+                            offset,
+                            attempts: attempt,
+                            message: err.message,
+                        });
+                    }
+                    stats.retries += 1;
                 }
-                page += 1;
             }
-            out.insert(address, txs);
+        };
+        stats.pages += 1;
+        stats.items += batch.items.len();
+        let got = batch.items.len();
+        out.extend(batch.items);
+        offset += got;
+        let done = match end {
+            Some(e) => offset >= e || got == 0,
+            None => got == 0 || !batch.has_more,
+        };
+        if done {
+            return Ok((out, stats));
         }
-        (out, pages)
+    }
+}
+
+impl Crawler {
+    /// A crawler with the given page size (threads and retries default).
+    pub fn with_page_size(page_size: usize) -> Crawler {
+        Crawler {
+            page_size,
+            ..Crawler::default()
+        }
+    }
+
+    /// Fetches every item of `source`.
+    pub fn crawl<S>(&self, source: &S) -> Result<Crawled<S::Item>, CrawlError>
+    where
+        S: PagedSource + Sync,
+        S::Item: Send + Sync,
+    {
+        let started = Instant::now();
+        let page_size = self.page_size.max(1);
+        let (items, stats) = match source.total_hint() {
+            None => drain(source, 0, None, page_size, self.max_retries)?,
+            Some(total) => {
+                // Fixed page-range shards: shard boundaries depend only on
+                // the total and the page size — never on the thread count —
+                // so every page is fetched exactly once and the merge (in
+                // shard index order) reproduces the sequential output.
+                let shards = (total.div_ceil(page_size)).max(1);
+                let workers = self.threads.max(1).min(shards);
+                if workers <= 1 {
+                    drain(source, 0, Some(total), page_size, self.max_retries)?
+                } else {
+                    // One write-once slot per page-range shard, filled by
+                    // whichever worker claims that shard.
+                    type ShardSlot<T> = OnceLock<Result<(Vec<T>, SourceStats), CrawlError>>;
+                    let next = AtomicUsize::new(0);
+                    let slots: Vec<ShardSlot<S::Item>> =
+                        (0..shards).map(|_| OnceLock::new()).collect();
+                    std::thread::scope(|scope| {
+                        for _ in 0..workers {
+                            scope.spawn(|| loop {
+                                let shard = next.fetch_add(1, Ordering::Relaxed);
+                                if shard >= shards {
+                                    break;
+                                }
+                                let lo = shard * page_size;
+                                let hi = ((shard + 1) * page_size).min(total);
+                                let result =
+                                    drain(source, lo, Some(hi), page_size, self.max_retries);
+                                let _ = slots[shard].set(result);
+                            });
+                        }
+                    });
+                    let mut items = Vec::with_capacity(total);
+                    let mut stats = SourceStats::default();
+                    for slot in slots {
+                        let (shard_items, shard_stats) =
+                            slot.into_inner().expect("every shard index was claimed")?;
+                        items.extend(shard_items);
+                        stats.absorb(shard_stats);
+                    }
+                    (items, stats)
+                }
+            }
+        };
+        Ok(Crawled {
+            items,
+            stats,
+            elapsed: started.elapsed(),
+        })
+    }
+
+    /// Fetches every item of every keyed source, sharding keys across
+    /// workers by [`ShardKey::shard_hash`]. The merged map and the summed
+    /// stats are independent of the thread count.
+    pub fn crawl_keyed<K, S>(
+        &self,
+        sources: &[(K, S)],
+    ) -> Result<KeyedCrawl<K, S::Item>, CrawlError>
+    where
+        K: ShardKey + Ord + Clone + Sync,
+        S: PagedSource + Sync,
+        S::Item: Send + Sync,
+    {
+        let started = Instant::now();
+        let page_size = self.page_size.max(1);
+        let workers = self.threads.max(1).min(sources.len().max(1));
+        let mut map = BTreeMap::new();
+        let mut stats = SourceStats::default();
+        if workers <= 1 {
+            for (key, source) in sources {
+                let (items, s) =
+                    drain(source, 0, source.total_hint(), page_size, self.max_retries)?;
+                stats.absorb(s);
+                map.insert(key.clone(), items);
+            }
+        } else {
+            let worker_results = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|w| {
+                        let sources = &sources;
+                        scope.spawn(move || {
+                            let mut collected = Vec::new();
+                            for (i, (key, source)) in sources.iter().enumerate() {
+                                if key.shard_hash() % workers as u64 != w as u64 {
+                                    continue;
+                                }
+                                let result = drain(
+                                    source,
+                                    0,
+                                    source.total_hint(),
+                                    page_size,
+                                    self.max_retries,
+                                );
+                                collected.push((i, result));
+                            }
+                            collected
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("crawl worker panicked"))
+                    .collect::<Vec<_>>()
+            });
+            for worker in worker_results {
+                for (i, result) in worker {
+                    let (items, s) = result?;
+                    stats.absorb(s);
+                    map.insert(sources[i].0.clone(), items);
+                }
+            }
+        }
+        Ok(KeyedCrawl {
+            map,
+            stats,
+            elapsed: started.elapsed(),
+        })
     }
 }
 
@@ -141,19 +404,44 @@ pub fn relevant_addresses(domains: &[DomainRecord]) -> BTreeSet<Address> {
 mod tests {
     use super::*;
     use ens_subgraph::SubgraphConfig;
+    use ens_types::paged::{FlakySource, PageError, PagedBatch};
     use workload::WorldConfig;
 
     #[test]
     fn subgraph_crawl_is_complete_across_pages() {
         let world = WorldConfig::small().with_names(250).with_seed(21).build();
         let sg = world.subgraph(SubgraphConfig::lossless());
-        let crawler = SubgraphCrawler { page_size: 64 };
-        let (domains, pages) = crawler.crawl(&sg);
-        assert_eq!(domains.len(), 250);
-        assert!(pages >= 4, "expected multiple pages, got {pages}");
+        let crawler = Crawler::with_page_size(64);
+        let crawled = crawler.crawl(&sg).unwrap();
+        assert_eq!(crawled.items.len(), 250);
+        assert_eq!(crawled.stats.pages, 250usize.div_ceil(64));
+        assert_eq!(crawled.stats.items, 250);
         // No duplicates.
-        let set: BTreeSet<_> = domains.iter().map(|d| d.label_hash).collect();
+        let set: BTreeSet<_> = crawled.items.iter().map(|d| d.label_hash).collect();
         assert_eq!(set.len(), 250);
+    }
+
+    #[test]
+    fn sharded_crawl_matches_sequential_exactly() {
+        let world = WorldConfig::small().with_names(250).with_seed(21).build();
+        let sg = world.subgraph(SubgraphConfig::lossless());
+        let sequential = Crawler::with_page_size(64).crawl(&sg).unwrap();
+        for threads in [2, 4, 16] {
+            let sharded = Crawler {
+                page_size: 64,
+                threads,
+                max_retries: 3,
+            }
+            .crawl(&sg)
+            .unwrap();
+            let a: Vec<_> = sequential.items.iter().map(|d| d.label_hash).collect();
+            let b: Vec<_> = sharded.items.iter().map(|d| d.label_hash).collect();
+            assert_eq!(a, b, "order differs at {threads} threads");
+            assert_eq!(
+                sequential.stats, sharded.stats,
+                "stats differ at {threads} threads"
+            );
+        }
     }
 
     #[test]
@@ -161,14 +449,103 @@ mod tests {
         let world = WorldConfig::small().with_names(120).with_seed(22).build();
         let scan = world.etherscan();
         let sg = world.subgraph(SubgraphConfig::lossless());
-        let (domains, _) = SubgraphCrawler::default().crawl(&sg);
+        let domains = Crawler::default().crawl(&sg).unwrap().items;
         let addresses = relevant_addresses(&domains);
         assert!(!addresses.is_empty());
-        let crawler = TxCrawler { page_size: 50 };
-        let (map, pages) = crawler.crawl(&scan, addresses.iter().copied());
-        assert!(pages >= addresses.len(), "at least one page per address");
-        for (addr, txs) in &map {
+        let sources: Vec<_> = addresses
+            .iter()
+            .map(|&a| (a, scan.txlist_source(a)))
+            .collect();
+        let crawler = Crawler::with_page_size(50);
+        let crawled = crawler.crawl_keyed(&sources).unwrap();
+        assert!(
+            crawled.stats.pages >= addresses.len(),
+            "at least one page per address"
+        );
+        for (addr, txs) in &crawled.map {
             assert_eq!(txs.len(), scan.tx_count(*addr), "address {addr}");
         }
+    }
+
+    #[test]
+    fn exact_multiple_tx_counts_need_no_extra_probe_page() {
+        use ens_types::{Timestamp, Wei};
+        use sim_chain::{Chain, TxKind};
+        let a = Address::derive(b"payer");
+        let b = Address::derive(b"payee");
+        let mut chain = Chain::new(Timestamp::from_ymd(2021, 1, 1));
+        chain.mint(a, Wei::from_eth(100));
+        // `b` ends with exactly 6 transactions: an exact multiple of the
+        // page size below.
+        for i in 0..6u64 {
+            chain
+                .transfer(a, b, Wei::from_eth(1 + i), TxKind::Transfer)
+                .unwrap();
+        }
+        let scan = etherscan_sim::Etherscan::index(&chain, etherscan_sim::LabelService::new());
+        assert_eq!(scan.tx_count(b), 6);
+        let crawled = Crawler::with_page_size(3)
+            .crawl(&scan.txlist_source(b))
+            .unwrap();
+        assert_eq!(crawled.items.len(), 6);
+        assert_eq!(crawled.stats.pages, 2, "no guaranteed-empty extra page");
+        // An address with no history still costs one probe page.
+        let empty = Crawler::with_page_size(3)
+            .crawl(&scan.txlist_source(Address::derive(b"nobody")))
+            .unwrap();
+        assert!(empty.items.is_empty());
+        assert_eq!(empty.stats.pages, 1);
+    }
+
+    #[test]
+    fn transient_failures_are_retried_and_counted() {
+        let world = WorldConfig::small().with_names(60).with_seed(23).build();
+        let sg = world.subgraph(SubgraphConfig::lossless());
+        let flaky = FlakySource::new(&sg, 2);
+        let crawler = Crawler {
+            page_size: 16,
+            threads: 2,
+            max_retries: 3,
+        };
+        let crawled = crawler.crawl(&flaky).unwrap();
+        assert_eq!(crawled.items.len(), 60);
+        assert_eq!(crawled.stats.retries, 2 * crawled.stats.pages);
+
+        // Exhausting the retry budget surfaces a CrawlError.
+        let hopeless = FlakySource::new(&sg, 5);
+        let err = crawler.crawl(&hopeless).unwrap_err();
+        assert_eq!(err.source, "subgraph");
+        assert_eq!(err.attempts, 4, "1 initial + max_retries");
+    }
+
+    /// A cursor-only source (no total hint) exercises the sequential
+    /// `has_more` walk of the single pagination loop.
+    struct CursorOnly(usize);
+
+    impl PagedSource for CursorOnly {
+        type Item = usize;
+        fn source_name(&self) -> &'static str {
+            "cursor"
+        }
+        fn total_hint(&self) -> Option<usize> {
+            None
+        }
+        fn fetch(&self, offset: usize, limit: usize) -> Result<PagedBatch<usize>, PageError> {
+            let end = (offset + limit).min(self.0);
+            Ok(PagedBatch {
+                items: (offset..end).collect(),
+                has_more: end < self.0,
+            })
+        }
+    }
+
+    #[test]
+    fn cursor_only_sources_drain_sequentially() {
+        let crawled = Crawler::with_page_size(7).crawl(&CursorOnly(20)).unwrap();
+        assert_eq!(crawled.items, (0..20).collect::<Vec<_>>());
+        assert_eq!(crawled.stats.pages, 3);
+        let empty = Crawler::with_page_size(7).crawl(&CursorOnly(0)).unwrap();
+        assert!(empty.items.is_empty());
+        assert_eq!(empty.stats.pages, 1, "one probe page");
     }
 }

@@ -1,66 +1,180 @@
 //! The assembled study dataset: domain histories + per-address transaction
-//! lists + the price series, with the observation window.
+//! lists + the crawled marketplace events, with the observation window.
+//!
+//! # Ownership
+//!
+//! The dataset *owns* everything the analyses read, so a serialized export
+//! is self-contained and an offline `analyze` run needs no simulator. The
+//! two pieces of backend state that used to be deep-cloned on every
+//! collection — the explorer's label directory and the subgraph's
+//! reverse-claim history — are now shared snapshots (`Arc`): the sources
+//! hand out an owned handle once and collection never copies them.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
 
 use ens_subgraph::{DomainRecord, Subgraph, SubgraphConfig};
 use ens_types::{Address, Timestamp, UsdCents};
 use etherscan_sim::{Etherscan, LabelService};
+use opensea_sim::OpenSea;
 use price_oracle::PriceOracle;
 use serde::{Deserialize, Serialize};
 use sim_chain::{Transaction, TxKind};
 
-use crate::crawl::{relevant_addresses, CrawlReport, SubgraphCrawler, TxCrawler};
+use crate::crawl::{relevant_addresses, CrawlReport, CrawlTimings, Crawler};
+
+/// Knobs for one collection run — thread count, retry budget and the page
+/// size used against each endpoint (each endpoint additionally enforces its
+/// own server-side cap).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct CrawlConfig {
+    /// Worker threads for the sharded crawls (and nothing else); `1` is
+    /// fully sequential. Any value produces a byte-identical dataset.
+    pub threads: usize,
+    /// Retries per page before the crawl gives up.
+    pub max_retries: usize,
+    /// Page size against the subgraph (server cap 1000).
+    pub subgraph_page_size: usize,
+    /// Page size against the explorer `txlist` (server cap 10,000).
+    pub txlist_page_size: usize,
+    /// Page size against the marketplace event stream (server cap 50).
+    pub market_page_size: usize,
+}
+
+impl Default for CrawlConfig {
+    fn default() -> Self {
+        CrawlConfig {
+            threads: 1,
+            max_retries: 3,
+            subgraph_page_size: 1000,
+            txlist_page_size: 10_000,
+            market_page_size: opensea_sim::MAX_EVENTS_PAGE,
+        }
+    }
+}
+
+impl CrawlConfig {
+    /// A default configuration with the given thread count.
+    pub fn with_threads(threads: usize) -> CrawlConfig {
+        CrawlConfig {
+            threads,
+            ..CrawlConfig::default()
+        }
+    }
+
+    fn crawler(&self, page_size: usize) -> Crawler {
+        Crawler {
+            page_size,
+            threads: self.threads,
+            max_retries: self.max_retries,
+        }
+    }
+}
 
 /// The dataset every analysis module reads.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct Dataset {
     /// All crawled domain records.
     pub domains: Vec<DomainRecord>,
-    /// Per-address transaction histories (in and out, chain order).
-    pub transactions: HashMap<Address, Vec<Transaction>>,
+    /// Per-address transaction histories (in and out, chain order), keyed
+    /// in address order so iteration and serialization are deterministic.
+    pub transactions: BTreeMap<Address, Vec<Transaction>>,
     /// End of the observation window.
     pub observation_end: Timestamp,
     /// Address labels pulled from the explorer (custodial exchange and
-    /// Coinbase sets — the paper's 558 + 25 addresses).
-    pub labels: LabelService,
-    /// Primary-name (reverse) claim history per address, from the subgraph.
-    pub reverse_claims: HashMap<Address, Vec<(Timestamp, String)>>,
+    /// Coinbase sets — the paper's 558 + 25 addresses). A shared snapshot
+    /// of the explorer's directory, not a copy.
+    pub labels: Arc<LabelService>,
+    /// Primary-name (reverse) claim history per address, a shared snapshot
+    /// of the subgraph's history.
+    pub reverse_claims: Arc<HashMap<Address, Vec<(Timestamp, String)>>>,
+    /// The marketplace, rebuilt from the crawled event stream — this is
+    /// what makes §4.2's resale join reproducible from the export alone.
+    pub market: OpenSea,
     /// What the crawl recovered.
     pub crawl_report: CrawlReport,
 }
 
 impl Dataset {
     /// Runs the full collection pipeline of the paper's Fig 1 against the
-    /// data sources.
+    /// data sources, single-threaded with default page sizes.
     pub fn collect(
         subgraph: &Subgraph,
         etherscan: &Etherscan,
+        opensea: &OpenSea,
         observation_end: Timestamp,
     ) -> Dataset {
-        let (domains, subgraph_pages) = SubgraphCrawler::default().crawl(subgraph);
+        Dataset::collect_with(
+            subgraph,
+            etherscan,
+            opensea,
+            observation_end,
+            &CrawlConfig::default(),
+        )
+        .0
+    }
+
+    /// [`Dataset::collect`] with explicit crawl knobs; also returns the
+    /// per-source wall-clock timings (which are *not* part of the dataset —
+    /// see [`CrawlTimings`]).
+    pub fn collect_with(
+        subgraph: &Subgraph,
+        etherscan: &Etherscan,
+        opensea: &OpenSea,
+        observation_end: Timestamp,
+        config: &CrawlConfig,
+    ) -> (Dataset, CrawlTimings) {
+        // The simulated endpoints never fail permanently, so an exhausted
+        // retry budget here is a programming error, not a data condition.
+        let crawled = config
+            .crawler(config.subgraph_page_size)
+            .crawl(subgraph)
+            .expect("subgraph endpoint is infallible");
+        let domains = crawled.items;
+
         let addresses = relevant_addresses(&domains);
-        let n_addresses = addresses.len();
-        let (transactions, txlist_pages) =
-            TxCrawler::default().crawl(etherscan, addresses.into_iter());
+        let tx_sources: Vec<_> = addresses
+            .iter()
+            .map(|&a| (a, etherscan.txlist_source(a)))
+            .collect();
+        let tx_crawl = config
+            .crawler(config.txlist_page_size)
+            .crawl_keyed(&tx_sources)
+            .expect("explorer endpoint is infallible");
+        let transactions = tx_crawl.map;
+
+        let market_crawl = config
+            .crawler(config.market_page_size)
+            .crawl(opensea)
+            .expect("marketplace endpoint is infallible");
+        let market = OpenSea::from_events(market_crawl.items);
+
         let stats = subgraph.stats();
         let crawl_report = CrawlReport {
             domains: domains.len(),
             unrecoverable_names: stats.unrecoverable_names,
             subdomains: stats.subdomains,
-            addresses_crawled: n_addresses,
+            addresses_crawled: addresses.len(),
             transactions: transactions.values().map(Vec::len).sum(),
-            subgraph_pages,
-            txlist_pages,
+            subgraph: crawled.stats,
+            txlist: tx_crawl.stats,
+            market: market_crawl.stats,
         };
-        Dataset {
+        let timings = CrawlTimings {
+            subgraph: crawled.elapsed,
+            txlist: tx_crawl.elapsed,
+            market: market_crawl.elapsed,
+        };
+        let dataset = Dataset {
             domains,
             transactions,
             observation_end,
-            labels: etherscan.labels().clone(),
-            reverse_claims: subgraph.reverse_history().clone(),
+            labels: etherscan.labels_snapshot(),
+            reverse_claims: subgraph.reverse_history_snapshot(),
+            market,
             crawl_report,
-        }
+        };
+        (dataset, timings)
     }
 
     /// Incoming value transfers to `address` (mints and contract payments
@@ -100,8 +214,7 @@ impl Dataset {
         self.reverse_claims
             .get(&address)?
             .iter()
-            .filter(|(at, _)| *at <= t)
-            .next_back()
+            .rfind(|(at, _)| *at <= t)
             .map(|(_, name)| name.as_str())
     }
 
@@ -118,7 +231,7 @@ impl Dataset {
     }
 
     /// JSON export of the whole dataset (the paper releases its dataset;
-    /// so do we).
+    /// so do we). Byte-identical for any [`CrawlConfig::threads`].
     pub fn to_json(&self) -> serde_json::Result<String> {
         serde_json::to_string(self)
     }
@@ -136,17 +249,27 @@ pub struct DataSources<'a> {
     /// The transaction explorer.
     pub etherscan: &'a Etherscan,
     /// The NFT marketplace.
-    pub opensea: &'a opensea_sim::OpenSea,
+    pub opensea: &'a OpenSea,
     /// The ETH-USD price series.
     pub oracle: &'a PriceOracle,
     /// End of the observation window.
     pub observation_end: Timestamp,
+    /// Worker threads for collection (`1` = sequential; any value yields a
+    /// byte-identical dataset).
+    pub threads: usize,
 }
 
 impl DataSources<'_> {
     /// Collects the dataset from these sources.
     pub fn collect(&self) -> Dataset {
-        Dataset::collect(self.subgraph, self.etherscan, self.observation_end)
+        Dataset::collect_with(
+            self.subgraph,
+            self.etherscan,
+            self.opensea,
+            self.observation_end,
+            &CrawlConfig::with_threads(self.threads),
+        )
+        .0
     }
 }
 
@@ -166,7 +289,7 @@ mod tests {
         let world = WorldConfig::small().with_names(200).with_seed(30).build();
         let sg = world.subgraph(SubgraphConfig::lossless());
         let scan = world.etherscan();
-        let ds = Dataset::collect(&sg, &scan, world.observation_end());
+        let ds = Dataset::collect(&sg, &scan, world.opensea(), world.observation_end());
         (world, ds)
     }
 
@@ -178,6 +301,43 @@ mod tests {
         // Lossless subgraph: only the hash-only legacy residue is missing.
         assert!(ds.crawl_report.recovery_rate() > 0.95);
         assert_eq!(ds.observation_end, world.observation_end());
+        // The marketplace came through the paged crawl intact.
+        assert_eq!(ds.market.event_count(), world.opensea().event_count());
+        assert_eq!(ds.crawl_report.market.items, ds.market.event_count());
+    }
+
+    #[test]
+    fn collection_matches_direct_endpoint_queries() {
+        // The paged crawl must reproduce exactly what naive, unpaged
+        // queries against each endpoint return.
+        let (world, ds) = dataset();
+        let scan = world.etherscan();
+        for (addr, txs) in &ds.transactions {
+            assert_eq!(txs, &scan.txlist(*addr, 1, 10_000), "txs for {addr:?}");
+        }
+        let sg = world.subgraph(SubgraphConfig::lossless());
+        let direct = sg.domains(ens_subgraph::PageRequest::first(1000));
+        assert_eq!(ds.domains, direct.items);
+    }
+
+    #[test]
+    fn threaded_collection_is_byte_identical() {
+        let world = WorldConfig::small().with_names(200).with_seed(30).build();
+        let sg = world.subgraph(SubgraphConfig::lossless());
+        let scan = world.etherscan();
+        let collect = |threads| {
+            Dataset::collect_with(
+                &sg,
+                &scan,
+                world.opensea(),
+                world.observation_end(),
+                &CrawlConfig::with_threads(threads),
+            )
+            .0
+        };
+        let a = collect(1).to_json().unwrap();
+        let b = collect(4).to_json().unwrap();
+        assert_eq!(a, b);
     }
 
     #[test]
@@ -219,5 +379,7 @@ mod tests {
         let back = Dataset::from_json(&json).unwrap();
         assert_eq!(back.domains.len(), ds.domains.len());
         assert_eq!(back.crawl_report, ds.crawl_report);
+        assert_eq!(back.market.event_count(), ds.market.event_count());
+        assert_eq!(back.labels.len(), ds.labels.len());
     }
 }

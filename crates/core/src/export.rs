@@ -170,7 +170,10 @@ impl StudyReport {
         // Figs 9 and 11.
         for (filename, scatter) in [
             ("fig9_scatter.csv", self.losses.fig9_scatter()),
-            ("fig11_scatter_noncustodial.csv", self.losses.fig11_scatter()),
+            (
+                "fig11_scatter_noncustodial.csv",
+                self.losses.fig11_scatter(),
+            ),
         ] {
             push(
                 filename,
@@ -281,6 +284,7 @@ mod tests {
             opensea: world.opensea(),
             oracle: world.oracle(),
             observation_end: world.observation_end(),
+            threads: 1,
         };
         run_study(&sources, &StudyConfig::default())
     }
@@ -354,6 +358,9 @@ mod tests {
             .lines()
             .find(|l| l.starts_with("average_income_USD"))
             .unwrap();
-        assert!(income_line.contains('e'), "p-value not scientific: {income_line}");
+        assert!(
+            income_line.contains('e'),
+            "p-value not scientific: {income_line}"
+        );
     }
 }

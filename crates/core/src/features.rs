@@ -171,11 +171,7 @@ impl FeatureComparison {
 /// Deterministic pseudo-random sampling of `k` items, keyed by each item's
 /// label hash and a seed — the stand-in for the paper's "randomly sampled"
 /// control group that keeps every run reproducible.
-fn sample_control<'a>(
-    pool: Vec<&'a DomainRecord>,
-    k: usize,
-    seed: u64,
-) -> Vec<&'a DomainRecord> {
+fn sample_control(pool: Vec<&DomainRecord>, k: usize, seed: u64) -> Vec<&DomainRecord> {
     let mut keyed: Vec<(u64, &DomainRecord)> = pool
         .into_iter()
         .map(|d| {
@@ -183,10 +179,7 @@ fn sample_control<'a>(
             buf[..32].copy_from_slice(&d.label_hash.0 .0);
             buf[32..].copy_from_slice(&seed.to_be_bytes());
             let h = keccak256(&buf);
-            (
-                u64::from_be_bytes(h[..8].try_into().expect("8 bytes")),
-                d,
-            )
+            (u64::from_be_bytes(h[..8].try_into().expect("8 bytes")), d)
         })
         .collect();
     keyed.sort_by_key(|(k, d)| (*k, d.label_hash));
@@ -221,9 +214,7 @@ pub fn compare_features(
 
     let mut rows = Vec::new();
 
-    let numeric = |name: &str,
-                   fr: &dyn Fn(&DomainFeatures) -> Option<f64>|
-     -> FeatureRow {
+    let numeric = |name: &str, fr: &dyn Fn(&DomainFeatures) -> Option<f64>| -> FeatureRow {
         let a: Vec<f64> = f_rereg.iter().filter_map(fr).collect();
         let b: Vec<f64> = f_control.iter().filter_map(fr).collect();
         FeatureRow::Numeric {
@@ -233,9 +224,7 @@ pub fn compare_features(
             test: welch_t_test(&a, &b),
         }
     };
-    let categorical = |name: &str,
-                       fr: &dyn Fn(&DomainFeatures) -> Option<bool>|
-     -> FeatureRow {
+    let categorical = |name: &str, fr: &dyn Fn(&DomainFeatures) -> Option<bool>| -> FeatureRow {
         let a: Vec<bool> = f_rereg.iter().filter_map(fr).collect();
         let b: Vec<bool> = f_control.iter().filter_map(fr).collect();
         let (ka, na) = (a.iter().filter(|x| **x).count(), a.len());
@@ -265,10 +254,16 @@ pub fn compare_features(
         f.contains_dictionary_word
     }));
     rows.push(categorical("is_dictionary_word", &|f| f.is_dictionary_word));
-    rows.push(categorical("contains_brand_name", &|f| f.contains_brand_name));
-    rows.push(categorical("contains_adult_word", &|f| f.contains_adult_word));
+    rows.push(categorical("contains_brand_name", &|f| {
+        f.contains_brand_name
+    }));
+    rows.push(categorical("contains_adult_word", &|f| {
+        f.contains_adult_word
+    }));
     rows.push(categorical("contains_hyphen", &|f| f.contains_hyphen));
-    rows.push(categorical("contains_underscore", &|f| f.contains_underscore));
+    rows.push(categorical("contains_underscore", &|f| {
+        f.contains_underscore
+    }));
 
     FeatureComparison {
         n_rereg: f_rereg.len(),
@@ -294,7 +289,7 @@ mod tests {
         let world = WorldConfig::default().with_seed(50).build();
         let sg = world.subgraph(SubgraphConfig::lossless());
         let scan = world.etherscan();
-        let ds = Dataset::collect(&sg, &scan, world.observation_end());
+        let ds = Dataset::collect(&sg, &scan, world.opensea(), world.observation_end());
         compare_features(&ds, world.oracle(), 7)
     }
 
@@ -392,7 +387,7 @@ mod tests {
         let world = WorldConfig::small().with_seed(51).build();
         let sg = world.subgraph(SubgraphConfig::lossless());
         let scan = world.etherscan();
-        let ds = Dataset::collect(&sg, &scan, world.observation_end());
+        let ds = Dataset::collect(&sg, &scan, world.opensea(), world.observation_end());
         let a = compare_features(&ds, world.oracle(), 1);
         let b = compare_features(&ds, world.oracle(), 1);
         let c = compare_features(&ds, world.oracle(), 2);

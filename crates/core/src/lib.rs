@@ -4,9 +4,11 @@
 //! Understanding and Analyzing ENS Domain Dropcatching* (IMC 2024) — the
 //! paper's primary contribution, reimplemented end to end:
 //!
-//! - [`crawl`] / [`dataset`] — §3: page the ENS subgraph for every domain's
-//!   registration history and the explorer for every relevant wallet's
-//!   transactions;
+//! - [`crawl`] / [`dataset`] — §3: one generic, sharded
+//!   [`Crawler`](crawl::Crawler) pages every [`PagedSource`](ens_types::PagedSource)
+//!   (subgraph, explorer `txlist`, marketplace events) across worker
+//!   threads and assembles a byte-identical [`Dataset`](dataset::Dataset)
+//!   for any thread count;
 //! - [`registrations`] — the core primitive: ownership timelines and
 //!   re-registration (dropcatch) detection;
 //! - [`overview`] — §4.1: the monthly timeline (Fig 2), delay distribution
@@ -43,11 +45,16 @@ pub mod report;
 pub mod resale;
 pub mod stats;
 
-pub use crawl::{CrawlReport, SubgraphCrawler, TxCrawler};
-pub use dataset::{DataSources, Dataset};
+pub use crawl::{
+    relevant_addresses, CrawlError, CrawlReport, CrawlTimings, Crawled, Crawler, KeyedCrawl,
+    SourceStats,
+};
+pub use dataset::{CrawlConfig, DataSources, Dataset};
 pub use export::CsvArtifact;
 pub use features::{compare_features, DomainFeatures, FeatureComparison, FeatureRow};
-pub use losses::{analyze_losses, upper_bound_losses, DomainLoss, LossReport, SenderKind, UpperBoundLoss};
+pub use losses::{
+    analyze_losses, upper_bound_losses, DomainLoss, LossReport, SenderKind, UpperBoundLoss,
+};
 pub use overview::{overview, OverviewReport};
 pub use pipeline::{run_study, run_study_on, StudyConfig, StudyReport};
 pub use registrations::{

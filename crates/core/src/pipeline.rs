@@ -19,6 +19,10 @@ pub struct StudyConfig {
     pub control_seed: u64,
     /// The "recently registered" warning window for §6.
     pub warning_window: Duration,
+    /// Worker threads for the independent analysis passes (`1` =
+    /// sequential). Every analysis is a pure function of the dataset, so
+    /// the report is identical for any value.
+    pub threads: usize,
 }
 
 impl Default for StudyConfig {
@@ -26,6 +30,7 @@ impl Default for StudyConfig {
         StudyConfig {
             control_seed: 0xC0FFEE,
             warning_window: Duration::from_days(365),
+            threads: 1,
         }
     }
 }
@@ -64,6 +69,7 @@ pub struct StudyReport {
 ///         opensea: world.opensea(),
 ///         oracle: world.oracle(),
 ///         observation_end: world.observation_end(),
+///         threads: 1,
 ///     },
 ///     &StudyConfig::default(),
 /// );
@@ -75,15 +81,35 @@ pub fn run_study(sources: &DataSources<'_>, config: &StudyConfig) -> StudyReport
 }
 
 /// Runs the full study on an already-collected dataset.
+///
+/// The feature, loss and resale analyses are independent of each other, so
+/// with [`StudyConfig::threads`] > 1 they run on scoped threads; the report
+/// is identical either way.
 pub fn run_study_on(
     dataset: &Dataset,
     sources: &DataSources<'_>,
     config: &StudyConfig,
 ) -> StudyReport {
     let overview = overview(&dataset.domains, dataset.observation_end);
-    let features = compare_features(dataset, sources.oracle, config.control_seed);
-    let losses = analyze_losses(dataset, sources.oracle);
-    let resale = analyze_resales(&overview.reregistrations, sources.opensea);
+    let (features, losses, resale) = if config.threads > 1 {
+        std::thread::scope(|s| {
+            let features =
+                s.spawn(|| compare_features(dataset, sources.oracle, config.control_seed));
+            let losses = s.spawn(|| analyze_losses(dataset, sources.oracle));
+            let resale = s.spawn(|| analyze_resales(&overview.reregistrations, &dataset.market));
+            (
+                features.join().expect("feature analysis panicked"),
+                losses.join().expect("loss analysis panicked"),
+                resale.join().expect("resale analysis panicked"),
+            )
+        })
+    } else {
+        (
+            compare_features(dataset, sources.oracle, config.control_seed),
+            analyze_losses(dataset, sources.oracle),
+            analyze_resales(&overview.reregistrations, &dataset.market),
+        )
+    };
     let countermeasures = evaluate_countermeasure(&losses, dataset, config.warning_window);
     StudyReport {
         crawl: dataset.crawl_report,
@@ -219,7 +245,10 @@ impl StudyReport {
 
         push(&mut out, "== Fig 6: previous-owner income (USD) ==");
         push(&mut out, "re-registered:");
-        push(&mut out, &quantile_table(&self.features.income_rereg, "USD"));
+        push(
+            &mut out,
+            &quantile_table(&self.features.income_rereg, "USD"),
+        );
         push(&mut out, "control:");
         push(
             &mut out,
@@ -227,10 +256,16 @@ impl StudyReport {
         );
 
         push(&mut out, "== Fig 7: hijackable USD per expired domain ==");
-        push(&mut out, &quantile_table(&self.losses.hijackable.ecdf(), "USD"));
+        push(
+            &mut out,
+            &quantile_table(&self.losses.hijackable.ecdf(), "USD"),
+        );
 
         push(&mut out, "== Fig 8: misdirected USD per domain ==");
-        push(&mut out, &quantile_table(&self.losses.fig8_amounts(), "USD"));
+        push(
+            &mut out,
+            &quantile_table(&self.losses.fig8_amounts(), "USD"),
+        );
 
         push(&mut out, "== Figs 9/11: common-sender tx scatter ==");
         push(
@@ -347,16 +382,40 @@ mod tests {
             opensea: world.opensea(),
             oracle: world.oracle(),
             observation_end: world.observation_end(),
+            threads: 1,
         };
         let report = run_study(&sources, &StudyConfig::default());
         assert!(report.crawl.domains == 2_000);
         assert!(!report.overview.reregistrations.is_empty());
         let text = report.render();
         for section in [
-            "Fig 2", "Fig 3", "Fig 4", "Fig 5", "Table 1", "Fig 6", "Fig 7", "Fig 8",
-            "Fig 10", "§4.2", "Table 2",
+            "Fig 2", "Fig 3", "Fig 4", "Fig 5", "Table 1", "Fig 6", "Fig 7", "Fig 8", "Fig 10",
+            "§4.2", "Table 2",
         ] {
             assert!(text.contains(section), "missing section {section}");
         }
+    }
+
+    #[test]
+    fn threaded_study_renders_identically_to_sequential() {
+        let world = WorldConfig::small().with_seed(90).build();
+        let sg = world.subgraph(SubgraphConfig::default());
+        let scan = world.etherscan();
+        let report_with = |threads| {
+            let sources = DataSources {
+                subgraph: &sg,
+                etherscan: &scan,
+                opensea: world.opensea(),
+                oracle: world.oracle(),
+                observation_end: world.observation_end(),
+                threads,
+            };
+            let config = StudyConfig {
+                threads,
+                ..StudyConfig::default()
+            };
+            run_study(&sources, &config).render()
+        };
+        assert_eq!(report_with(1), report_with(4));
     }
 }

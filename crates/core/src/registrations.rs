@@ -83,8 +83,7 @@ pub fn resolved_wallet_at(record: &DomainRecord, t: Timestamp) -> Option<Address
     record
         .addr_changes
         .iter()
-        .filter(|a| a.at < t)
-        .next_back()
+        .rfind(|a| a.at < t)
         .map(|a| a.addr)
 }
 
@@ -140,9 +139,7 @@ pub fn detect_all(domains: &[DomainRecord]) -> Vec<ReRegistration> {
 /// the transfer-adjusted effective owner. A user who buys a name privately
 /// and later re-registers it after a lapse looks like a dropcatch to this
 /// detector — quantifying why the effective-owner logic matters.
-pub fn detect_reregistrations_ignoring_transfers(
-    record: &DomainRecord,
-) -> Vec<ReRegistration> {
+pub fn detect_reregistrations_ignoring_transfers(record: &DomainRecord) -> Vec<ReRegistration> {
     let mut out = Vec::new();
     for idx in 1..record.registrations.len() {
         let prev_expiry = match record.expiry_of_registration(idx - 1) {

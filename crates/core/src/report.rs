@@ -46,11 +46,7 @@ pub fn ascii_bars(items: &[(String, f64)], width: usize) -> String {
         } else {
             0
         };
-        let _ = writeln!(
-            out,
-            "{label:<label_w$} |{} {value:.0}",
-            "#".repeat(bar_len)
-        );
+        let _ = writeln!(out, "{label:<label_w$} |{} {value:.0}", "#".repeat(bar_len));
     }
     out
 }
@@ -149,10 +145,7 @@ mod tests {
 
     #[test]
     fn csv_escapes_fields() {
-        let out = to_csv(
-            &["a", "b"],
-            &[vec!["x,y".into(), "he said \"hi\"".into()]],
-        );
+        let out = to_csv(&["a", "b"], &[vec!["x,y".into(), "he said \"hi\"".into()]]);
         assert!(out.contains("\"x,y\""));
         assert!(out.contains("\"he said \"\"hi\"\"\""));
     }

@@ -28,12 +28,10 @@ pub mod system;
 pub use error::EnsError;
 pub use events::{EnsEvent, EnsEventKind};
 pub use pricing::{
-    premium_after_grace, usd_to_wei, RentSchedule, GRACE_PERIOD, MIN_REGISTRATION,
-    PREMIUM_PERIOD, PREMIUM_START_CENTS,
+    premium_after_grace, usd_to_wei, RentSchedule, GRACE_PERIOD, MIN_REGISTRATION, PREMIUM_PERIOD,
+    PREMIUM_START_CENTS,
 };
 pub use registrar::{BaseRegistrar, Registration};
 pub use registry::{PublicResolver, Registry, RegistryRecord};
 pub use reverse::ReverseRegistrar;
-pub use system::{
-    commit_and_register, EnsSystem, Receipt, MAX_COMMITMENT_AGE, MIN_COMMITMENT_AGE,
-};
+pub use system::{commit_and_register, EnsSystem, Receipt, MAX_COMMITMENT_AGE, MIN_COMMITMENT_AGE};

@@ -181,7 +181,10 @@ mod tests {
         // During grace the token no longer resolves an owner...
         assert_eq!(r.registrant_of(h, expiry + Duration::from_days(1)), None);
         // ...but the record still exists, so the old registrant can renew.
-        assert!(r.registration(h).unwrap().is_held_at(expiry + Duration::from_days(1)));
+        assert!(r
+            .registration(h)
+            .unwrap()
+            .is_held_at(expiry + Duration::from_days(1)));
     }
 
     #[test]
@@ -191,7 +194,9 @@ mod tests {
         r.set_registration(reg("gold", "alice", expiry));
         let h = label("gold").hash();
         r.extend(h, expiry + Duration::from_years(1));
-        assert!(r.registrant_of(h, expiry + Duration::from_days(10)).is_some());
+        assert!(r
+            .registrant_of(h, expiry + Duration::from_days(10))
+            .is_some());
     }
 
     #[test]

@@ -46,7 +46,8 @@ impl Registry {
 
     /// Sets the owner of `node`.
     pub(crate) fn set_owner(&mut self, node: NameHash, owner: Address, now: Timestamp) {
-        self.records.insert(node, RegistryRecord { owner, since: now });
+        self.records
+            .insert(node, RegistryRecord { owner, since: now });
     }
 
     /// Number of nodes with records.

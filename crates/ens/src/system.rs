@@ -136,7 +136,12 @@ impl EnsSystem {
 
     /// Quote for registering `label` for `duration` at the given ETH price:
     /// `(base_rent, premium)` in USD cents.
-    pub fn price_usd(&self, label: &Label, duration: Duration, now: Timestamp) -> (UsdCents, UsdCents) {
+    pub fn price_usd(
+        &self,
+        label: &Label,
+        duration: Duration,
+        now: Timestamp,
+    ) -> (UsdCents, UsdCents) {
         let rent = self.rents.rent_for(label, duration);
         let premium = match self.registrar.registration(label.hash()) {
             Some(r) if self.premium_enabled && now >= r.grace_end() => {
@@ -467,11 +472,7 @@ impl EnsSystem {
             return Err(EnsError::NotOwner(label.clone()));
         }
         let parent = EnsName::from_label(label.clone()).namehash();
-        let node = ens_types::name::namehash_labels([
-            sub_label.as_str(),
-            label.as_str(),
-            "eth",
-        ]);
+        let node = ens_types::name::namehash_labels([sub_label.as_str(), label.as_str(), "eth"]);
         self.registry.set_owner(node, sub_owner, now);
         self.emit(
             chain,
@@ -584,7 +585,15 @@ pub fn commit_and_register(
     let commitment = EnsSystem::make_commitment(label, owner, secret);
     ens.commit(chain, commitment);
     chain.advance(MIN_COMMITMENT_AGE);
-    ens.register(chain, label, owner, secret, duration, cents_per_eth, resolve_to)
+    ens.register(
+        chain,
+        label,
+        owner,
+        secret,
+        duration,
+        cents_per_eth,
+        resolve_to,
+    )
 }
 
 #[cfg(test)]
@@ -610,7 +619,14 @@ mod tests {
         let (mut ens, mut chain, alice) = setup();
         let gold = label("gold");
         let receipt = commit_and_register(
-            &mut ens, &mut chain, &gold, alice, 1, Duration::from_years(1), PRICE, Some(alice),
+            &mut ens,
+            &mut chain,
+            &gold,
+            alice,
+            1,
+            Duration::from_years(1),
+            PRICE,
+            Some(alice),
         )
         .unwrap();
 
@@ -627,7 +643,13 @@ mod tests {
         let (mut ens, mut chain, alice) = setup();
         let err = ens
             .register(
-                &mut chain, &label("gold"), alice, 1, Duration::from_years(1), PRICE, None,
+                &mut chain,
+                &label("gold"),
+                alice,
+                1,
+                Duration::from_years(1),
+                PRICE,
+                None,
             )
             .unwrap_err();
         assert_eq!(err, EnsError::CommitmentNotFound);
@@ -641,13 +663,29 @@ mod tests {
         ens.commit(&chain, c);
         // Too new.
         let err = ens
-            .register(&mut chain, &gold, alice, 7, Duration::from_years(1), PRICE, None)
+            .register(
+                &mut chain,
+                &gold,
+                alice,
+                7,
+                Duration::from_years(1),
+                PRICE,
+                None,
+            )
             .unwrap_err();
         assert_eq!(err, EnsError::CommitmentTooNew);
         // Too old.
         chain.advance(MAX_COMMITMENT_AGE + Duration::from_secs(1));
         let err = ens
-            .register(&mut chain, &gold, alice, 7, Duration::from_years(1), PRICE, None)
+            .register(
+                &mut chain,
+                &gold,
+                alice,
+                7,
+                Duration::from_years(1),
+                PRICE,
+                None,
+            )
             .unwrap_err();
         assert_eq!(err, EnsError::CommitmentTooOld);
     }
@@ -659,13 +697,27 @@ mod tests {
         chain.mint(bob, Wei::from_eth(1_000_000));
         let gold = label("gold");
         commit_and_register(
-            &mut ens, &mut chain, &gold, alice, 1, Duration::from_years(1), PRICE, Some(alice),
+            &mut ens,
+            &mut chain,
+            &gold,
+            alice,
+            1,
+            Duration::from_years(1),
+            PRICE,
+            Some(alice),
         )
         .unwrap();
 
         // Bob cannot take it while held.
         let err = commit_and_register(
-            &mut ens, &mut chain, &gold, bob, 2, Duration::from_years(1), PRICE, None,
+            &mut ens,
+            &mut chain,
+            &gold,
+            bob,
+            2,
+            Duration::from_years(1),
+            PRICE,
+            None,
         )
         .unwrap_err();
         assert!(matches!(err, EnsError::NotAvailable { .. }));
@@ -673,7 +725,14 @@ mod tests {
         // Jump past expiry + grace + premium window: Bob can take it cheaply.
         chain.advance(Duration::from_years(1) + GRACE_PERIOD + PREMIUM_PERIOD);
         let receipt = commit_and_register(
-            &mut ens, &mut chain, &gold, bob, 3, Duration::from_years(1), PRICE, Some(bob),
+            &mut ens,
+            &mut chain,
+            &gold,
+            bob,
+            3,
+            Duration::from_years(1),
+            PRICE,
+            Some(bob),
         )
         .unwrap();
         assert_eq!(receipt.premium, Wei::ZERO);
@@ -687,7 +746,14 @@ mod tests {
         chain.mint(whale, Wei::from_eth(100_000));
         let gold = label("gold");
         commit_and_register(
-            &mut ens, &mut chain, &gold, alice, 1, Duration::from_years(1), PRICE, Some(alice),
+            &mut ens,
+            &mut chain,
+            &gold,
+            alice,
+            1,
+            Duration::from_years(1),
+            PRICE,
+            Some(alice),
         )
         .unwrap();
 
@@ -699,7 +765,14 @@ mod tests {
         assert!(premium_usd < UsdCents::from_dollars(100_000));
 
         let receipt = commit_and_register(
-            &mut ens, &mut chain, &gold, whale, 9, Duration::from_years(1), PRICE, Some(whale),
+            &mut ens,
+            &mut chain,
+            &gold,
+            whale,
+            9,
+            Duration::from_years(1),
+            PRICE,
+            Some(whale),
         )
         .unwrap();
         assert!(receipt.premium > Wei::ZERO);
@@ -710,7 +783,14 @@ mod tests {
         let (mut ens, mut chain, alice) = setup();
         let gold = label("gold");
         commit_and_register(
-            &mut ens, &mut chain, &gold, alice, 1, Duration::from_years(1), PRICE, Some(alice),
+            &mut ens,
+            &mut chain,
+            &gold,
+            alice,
+            1,
+            Duration::from_years(1),
+            PRICE,
+            Some(alice),
         )
         .unwrap();
 
@@ -737,7 +817,14 @@ mod tests {
         let gold = label("gold");
         let name = EnsName::parse("gold.eth").unwrap();
         commit_and_register(
-            &mut ens, &mut chain, &gold, alice, 1, Duration::from_years(1), PRICE, Some(alice),
+            &mut ens,
+            &mut chain,
+            &gold,
+            alice,
+            1,
+            Duration::from_years(1),
+            PRICE,
+            Some(alice),
         )
         .unwrap();
 
@@ -749,7 +836,14 @@ mod tests {
 
         // Bob re-registers and overwrites the record: silent switch.
         commit_and_register(
-            &mut ens, &mut chain, &gold, bob, 2, Duration::from_years(1), PRICE, Some(bob),
+            &mut ens,
+            &mut chain,
+            &gold,
+            bob,
+            2,
+            Duration::from_years(1),
+            PRICE,
+            Some(bob),
         )
         .unwrap();
         assert_eq!(ens.resolve(&name), Some(bob));
@@ -760,7 +854,14 @@ mod tests {
         let (mut ens, mut chain, alice) = setup();
         let gold = label("gold");
         commit_and_register(
-            &mut ens, &mut chain, &gold, alice, 1, Duration::from_years(1), PRICE, Some(alice),
+            &mut ens,
+            &mut chain,
+            &gold,
+            alice,
+            1,
+            Duration::from_years(1),
+            PRICE,
+            Some(alice),
         )
         .unwrap();
         chain.advance(Duration::from_years(2));
@@ -777,7 +878,14 @@ mod tests {
         let carol = Address::derive(b"carol");
         let gold = label("gold");
         commit_and_register(
-            &mut ens, &mut chain, &gold, alice, 1, Duration::from_years(1), PRICE, Some(alice),
+            &mut ens,
+            &mut chain,
+            &gold,
+            alice,
+            1,
+            Duration::from_years(1),
+            PRICE,
+            Some(alice),
         )
         .unwrap();
 
@@ -796,7 +904,14 @@ mod tests {
     fn short_durations_are_rejected() {
         let (mut ens, mut chain, alice) = setup();
         let err = commit_and_register(
-            &mut ens, &mut chain, &label("gold"), alice, 1, Duration::from_days(27), PRICE, None,
+            &mut ens,
+            &mut chain,
+            &label("gold"),
+            alice,
+            1,
+            Duration::from_days(27),
+            PRICE,
+            None,
         )
         .unwrap_err();
         assert_eq!(err, EnsError::DurationTooShort);
@@ -808,7 +923,14 @@ mod tests {
         let pauper = Address::derive(b"pauper");
         let gold = label("gold");
         let err = commit_and_register(
-            &mut ens, &mut chain, &gold, pauper, 1, Duration::from_years(1), PRICE, Some(pauper),
+            &mut ens,
+            &mut chain,
+            &gold,
+            pauper,
+            1,
+            Duration::from_years(1),
+            PRICE,
+            Some(pauper),
         )
         .unwrap_err();
         assert!(matches!(err, EnsError::Payment(_)));
@@ -844,7 +966,14 @@ mod tests {
         let bob = Address::derive(b"bob");
         let gold = label("gold");
         commit_and_register(
-            &mut ens, &mut chain, &gold, alice, 1, Duration::from_years(1), PRICE, Some(alice),
+            &mut ens,
+            &mut chain,
+            &gold,
+            alice,
+            1,
+            Duration::from_years(1),
+            PRICE,
+            Some(alice),
         )
         .unwrap();
         let sub = Label::parse_any("pay").unwrap();
@@ -865,12 +994,24 @@ mod tests {
     fn events_are_ordered_and_dense() {
         let (mut ens, mut chain, alice) = setup();
         commit_and_register(
-            &mut ens, &mut chain, &label("gold"), alice, 1, Duration::from_years(1), PRICE,
+            &mut ens,
+            &mut chain,
+            &label("gold"),
+            alice,
+            1,
+            Duration::from_years(1),
+            PRICE,
             Some(alice),
         )
         .unwrap();
-        ens.renew(&mut chain, &label("gold"), alice, Duration::from_years(1), PRICE)
-            .unwrap();
+        ens.renew(
+            &mut chain,
+            &label("gold"),
+            alice,
+            Duration::from_years(1),
+            PRICE,
+        )
+        .unwrap();
         let ids: Vec<u64> = ens.events().iter().map(|e| e.id).collect();
         assert_eq!(ids, (0..ids.len() as u64).collect::<Vec<_>>());
     }

@@ -10,8 +10,9 @@
 #![warn(missing_docs)]
 
 use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
 
-use ens_types::Address;
+use ens_types::{Address, PageError, PagedBatch, PagedSource};
 use serde::{Deserialize, Serialize};
 use sim_chain::{Chain, Transaction};
 
@@ -135,7 +136,9 @@ pub struct Etherscan {
     /// address → indices of transactions where it is sender or receiver,
     /// in chain order.
     by_address: HashMap<Address, Vec<usize>>,
-    labels: LabelService,
+    /// Shared so that dataset assembly can take an owned snapshot without
+    /// deep-copying the whole directory.
+    labels: Arc<LabelService>,
 }
 
 impl Etherscan {
@@ -152,13 +155,19 @@ impl Etherscan {
         Etherscan {
             transactions,
             by_address,
-            labels,
+            labels: Arc::new(labels),
         }
     }
 
     /// The label directory.
     pub fn labels(&self) -> &LabelService {
         &self.labels
+    }
+
+    /// An owned, shared snapshot of the label directory. Cloning the
+    /// returned handle is a reference-count bump, not a deep copy.
+    pub fn labels_snapshot(&self) -> Arc<LabelService> {
+        Arc::clone(&self.labels)
     }
 
     /// `txlist`: all transactions touching `address` (in or out), paged.
@@ -178,14 +187,66 @@ impl Etherscan {
             .collect()
     }
 
+    /// Offset-based variant of [`Etherscan::txlist`]: up to `limit`
+    /// transactions touching `address`, starting at the `start`-th entry of
+    /// its chain-ordered history. `limit` is capped at [`MAX_TXLIST_PAGE`].
+    pub fn txlist_window(&self, address: Address, start: usize, limit: usize) -> Vec<Transaction> {
+        let idxs = match self.by_address.get(&address) {
+            Some(v) => v.as_slice(),
+            None => return Vec::new(),
+        };
+        let limit = limit.clamp(1, MAX_TXLIST_PAGE);
+        idxs.iter()
+            .skip(start)
+            .take(limit)
+            .map(|&i| self.transactions[i].clone())
+            .collect()
+    }
+
     /// Total transactions touching `address`.
     pub fn tx_count(&self, address: Address) -> usize {
         self.by_address.get(&address).map_or(0, |v| v.len())
     }
 
+    /// The transaction history of one address as a generic paged source —
+    /// what the sharded crawler pulls page by page.
+    pub fn txlist_source(&self, address: Address) -> TxListSource<'_> {
+        TxListSource {
+            scan: self,
+            address,
+        }
+    }
+
     /// Total transactions indexed.
     pub fn total_transactions(&self) -> usize {
         self.transactions.len()
+    }
+}
+
+/// One address's `txlist` history viewed as a paged source (items are
+/// [`Transaction`]s in chain order; the total is the explorer's `tx_count`,
+/// so per-address crawls need no guaranteed-empty probe page at the end).
+#[derive(Clone, Copy, Debug)]
+pub struct TxListSource<'a> {
+    scan: &'a Etherscan,
+    address: Address,
+}
+
+impl PagedSource for TxListSource<'_> {
+    type Item = Transaction;
+
+    fn source_name(&self) -> &'static str {
+        "txlist"
+    }
+
+    fn total_hint(&self) -> Option<usize> {
+        Some(self.scan.tx_count(self.address))
+    }
+
+    fn fetch(&self, offset: usize, limit: usize) -> Result<PagedBatch<Transaction>, PageError> {
+        let items = self.scan.txlist_window(self.address, offset, limit);
+        let has_more = offset + items.len() < self.scan.tx_count(self.address);
+        Ok(PagedBatch { items, has_more })
     }
 }
 

@@ -126,7 +126,11 @@ mod tests {
 
     #[test]
     fn lists_have_expected_scale() {
-        assert!(DICTIONARY.len() >= 900, "dictionary has {}", DICTIONARY.len());
+        assert!(
+            DICTIONARY.len() >= 900,
+            "dictionary has {}",
+            DICTIONARY.len()
+        );
         assert!(BRANDS.len() >= 50);
         assert!(ADULT.len() >= 20);
         assert!(FIRST_NAMES.len() >= 80);

@@ -12,7 +12,7 @@
 
 use std::collections::HashMap;
 
-use ens_types::{Address, LabelHash, Timestamp, UsdCents};
+use ens_types::{Address, LabelHash, PageError, PagedBatch, PagedSource, Timestamp, UsdCents};
 use serde::{Deserialize, Serialize};
 
 /// Maximum events per page (the real API caps at 50).
@@ -89,6 +89,17 @@ impl OpenSea {
         OpenSea::default()
     }
 
+    /// Rebuilds a queryable marketplace from a crawled event stream — how
+    /// dataset assembly turns paged event batches back into an index that
+    /// the resale analysis (§4.2) can join against offline.
+    pub fn from_events(events: Vec<MarketEvent>) -> OpenSea {
+        let mut sea = OpenSea::new();
+        for event in events {
+            sea.push(event);
+        }
+        sea
+    }
+
     /// Records a listing.
     pub fn list(&mut self, token: LabelHash, seller: Address, price: UsdCents, at: Timestamp) {
         self.push(MarketEvent::Listed {
@@ -146,6 +157,16 @@ impl OpenSea {
         &self.events[start..end]
     }
 
+    /// Offset-based variant of [`OpenSea::events`]: up to `limit` events
+    /// starting at the `start`-th event, `limit` capped at
+    /// [`MAX_EVENTS_PAGE`].
+    pub fn events_window(&self, start: usize, limit: usize) -> &[MarketEvent] {
+        let limit = limit.clamp(1, MAX_EVENTS_PAGE);
+        let start = start.min(self.events.len());
+        let end = (start + limit).min(self.events.len());
+        &self.events[start..end]
+    }
+
     /// Total number of events.
     pub fn event_count(&self) -> usize {
         self.events.len()
@@ -167,6 +188,27 @@ impl OpenSea {
     }
 }
 
+/// The global event stream as a generic paged source: items are
+/// [`MarketEvent`]s in append order, the total is known, and the server
+/// cap of [`MAX_EVENTS_PAGE`] applies to every fetch.
+impl PagedSource for OpenSea {
+    type Item = MarketEvent;
+
+    fn source_name(&self) -> &'static str {
+        "market"
+    }
+
+    fn total_hint(&self) -> Option<usize> {
+        Some(self.events.len())
+    }
+
+    fn fetch(&self, offset: usize, limit: usize) -> Result<PagedBatch<MarketEvent>, PageError> {
+        let items = self.events_window(offset, limit).to_vec();
+        let has_more = offset + items.len() < self.events.len();
+        Ok(PagedBatch { items, has_more })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -184,7 +226,12 @@ mod tests {
     fn listing_and_sale_round_trip() {
         let mut sea = OpenSea::new();
         let t = token("gold");
-        sea.list(t, addr("seller"), UsdCents::from_dollars(500), Timestamp(100));
+        sea.list(
+            t,
+            addr("seller"),
+            UsdCents::from_dollars(500),
+            Timestamp(100),
+        );
         sea.record_sale(
             t,
             addr("seller"),
@@ -236,8 +283,20 @@ mod tests {
     fn first_sale_ignores_later_sales() {
         let mut sea = OpenSea::new();
         let t = token("gold");
-        sea.record_sale(t, addr("a"), addr("b"), UsdCents::from_dollars(100), Timestamp(1));
-        sea.record_sale(t, addr("b"), addr("c"), UsdCents::from_dollars(900), Timestamp(2));
+        sea.record_sale(
+            t,
+            addr("a"),
+            addr("b"),
+            UsdCents::from_dollars(100),
+            Timestamp(1),
+        );
+        sea.record_sale(
+            t,
+            addr("b"),
+            addr("c"),
+            UsdCents::from_dollars(900),
+            Timestamp(2),
+        );
         assert_eq!(sea.first_sale(t).unwrap().1, UsdCents::from_dollars(100));
     }
 }

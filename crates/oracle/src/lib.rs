@@ -32,22 +32,70 @@ pub struct Anchor {
 
 /// Default anchors tracing the real ETH-USD shape over the study window.
 pub const DEFAULT_ANCHORS: &[Anchor] = &[
-    Anchor { day: (2019, 1, 1), usd: 130 },
-    Anchor { day: (2019, 7, 1), usd: 290 },
-    Anchor { day: (2020, 1, 1), usd: 130 },
-    Anchor { day: (2020, 3, 15), usd: 120 },
-    Anchor { day: (2020, 9, 1), usd: 430 },
-    Anchor { day: (2021, 1, 1), usd: 730 },
-    Anchor { day: (2021, 5, 10), usd: 3900 },
-    Anchor { day: (2021, 7, 20), usd: 1800 },
-    Anchor { day: (2021, 11, 8), usd: 4800 },
-    Anchor { day: (2022, 6, 18), usd: 1000 },
-    Anchor { day: (2022, 8, 14), usd: 1900 },
-    Anchor { day: (2022, 12, 31), usd: 1200 },
-    Anchor { day: (2023, 4, 15), usd: 2100 },
-    Anchor { day: (2023, 10, 1), usd: 1700 },
-    Anchor { day: (2024, 3, 12), usd: 3900 },
-    Anchor { day: (2024, 12, 31), usd: 3400 },
+    Anchor {
+        day: (2019, 1, 1),
+        usd: 130,
+    },
+    Anchor {
+        day: (2019, 7, 1),
+        usd: 290,
+    },
+    Anchor {
+        day: (2020, 1, 1),
+        usd: 130,
+    },
+    Anchor {
+        day: (2020, 3, 15),
+        usd: 120,
+    },
+    Anchor {
+        day: (2020, 9, 1),
+        usd: 430,
+    },
+    Anchor {
+        day: (2021, 1, 1),
+        usd: 730,
+    },
+    Anchor {
+        day: (2021, 5, 10),
+        usd: 3900,
+    },
+    Anchor {
+        day: (2021, 7, 20),
+        usd: 1800,
+    },
+    Anchor {
+        day: (2021, 11, 8),
+        usd: 4800,
+    },
+    Anchor {
+        day: (2022, 6, 18),
+        usd: 1000,
+    },
+    Anchor {
+        day: (2022, 8, 14),
+        usd: 1900,
+    },
+    Anchor {
+        day: (2022, 12, 31),
+        usd: 1200,
+    },
+    Anchor {
+        day: (2023, 4, 15),
+        usd: 2100,
+    },
+    Anchor {
+        day: (2023, 10, 1),
+        usd: 1700,
+    },
+    Anchor {
+        day: (2024, 3, 12),
+        usd: 3900,
+    },
+    Anchor {
+        day: (2024, 12, 31),
+        usd: 3400,
+    },
 ];
 
 /// Relative amplitude of the deterministic daily noise (±3%).
@@ -148,8 +196,7 @@ impl PriceOracle {
         }
         // Deterministic ±3% noise from the day index.
         let h = keccak256(&day.to_be_bytes());
-        let r = u64::from_be_bytes(h[..8].try_into().expect("8 bytes")) as f64
-            / u64::MAX as f64;
+        let r = u64::from_be_bytes(h[..8].try_into().expect("8 bytes")) as f64 / u64::MAX as f64;
         let factor = 1.0 + NOISE_AMPLITUDE * (2.0 * r - 1.0);
         ((base as f64) * factor) as u64
     }
@@ -244,9 +291,6 @@ mod tests {
     fn to_usd_uses_day_of_transaction() {
         let o = PriceOracle::new().without_noise();
         let t = Timestamp::from_ymd(2021, 11, 8);
-        assert_eq!(
-            o.to_usd(Wei::from_eth(2), t),
-            UsdCents::from_dollars(9600)
-        );
+        assert_eq!(o.to_usd(Wei::from_eth(2), t), UsdCents::from_dollars(9600));
     }
 }

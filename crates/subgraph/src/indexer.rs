@@ -83,12 +83,13 @@ impl IndexState {
                 premium,
                 legacy,
             } => {
-                let record = self.domains.entry(*label_hash).or_insert_with(|| {
-                    DomainRecord {
+                let record = self
+                    .domains
+                    .entry(*label_hash)
+                    .or_insert_with(|| DomainRecord {
                         label_hash: *label_hash,
                         ..DomainRecord::default()
-                    }
-                });
+                    });
                 if let Some(label) = label {
                     let name = EnsName::from_label(label.clone());
                     self.node_to_label.insert(name.namehash(), *label_hash);
@@ -123,7 +124,11 @@ impl IndexState {
                     self.renewals += 1;
                 }
             }
-            EnsEventKind::NameTransferred { label_hash, from, to } => {
+            EnsEventKind::NameTransferred {
+                label_hash,
+                from,
+                to,
+            } => {
                 if let Some(record) = self.domains.get_mut(label_hash) {
                     record.transfers.push(TransferEntry {
                         at: event.timestamp,

@@ -28,8 +28,9 @@ pub use model::{
 pub use query::{Page, PageRequest, MAX_PAGE_SIZE};
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
-use ens_types::{Address, Timestamp};
+use ens_types::{Address, PageError, PagedBatch, PagedSource, Timestamp};
 
 /// A continuously syncing indexer, like the real subgraph node: feed it
 /// event batches as the chain grows, snapshot a queryable [`Subgraph`]
@@ -91,8 +92,9 @@ pub struct Subgraph {
     by_hash: HashMap<LabelHash, usize>,
     /// full name → index into `ordered` (only for recovered names).
     by_name: HashMap<String, usize>,
-    /// addr → (claim time, full name) primary-name history.
-    reverse_history: HashMap<Address, Vec<(Timestamp, String)>>,
+    /// addr → (claim time, full name) primary-name history. Shared so that
+    /// dataset assembly can take an owned snapshot without a deep copy.
+    reverse_history: Arc<HashMap<Address, Vec<(Timestamp, String)>>>,
     stats: SubgraphStats,
     unattributed_addr_changes: usize,
 }
@@ -150,7 +152,7 @@ impl Subgraph {
             ordered,
             by_hash,
             by_name,
-            reverse_history: state.reverse_history,
+            reverse_history: Arc::new(state.reverse_history),
             stats,
             unattributed_addr_changes: state.unattributed_addr_changes,
         }
@@ -181,13 +183,19 @@ impl Subgraph {
         &self.reverse_history
     }
 
+    /// An owned, shared snapshot of the reverse-claim history. Cloning the
+    /// returned handle is a reference-count bump, not a deep copy — this is
+    /// what dataset assembly stores.
+    pub fn reverse_history_snapshot(&self) -> Arc<HashMap<Address, Vec<(Timestamp, String)>>> {
+        Arc::clone(&self.reverse_history)
+    }
+
     /// The primary name `addr` had claimed as of time `t`.
     pub fn primary_name_at(&self, addr: Address, t: Timestamp) -> Option<&str> {
         self.reverse_history
             .get(&addr)?
             .iter()
-            .filter(|(at, _)| *at <= t)
-            .next_back()
+            .rfind(|(at, _)| *at <= t)
             .map(|(_, name)| name.as_str())
     }
 
@@ -201,6 +209,34 @@ impl Subgraph {
     /// crawlers should use [`Subgraph::domains`]).
     pub fn iter(&self) -> impl Iterator<Item = &DomainRecord> {
         self.ordered.iter()
+    }
+}
+
+/// The subgraph as a generic paged source: items are [`DomainRecord`]s in
+/// label-hash order, the total is known up front (so crawls can be sharded
+/// by page range), and the server-side `first` cap of [`MAX_PAGE_SIZE`]
+/// still applies to every fetch.
+impl PagedSource for Subgraph {
+    type Item = DomainRecord;
+
+    fn source_name(&self) -> &'static str {
+        "subgraph"
+    }
+
+    fn total_hint(&self) -> Option<usize> {
+        Some(self.ordered.len())
+    }
+
+    fn fetch(&self, offset: usize, limit: usize) -> Result<PagedBatch<DomainRecord>, PageError> {
+        let page = self.domains(PageRequest {
+            first: limit,
+            skip: offset,
+        });
+        let has_more = offset + page.items.len() < page.total;
+        Ok(PagedBatch {
+            items: page.items,
+            has_more,
+        })
     }
 }
 
@@ -371,9 +407,7 @@ mod tests {
         )
         .unwrap();
         let sg = Subgraph::index(ens.events(), SubgraphConfig::lossless());
-        let record = sg
-            .domain(Label::parse("oldname").unwrap().hash())
-            .unwrap();
+        let record = sg.domain(Label::parse("oldname").unwrap().hash()).unwrap();
         assert!(record.name.is_none());
         assert!(record.registrations[0].legacy);
         // The AddrChanged for the unknown node cannot be attributed.

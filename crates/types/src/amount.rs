@@ -15,9 +15,7 @@ use serde::{Deserialize, Serialize};
 pub const WEI_PER_ETH: u128 = 1_000_000_000_000_000_000;
 
 /// An amount of ETH, stored in wei.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 pub struct Wei(pub u128);
 
 impl Wei {
@@ -136,9 +134,7 @@ impl fmt::Display for Wei {
 }
 
 /// An amount of US dollars, stored in cents.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 pub struct UsdCents(pub u128);
 
 impl UsdCents {
@@ -254,7 +250,7 @@ mod tests {
     fn display_formats() {
         assert_eq!(Wei::from_eth(2).to_string(), "2 ETH");
         assert_eq!(Wei::from_milli_eth(1500).to_string(), "1.5 ETH");
-        assert_eq!(UsdCents(123_45).to_string(), "$123.45");
+        assert_eq!(UsdCents(12_345).to_string(), "$123.45");
         assert_eq!(UsdCents(5).to_string(), "$0.05");
     }
 

@@ -157,10 +157,7 @@ mod tests {
 
     #[test]
     fn zero_is_root_node() {
-        assert_eq!(
-            Hash32::ZERO.to_hex(),
-            format!("0x{}", "00".repeat(32))
-        );
+        assert_eq!(Hash32::ZERO.to_hex(), format!("0x{}", "00".repeat(32)));
     }
 
     #[test]

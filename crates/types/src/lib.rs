@@ -13,7 +13,9 @@
 //! - [`time`] — [`Timestamp`], [`Duration`], [`BlockNumber`] and a small
 //!   proleptic-Gregorian calendar;
 //! - [`name`] — validated ENS [`Label`]s/[`EnsName`]s and the recursive
-//!   [`namehash`](name::namehash).
+//!   [`namehash`](name::namehash);
+//! - [`paged`] — the [`PagedSource`] trait every paged data-source endpoint
+//!   implements, so one generic crawler can drive them all.
 //!
 //! Everything is `#![forbid(unsafe_code)]`, dependency-light and
 //! deterministic, per the simplicity-first idiom of the networking guides.
@@ -26,6 +28,7 @@ pub mod amount;
 pub mod hash;
 pub mod keccak;
 pub mod name;
+pub mod paged;
 pub mod time;
 
 pub use address::Address;
@@ -33,9 +36,8 @@ pub use amount::{UsdCents, Wei, WEI_PER_ETH};
 pub use hash::{Hash32, LabelHash, NameHash, TxHash};
 pub use keccak::{keccak256, Keccak256};
 pub use name::{namehash, EnsName, Label, NameError};
-pub use time::{
-    BlockNumber, Duration, Timestamp, SECONDS_PER_BLOCK, SECONDS_PER_DAY,
-};
+pub use paged::{FlakySource, PageError, PagedBatch, PagedSource, ShardKey};
+pub use time::{BlockNumber, Duration, Timestamp, SECONDS_PER_BLOCK, SECONDS_PER_DAY};
 
 /// Glob-import convenience for downstream crates.
 pub mod prelude {

@@ -1,0 +1,200 @@
+//! The unified paged-source abstraction every crawler in the workspace
+//! drives: a cursor goes in, a batch of items plus a has-more flag comes
+//! out. The ENS subgraph, the transaction explorer and the NFT marketplace
+//! all expose their query surfaces through this one trait, so pagination,
+//! retry and partial-failure accounting live in exactly one place — the
+//! generic `Crawler` in `ens-dropcatch::crawl` — instead of three
+//! hand-rolled loops.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Mutex;
+
+use crate::address::Address;
+
+/// One page of items pulled from a paged endpoint.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PagedBatch<T> {
+    /// The items on this page, in the endpoint's stable order.
+    pub items: Vec<T>,
+    /// True if a subsequent request past these items would return more.
+    pub has_more: bool,
+}
+
+/// A transient failure of one page request (rate limit, timeout, 5xx —
+/// whatever the endpoint's failure mode is). The crawler retries these up
+/// to its configured budget and accounts for every attempt.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PageError {
+    /// Which source failed (its [`PagedSource::source_name`]).
+    pub source: &'static str,
+    /// The item offset of the failed request.
+    pub offset: usize,
+    /// Human-readable cause.
+    pub message: String,
+}
+
+impl fmt::Display for PageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} page at offset {} failed: {}",
+            self.source, self.offset, self.message
+        )
+    }
+}
+
+impl std::error::Error for PageError {}
+
+/// A paged query endpoint with a stable item order.
+///
+/// Offsets are item cursors (not page numbers): `fetch(offset, limit)`
+/// returns up to `limit` items starting at the `offset`-th item of the
+/// stable ordering. Endpoints may return fewer than `limit` items (server
+/// page caps); callers advance the cursor by the number of items actually
+/// returned. Implementations must be cheap to query concurrently — the
+/// sharded crawler calls `fetch` from multiple threads.
+pub trait PagedSource {
+    /// The item type this source serves.
+    type Item;
+
+    /// A short stable name for reports and errors ("subgraph", "txlist",
+    /// "market").
+    fn source_name(&self) -> &'static str;
+
+    /// Total number of items, if the endpoint exposes it cheaply. Sources
+    /// that report a total can be sharded by page range across threads;
+    /// sources that don't are drained through a sequential cursor walk.
+    fn total_hint(&self) -> Option<usize>;
+
+    /// Fetches up to `limit` items starting at item `offset`.
+    fn fetch(&self, offset: usize, limit: usize) -> Result<PagedBatch<Self::Item>, PageError>;
+}
+
+impl<S: PagedSource> PagedSource for &S {
+    type Item = S::Item;
+    fn source_name(&self) -> &'static str {
+        (**self).source_name()
+    }
+    fn total_hint(&self) -> Option<usize> {
+        (**self).total_hint()
+    }
+    fn fetch(&self, offset: usize, limit: usize) -> Result<PagedBatch<Self::Item>, PageError> {
+        (**self).fetch(offset, limit)
+    }
+}
+
+/// A key that can be assigned to a crawl shard. The hash must be stable
+/// across runs and platforms (it feeds deterministic work division, never
+/// a `HashMap`).
+pub trait ShardKey {
+    /// A stable 64-bit hash of the key.
+    fn shard_hash(&self) -> u64;
+}
+
+impl ShardKey for Address {
+    fn shard_hash(&self) -> u64 {
+        // FNV-1a over the address bytes: stable, cheap, well-mixed enough
+        // to balance txlist shards.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in self.0 {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+}
+
+/// A chaos wrapper for failure-injection tests: fails the first
+/// `fail_attempts` fetches at every offset, then delegates. Deterministic
+/// under any thread interleaving because the attempt count is tracked per
+/// offset, not globally.
+pub struct FlakySource<S> {
+    inner: S,
+    fail_attempts: u32,
+    attempts: Mutex<HashMap<usize, u32>>,
+}
+
+impl<S> FlakySource<S> {
+    /// Wraps `inner` so every offset fails its first `fail_attempts`
+    /// fetches before succeeding.
+    pub fn new(inner: S, fail_attempts: u32) -> FlakySource<S> {
+        FlakySource {
+            inner,
+            fail_attempts,
+            attempts: Mutex::new(HashMap::new()),
+        }
+    }
+}
+
+impl<S: PagedSource> PagedSource for FlakySource<S> {
+    type Item = S::Item;
+
+    fn source_name(&self) -> &'static str {
+        self.inner.source_name()
+    }
+
+    fn total_hint(&self) -> Option<usize> {
+        self.inner.total_hint()
+    }
+
+    fn fetch(&self, offset: usize, limit: usize) -> Result<PagedBatch<Self::Item>, PageError> {
+        {
+            let mut attempts = self.attempts.lock().expect("attempt log poisoned");
+            let n = attempts.entry(offset).or_insert(0);
+            if *n < self.fail_attempts {
+                *n += 1;
+                return Err(PageError {
+                    source: self.inner.source_name(),
+                    offset,
+                    message: format!("injected failure (attempt {n})"),
+                });
+            }
+        }
+        self.inner.fetch(offset, limit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Numbers(usize);
+
+    impl PagedSource for Numbers {
+        type Item = usize;
+        fn source_name(&self) -> &'static str {
+            "numbers"
+        }
+        fn total_hint(&self) -> Option<usize> {
+            Some(self.0)
+        }
+        fn fetch(&self, offset: usize, limit: usize) -> Result<PagedBatch<usize>, PageError> {
+            let end = (offset + limit).min(self.0);
+            Ok(PagedBatch {
+                items: (offset..end).collect(),
+                has_more: end < self.0,
+            })
+        }
+    }
+
+    #[test]
+    fn flaky_source_fails_then_recovers_per_offset() {
+        let flaky = FlakySource::new(Numbers(10), 2);
+        assert!(flaky.fetch(0, 5).is_err());
+        assert!(flaky.fetch(0, 5).is_err());
+        let batch = flaky.fetch(0, 5).expect("third attempt succeeds");
+        assert_eq!(batch.items, vec![0, 1, 2, 3, 4]);
+        assert!(batch.has_more);
+        // A different offset starts its own failure budget.
+        assert!(flaky.fetch(5, 5).is_err());
+    }
+
+    #[test]
+    fn shard_hash_is_stable_and_spread() {
+        let a = Address::derive(b"a").shard_hash();
+        let b = Address::derive(b"b").shard_hash();
+        assert_ne!(a, b);
+        assert_eq!(a, Address::derive(b"a").shard_hash(), "stable across calls");
+    }
+}

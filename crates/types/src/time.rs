@@ -14,9 +14,7 @@ pub const SECONDS_PER_DAY: u64 = 86_400;
 pub const SECONDS_PER_BLOCK: u64 = 12;
 
 /// A span of time in seconds.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 pub struct Duration(pub u64);
 
 impl Duration {
@@ -68,9 +66,7 @@ impl fmt::Debug for Duration {
 }
 
 /// A unix timestamp (seconds since epoch, UTC).
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 pub struct Timestamp(pub u64);
 
 impl Timestamp {

@@ -151,9 +151,7 @@ impl WarningPolicy {
         ctx.resolved?;
         let risk_window = match self {
             WarningPolicy::WarnOnRisk { recent_window }
-            | WarningPolicy::WarnOnRiskOrReverseMismatch { recent_window } => {
-                Some(*recent_window)
-            }
+            | WarningPolicy::WarnOnRiskOrReverseMismatch { recent_window } => Some(*recent_window),
             _ => None,
         };
         let rereg_window = match self {
@@ -292,7 +290,12 @@ mod tests {
         let (ens, chain, name) = world_with_expired_name();
         for wallet in production_wallets() {
             let res = wallet.resolve(&ens, &name, chain.now());
-            assert_eq!(res.address, Some(Address::derive(b"alice")), "{}", wallet.name);
+            assert_eq!(
+                res.address,
+                Some(Address::derive(b"alice")),
+                "{}",
+                wallet.name
+            );
             assert_eq!(res.warning, None, "{} should be silent", wallet.name);
         }
     }

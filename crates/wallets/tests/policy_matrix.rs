@@ -102,7 +102,10 @@ fn combined_policy_prefers_the_risk_branch_but_falls_back_to_reverse() {
     let mut ctx = base_ctx();
     ctx.now = Timestamp::from_ymd(2023, 3, 1);
     ctx.reverse_matches = Some(false);
-    assert!(matches!(policy.evaluate(&ctx), Some(Warning::Expired { .. })));
+    assert!(matches!(
+        policy.evaluate(&ctx),
+        Some(Warning::Expired { .. })
+    ));
 
     // Healthy timing but mismatched reverse: the reverse branch fires.
     let mut ctx = base_ctx();

@@ -308,9 +308,6 @@ mod tests {
         assert_eq!(WorldConfig::small().n_names, 2_000);
         assert_eq!(WorldConfig::medium().n_names, 20_000);
         assert_eq!(WorldConfig::large().n_names, 60_000);
-        assert_eq!(
-            WorldConfig::small().with_seed(9).seed,
-            9
-        );
+        assert_eq!(WorldConfig::small().with_seed(9).seed, 9);
     }
 }

@@ -154,7 +154,9 @@ mod tests {
     #[test]
     fn log_normal_median_is_respected() {
         let mut r = rng();
-        let mut samples: Vec<f64> = (0..10_001).map(|_| log_normal(&mut r, 100.0, 1.5)).collect();
+        let mut samples: Vec<f64> = (0..10_001)
+            .map(|_| log_normal(&mut r, 100.0, 1.5))
+            .collect();
         samples.sort_by(f64::total_cmp);
         let median = samples[5000];
         assert!((median / 100.0 - 1.0).abs() < 0.1, "median {median}");

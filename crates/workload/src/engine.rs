@@ -159,7 +159,15 @@ impl Executor<'_> {
                 let cost = usd_to_wei(rent + premium, price);
                 self.ensure_funds(*owner, cost);
                 self.ens
-                    .register(self.chain, label, *owner, *secret, duration, price, Some(*owner))
+                    .register(
+                        self.chain,
+                        label,
+                        *owner,
+                        *secret,
+                        duration,
+                        price,
+                        Some(*owner),
+                    )
                     .map(|_| ())
                     .map_err(|e| e.to_string())
             }
@@ -235,7 +243,14 @@ impl Executor<'_> {
             } => {
                 let sub = Label::parse_any(sub_label).map_err(|e| e.to_string())?;
                 self.ens
-                    .create_subdomain(self.chain, label, *caller, &sub, *sub_owner, Some(*sub_owner))
+                    .create_subdomain(
+                        self.chain,
+                        label,
+                        *caller,
+                        &sub,
+                        *sub_owner,
+                        Some(*sub_owner),
+                    )
                     .map(|_| ())
                     .map_err(|e| e.to_string())
             }
@@ -298,11 +313,51 @@ mod tests {
         let sender = Address::derive(b"sender");
         let label = Label::parse("enginetest").unwrap();
         let plan = empty_plan(vec![
-            ev(t(0), 0, PlannedAction::Commit { label: label.clone(), owner, secret: 1 }),
-            ev(t(1), 1, PlannedAction::Register { label: label.clone(), owner, secret: 1, years: 1 }),
-            ev(t(2), 2, PlannedAction::Send { from: sender, to: owner, usd: 150.0 }),
-            ev(t(3), 3, PlannedAction::SetReverse { addr: owner, label: label.clone() }),
-            ev(t(4), 4, PlannedAction::Renew { label: label.clone(), payer: owner, years: 1 }),
+            ev(
+                t(0),
+                0,
+                PlannedAction::Commit {
+                    label: label.clone(),
+                    owner,
+                    secret: 1,
+                },
+            ),
+            ev(
+                t(1),
+                1,
+                PlannedAction::Register {
+                    label: label.clone(),
+                    owner,
+                    secret: 1,
+                    years: 1,
+                },
+            ),
+            ev(
+                t(2),
+                2,
+                PlannedAction::Send {
+                    from: sender,
+                    to: owner,
+                    usd: 150.0,
+                },
+            ),
+            ev(
+                t(3),
+                3,
+                PlannedAction::SetReverse {
+                    addr: owner,
+                    label: label.clone(),
+                },
+            ),
+            ev(
+                t(4),
+                4,
+                PlannedAction::Renew {
+                    label: label.clone(),
+                    payer: owner,
+                    years: 1,
+                },
+            ),
         ]);
         let executed = execute(&cfg(), &plan).expect("consistent plan executes");
         let name = ens_types::EnsName::from_label(label);
@@ -311,7 +366,10 @@ mod tests {
         assert!(executed.ens.forward_and_back_match(&name));
         // Lazy funding minted for the owner, the sender, and the payment
         // landed: value conservation still holds.
-        assert_eq!(executed.chain.total_balance(), executed.chain.total_minted());
+        assert_eq!(
+            executed.chain.total_balance(),
+            executed.chain.total_minted()
+        );
         assert!(executed.chain.balance(owner) > Wei::ZERO);
         // Custodial pools got labelled.
         assert!(executed.labels.is_custodial(Address::derive(b"exchange-0")));
@@ -325,7 +383,12 @@ mod tests {
         let plan = empty_plan(vec![ev(
             t(0),
             0,
-            PlannedAction::Register { label, owner, secret: 9, years: 1 },
+            PlannedAction::Register {
+                label,
+                owner,
+                secret: 9,
+                years: 1,
+            },
         )]);
         let Err(err) = execute(&cfg(), &plan) else {
             panic!("inconsistent plan must fail");
@@ -339,12 +402,24 @@ mod tests {
         let owner = Address::derive(b"owner");
         let sender = Address::derive(b"sender");
         let plan = empty_plan(vec![
-            ev(t(10), 0, PlannedAction::Send { from: sender, to: owner, usd: 5.0 }),
+            ev(
+                t(10),
+                0,
+                PlannedAction::Send {
+                    from: sender,
+                    to: owner,
+                    usd: 5.0,
+                },
+            ),
             // Earlier than the previous event: the monotone clock refuses.
             ev(
                 Timestamp(t(10).0 - 86_400),
                 1,
-                PlannedAction::Send { from: sender, to: owner, usd: 5.0 },
+                PlannedAction::Send {
+                    from: sender,
+                    to: owner,
+                    usd: 5.0,
+                },
             ),
         ]);
         // advance_to is only called for future times, so an out-of-order

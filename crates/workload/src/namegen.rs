@@ -300,7 +300,10 @@ mod tests {
         for _ in 0..20_000 {
             let spec = g.generate(&mut r);
             assert!(spec.label.len() >= 3);
-            assert!(seen.insert(spec.label.as_str().to_string()), "duplicate label");
+            assert!(
+                seen.insert(spec.label.as_str().to_string()),
+                "duplicate label"
+            );
         }
         assert_eq!(g.generated(), 20_000);
     }
@@ -376,12 +379,20 @@ mod tests {
             }
         }
         let frac = |c: usize| c as f64 / n as f64;
-        assert!((frac(numeric) - 0.135).abs() < 0.04, "numeric {}", frac(numeric));
+        assert!(
+            (frac(numeric) - 0.135).abs() < 0.04,
+            "numeric {}",
+            frac(numeric)
+        );
         assert!(
             (frac(mixed_digit) - 0.27).abs() < 0.07,
             "mixed digit {}",
             frac(mixed_digit)
         );
-        assert!((frac(hyphen) - 0.055).abs() < 0.03, "hyphen {}", frac(hyphen));
+        assert!(
+            (frac(hyphen) - 0.055).abs() < 0.03,
+            "hyphen {}",
+            frac(hyphen)
+        );
     }
 }

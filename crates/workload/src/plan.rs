@@ -468,7 +468,7 @@ impl<'a> Planner<'a> {
                         years: 1,
                     },
                 );
-                expiry = expiry + Duration::from_years(1);
+                expiry += Duration::from_years(1);
             }
 
             truth.periods.push(PeriodTruth {
@@ -577,12 +577,18 @@ impl<'a> Planner<'a> {
             let mut next_start = catch_t;
 
             if did_misdirect {
-                self.plan_misdirects(&mut truth, &period_senders, holder, catcher, catch_t, obs_end);
+                self.plan_misdirects(
+                    &mut truth,
+                    &period_senders,
+                    holder,
+                    catcher,
+                    catch_t,
+                    obs_end,
+                );
             } else if chance(&mut self.rng, cfg.market.list_prob) {
                 truth.listed = true;
                 let list_t = catch_t + self.uniform_days(5, 60);
-                let ask = (log_normal(&mut self.rng, 300.0, 1.3)
-                    * (0.5 + 2.0 * spec.desirability))
+                let ask = (log_normal(&mut self.rng, 300.0, 1.3) * (0.5 + 2.0 * spec.desirability))
                     .max(25.0);
                 if list_t + Duration::from_days(1) < obs_end {
                     self.push(
@@ -628,10 +634,8 @@ impl<'a> Planner<'a> {
                 if chance(&mut self.rng, cfg.senders.bypass_sender_prob) {
                     let latest = obs_end.0.saturating_sub(86_400);
                     if catch_t.0 + 10 * 86_400 < latest {
-                        let at = self.uniform_ts(
-                            catch_t + Duration::from_days(10),
-                            Timestamp(latest),
-                        );
+                        let at =
+                            self.uniform_ts(catch_t + Duration::from_days(10), Timestamp(latest));
                         let usd = self.sample_amount(income_mult);
                         self.push(
                             at,
@@ -887,10 +891,7 @@ impl<'a> Planner<'a> {
         if !b.auction_enabled {
             // No auction: bots race to the instant the grace period ends,
             // with the same long tail of late pickups.
-            let choice = weighted_choice(
-                &mut self.rng,
-                &[0.45, 0.25, 0.30],
-            );
+            let choice = weighted_choice(&mut self.rng, &[0.45, 0.25, 0.30]);
             let days = match choice {
                 0 => self.rng.gen::<f64>(),             // the drop race
                 1 => 1.0 + 6.0 * self.rng.gen::<f64>(), // the first week
@@ -1000,17 +1001,17 @@ mod tests {
             .filter(|t| t.expired && t.catch_count == 0)
             .collect();
         assert!(caught.len() > 100 && control.len() > 100);
-        let mean =
-            |v: &[&NameTruth], f: fn(&NameTruth) -> f64| v.iter().map(|t| f(t)).sum::<f64>() / v.len() as f64;
-        let income_ratio = mean(&caught, |t| t.first_income_usd)
-            / mean(&control, |t| t.first_income_usd);
+        let mean = |v: &[&NameTruth], f: fn(&NameTruth) -> f64| {
+            v.iter().map(|t| f(t)).sum::<f64>() / v.len() as f64
+        };
+        let income_ratio =
+            mean(&caught, |t| t.first_income_usd) / mean(&control, |t| t.first_income_usd);
         // Paper: 69,980 / 21,400 ≈ 3.3×. Accept a broad band.
         assert!(
             (1.8..6.5).contains(&income_ratio),
             "income ratio {income_ratio}"
         );
-        let des_ratio =
-            mean(&caught, |t| t.desirability) / mean(&control, |t| t.desirability);
+        let des_ratio = mean(&caught, |t| t.desirability) / mean(&control, |t| t.desirability);
         assert!(des_ratio > 1.3, "desirability ratio {des_ratio}");
     }
 
@@ -1048,8 +1049,7 @@ mod tests {
                 if w[1].kind != OwnerKind::Catcher {
                     continue;
                 }
-                let delay_days =
-                    (w[1].start.0 - w[0].expiry.0) as f64 / 86_400.0 - 90.0;
+                let delay_days = (w[1].start.0 - w[0].expiry.0) as f64 / 86_400.0 - 90.0;
                 total += 1;
                 if delay_days < 21.0 {
                     at_premium += 1;
@@ -1061,7 +1061,10 @@ mod tests {
         assert!(total > 300, "too few catches ({total}) to assess");
         let premium_frac = at_premium as f64 / total as f64;
         let cliff_frac = at_cliff as f64 / total as f64;
-        assert!((0.03..0.15).contains(&premium_frac), "premium {premium_frac}");
+        assert!(
+            (0.03..0.15).contains(&premium_frac),
+            "premium {premium_frac}"
+        );
         assert!((0.25..0.45).contains(&cliff_frac), "cliff {cliff_frac}");
     }
 

@@ -113,9 +113,7 @@ impl World {
                 .ens()
                 .events()
                 .iter()
-                .filter(|e| {
-                    matches!(e.kind, ens_registry::EnsEventKind::SubnodeCreated { .. })
-                })
+                .filter(|e| matches!(e.kind, ens_registry::EnsEventKind::SubnodeCreated { .. }))
                 .count(),
             transactions: self.chain().transaction_count(),
             ens_events: self.ens().events().len(),
@@ -182,10 +180,7 @@ mod tests {
             .expect("at least one expired-uncaught name");
         let name = EnsName::from_label(lapsed.label.clone());
         // The paper's central hazard: the record survives expiry.
-        assert_eq!(
-            world.ens().resolve(&name),
-            Some(lapsed.periods[0].owner)
-        );
+        assert_eq!(world.ens().resolve(&name), Some(lapsed.periods[0].owner));
     }
 
     #[test]
@@ -226,14 +221,22 @@ mod tests {
         let min_gap_days = |w: &World| {
             w.truth()
                 .iter()
-                .flat_map(|t| t.periods.windows(2).map(|p| (p[0].expiry, p[1])).collect::<Vec<_>>())
+                .flat_map(|t| {
+                    t.periods
+                        .windows(2)
+                        .map(|p| (p[0].expiry, p[1]))
+                        .collect::<Vec<_>>()
+                })
                 .filter(|(_, p1)| p1.kind == crate::plan::OwnerKind::Catcher)
                 .map(|(e, p1)| (p1.start.0 - e.0) as f64 / 86_400.0)
                 .fold(f64::INFINITY, f64::min)
         };
         assert!(min_gap_days(&with_auction) >= 90.0 + 8.0, "auction floor");
         let cf_min = min_gap_days(&without);
-        assert!(cf_min >= 90.0 && cf_min < 92.0, "drop race at grace end, got {cf_min}");
+        assert!(
+            (90.0..92.0).contains(&cf_min),
+            "drop race at grace end, got {cf_min}"
+        );
     }
 
     #[test]

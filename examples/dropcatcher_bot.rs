@@ -11,9 +11,7 @@
 //! ```
 
 use ens_dropcatch_suite::chain::Chain;
-use ens_dropcatch_suite::ens::{
-    commit_and_register, EnsSystem, GRACE_PERIOD, PREMIUM_PERIOD,
-};
+use ens_dropcatch_suite::ens::{commit_and_register, EnsSystem, GRACE_PERIOD, PREMIUM_PERIOD};
 use ens_dropcatch_suite::lexicon;
 use ens_dropcatch_suite::oracle;
 use ens_dropcatch_suite::types::{Address, Duration, Label, Timestamp, Wei};
@@ -45,11 +43,11 @@ fn main() {
 
     // A population of owners registers names; some will forget to renew.
     let names = [
-        ("gold", true),        // dictionary word — will lapse
-        ("whale", true),       // dictionary word — will lapse
+        ("gold", true),            // dictionary word — will lapse
+        ("whale", true),           // dictionary word — will lapse
         ("crypto-whale_99", true), // punctuation-ridden — will lapse
-        ("j8k2x9", true),      // alphanumeric noise — will lapse
-        ("mywallet", false),   // renewed by its owner
+        ("j8k2x9", true),          // alphanumeric noise — will lapse
+        ("mywallet", false),       // renewed by its owner
     ];
     let bot = Address::derive(b"dropcatcher-bot");
     chain.mint(bot, Wei::from_eth(50));
@@ -61,7 +59,14 @@ fn main() {
         let label = Label::parse(name).expect("valid label");
         let px = price_oracle.cents_per_eth(chain.now());
         commit_and_register(
-            &mut ens, &mut chain, &label, owner, i as u64, Duration::from_years(1), px, Some(owner),
+            &mut ens,
+            &mut chain,
+            &label,
+            owner,
+            i as u64,
+            Duration::from_years(1),
+            px,
+            Some(owner),
         )
         .expect("registration succeeds");
         println!("registered {name}.eth to {owner}");
@@ -77,7 +82,10 @@ fn main() {
     // A year passes; the un-renewed names expire, then sit in their 90-day
     // grace, then their 21-day premium auction.
     chain.advance(Duration::from_years(1) + GRACE_PERIOD + PREMIUM_PERIOD);
-    println!("\n-- premium windows over; the bot wakes up at {} --", chain.now());
+    println!(
+        "\n-- premium windows over; the bot wakes up at {} --",
+        chain.now()
+    );
 
     let mut spent = Wei::ZERO;
     for label in &lapsing {
@@ -93,7 +101,14 @@ fn main() {
         }
         let px = price_oracle.cents_per_eth(chain.now());
         let receipt = commit_and_register(
-            &mut ens, &mut chain, label, bot, 1_000, Duration::from_years(1), px, Some(bot),
+            &mut ens,
+            &mut chain,
+            label,
+            bot,
+            1_000,
+            Duration::from_years(1),
+            px,
+            Some(bot),
         )
         .expect("catch succeeds");
         spent += receipt.total();

@@ -37,10 +37,30 @@ struct Strategy {
 }
 
 const STRATEGIES: &[Strategy] = &[
-    Strategy { name: "sniper (premium end, take all)", min_delay: 21.0, max_delay: 22.0, min_score: 0.0 },
-    Strategy { name: "selective sniper (top names)", min_delay: 21.0, max_delay: 22.0, min_score: 2.0 },
-    Strategy { name: "premium whale (pay to jump)", min_delay: 8.0, max_delay: 21.0, min_score: 2.0 },
-    Strategy { name: "scavenger (a month later)", min_delay: 45.0, max_delay: 120.0, min_score: 0.0 },
+    Strategy {
+        name: "sniper (premium end, take all)",
+        min_delay: 21.0,
+        max_delay: 22.0,
+        min_score: 0.0,
+    },
+    Strategy {
+        name: "selective sniper (top names)",
+        min_delay: 21.0,
+        max_delay: 22.0,
+        min_score: 2.0,
+    },
+    Strategy {
+        name: "premium whale (pay to jump)",
+        min_delay: 8.0,
+        max_delay: 21.0,
+        min_score: 2.0,
+    },
+    Strategy {
+        name: "scavenger (a month later)",
+        min_delay: 45.0,
+        max_delay: 120.0,
+        min_score: 0.0,
+    },
 ];
 
 fn score(label: &str) -> f64 {
@@ -64,7 +84,12 @@ fn main() {
     let world = WorldConfig::medium().with_seed(4242).build();
     let subgraph = world.subgraph(SubgraphConfig::lossless());
     let etherscan = world.etherscan();
-    let dataset = Dataset::collect(&subgraph, &etherscan, world.observation_end());
+    let dataset = Dataset::collect(
+        &subgraph,
+        &etherscan,
+        world.opensea(),
+        world.observation_end(),
+    );
     let losses = analyze_losses(&dataset, world.oracle());
     let rereg = detect_all(&dataset.domains);
 

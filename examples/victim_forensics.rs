@@ -21,6 +21,7 @@ fn main() {
         opensea: world.opensea(),
         oracle: world.oracle(),
         observation_end: world.observation_end(),
+        threads: 1,
     };
 
     println!("collecting the dataset (subgraph + txlists)...");
@@ -35,7 +36,10 @@ fn main() {
         .max_by(|a, b| a.misdirected_usd().total_cmp(&b.misdirected_usd()))
         .expect("the default world plants misdirections");
 
-    let name = worst.name.clone().unwrap_or_else(|| worst.label_hash.to_hex());
+    let name = worst
+        .name
+        .clone()
+        .unwrap_or_else(|| worst.label_hash.to_hex());
     println!("\n=== case study: {name} ===");
 
     // Reconstruct the registration timeline from the subgraph record.

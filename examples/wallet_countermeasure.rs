@@ -49,23 +49,46 @@ fn main() {
 
     let name: EnsName = "gold.eth".parse().expect("valid");
     commit_and_register(
-        &mut ens, &mut chain, name.label(), alice, 1, Duration::from_years(1), price, Some(alice),
+        &mut ens,
+        &mut chain,
+        name.label(),
+        alice,
+        1,
+        Duration::from_years(1),
+        price,
+        Some(alice),
     )
     .expect("registration succeeds");
 
     resolve_everywhere(&ens, &name, chain.now(), "freshly registered to alice");
 
     chain.advance(Duration::from_years(1) + Duration::from_days(30));
-    resolve_everywhere(&ens, &name, chain.now(), "EXPIRED, in grace — still resolving to alice");
+    resolve_everywhere(
+        &ens,
+        &name,
+        chain.now(),
+        "EXPIRED, in grace — still resolving to alice",
+    );
 
     chain.advance(GRACE_PERIOD + PREMIUM_PERIOD);
     commit_and_register(
-        &mut ens, &mut chain, name.label(), mallory, 2, Duration::from_years(1), price,
+        &mut ens,
+        &mut chain,
+        name.label(),
+        mallory,
+        2,
+        Duration::from_years(1),
+        price,
         Some(mallory),
     )
     .expect("catch succeeds");
     chain.advance(Duration::from_days(3));
-    resolve_everywhere(&ens, &name, chain.now(), "RE-REGISTERED by mallory 3 days ago");
+    resolve_everywhere(
+        &ens,
+        &name,
+        chain.now(),
+        "RE-REGISTERED by mallory 3 days ago",
+    );
 
     // Part 2: how much would the warning actually save, ecosystem-wide?
     println!("\n== ecosystem-wide evaluation ==");
@@ -78,6 +101,7 @@ fn main() {
         opensea: world.opensea(),
         oracle: world.oracle(),
         observation_end: world.observation_end(),
+        threads: 1,
     };
     let dataset = sources.collect();
     let losses = analyze_losses(&dataset, world.oracle());

@@ -10,12 +10,9 @@ use ens_dropcatch_suite::workload::WorldConfig;
 fn delays(world: &workload::World) -> (Vec<f64>, usize) {
     let sg = world.subgraph(SubgraphConfig::lossless());
     let scan = world.etherscan();
-    let ds = Dataset::collect(&sg, &scan, world.observation_end());
+    let ds = Dataset::collect(&sg, &scan, world.opensea(), world.observation_end());
     let report = overview(&ds.domains, ds.observation_end);
-    (
-        report.delays.delays_days.clone(),
-        report.delays.at_premium,
-    )
+    (report.delays.delays_days.clone(), report.delays.at_premium)
 }
 
 #[test]
@@ -40,7 +37,10 @@ fn removing_the_auction_shifts_fig3_left_by_three_weeks() {
     let min_with = d_with.iter().copied().fold(f64::INFINITY, f64::min);
     let min_without = d_without.iter().copied().fold(f64::INFINITY, f64::min);
     assert!(min_with >= 98.0, "min with auction {min_with}");
-    assert!((90.0..91.0).contains(&min_without), "min without {min_without}");
+    assert!(
+        (90.0..91.0).contains(&min_without),
+        "min without {min_without}"
+    );
 
     // The median shifts left by roughly the 21-day auction.
     let shift = m_with - m_without;

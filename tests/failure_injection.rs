@@ -1,13 +1,12 @@
 //! Failure-injection tests: the pipeline must degrade gracefully when the
 //! data sources do — lossy name recovery, missing price days, tiny API
-//! pages — and stay bit-identical across reruns.
+//! pages, transiently failing endpoints — and stay bit-identical across
+//! reruns.
 
-use ens_dropcatch_suite::analysis::{
-    run_study, DataSources, Dataset, StudyConfig, SubgraphCrawler, TxCrawler,
-};
+use ens_dropcatch_suite::analysis::{run_study, Crawler, DataSources, Dataset, StudyConfig};
 use ens_dropcatch_suite::oracle::PriceOracle;
 use ens_dropcatch_suite::subgraph::SubgraphConfig;
-use ens_dropcatch_suite::types::Timestamp;
+use ens_dropcatch_suite::types::{FlakySource, Timestamp};
 use ens_dropcatch_suite::workload::WorldConfig;
 
 fn world() -> workload::World {
@@ -24,8 +23,13 @@ fn name_loss_degrades_lexical_coverage_but_not_detection() {
     });
     let etherscan = world.etherscan();
 
-    let ds_clean = Dataset::collect(&lossless, &etherscan, world.observation_end());
-    let ds_lossy = Dataset::collect(&lossy, &etherscan, world.observation_end());
+    let ds_clean = Dataset::collect(
+        &lossless,
+        &etherscan,
+        world.opensea(),
+        world.observation_end(),
+    );
+    let ds_lossy = Dataset::collect(&lossy, &etherscan, world.opensea(), world.observation_end());
 
     // Detection works on hashes, so the re-registration counts are equal.
     let rr_clean = ens_dropcatch::detect_all(&ds_clean.domains).len();
@@ -43,6 +47,7 @@ fn name_loss_degrades_lexical_coverage_but_not_detection() {
         opensea: world.opensea(),
         oracle: world.oracle(),
         observation_end: world.observation_end(),
+        threads: 1,
     };
     let report = run_study(&sources, &StudyConfig::default());
     assert!(report.features.n_rereg > 0);
@@ -54,22 +59,49 @@ fn page_size_does_not_change_results() {
     let sg = world.subgraph(SubgraphConfig::lossless());
     let scan = world.etherscan();
 
-    let (big, _) = SubgraphCrawler { page_size: 1000 }.crawl(&sg);
-    let (small, small_pages) = SubgraphCrawler { page_size: 17 }.crawl(&sg);
-    assert_eq!(big.len(), small.len());
-    assert!(small_pages > big.len() / 17);
-    let hashes_big: Vec<_> = big.iter().map(|d| d.label_hash).collect();
-    let hashes_small: Vec<_> = small.iter().map(|d| d.label_hash).collect();
+    let big = Crawler::with_page_size(1000).crawl(&sg).unwrap();
+    let small = Crawler::with_page_size(17).crawl(&sg).unwrap();
+    assert_eq!(big.items.len(), small.items.len());
+    assert!(small.stats.pages > big.items.len() / 17);
+    let hashes_big: Vec<_> = big.items.iter().map(|d| d.label_hash).collect();
+    let hashes_small: Vec<_> = small.items.iter().map(|d| d.label_hash).collect();
     assert_eq!(hashes_big, hashes_small, "stable order across page sizes");
 
-    // Same for the tx crawler.
+    // Same for the per-address txlist crawl.
     let owner = big
+        .items
         .iter()
         .find_map(|d| d.registrations.first().map(|r| r.owner))
         .expect("an owner exists");
-    let (txs_big, _) = TxCrawler { page_size: 10_000 }.crawl(&scan, [owner]);
-    let (txs_small, _) = TxCrawler { page_size: 3 }.crawl(&scan, [owner]);
-    assert_eq!(txs_big[&owner], txs_small[&owner]);
+    let sources = [(owner, scan.txlist_source(owner))];
+    let txs_big = Crawler::with_page_size(10_000)
+        .crawl_keyed(&sources)
+        .unwrap();
+    let txs_small = Crawler::with_page_size(3).crawl_keyed(&sources).unwrap();
+    assert_eq!(txs_big.map[&owner], txs_small.map[&owner]);
+}
+
+#[test]
+fn transient_endpoint_failures_are_retried_away() {
+    let world = world();
+    let sg = world.subgraph(SubgraphConfig::lossless());
+
+    // Every page fails twice before succeeding; the crawl (default budget:
+    // 3 retries) still returns the exact same records and accounts for
+    // every retry.
+    let clean = Crawler::with_page_size(64).crawl(&sg).unwrap();
+    let flaky = Crawler::with_page_size(64)
+        .crawl(&FlakySource::new(&sg, 2))
+        .unwrap();
+    assert_eq!(clean.items, flaky.items);
+    assert_eq!(flaky.stats.retries, 2 * flaky.stats.pages);
+
+    // A source that always fails exhausts the budget and reports where.
+    let err = Crawler::with_page_size(64)
+        .crawl(&FlakySource::new(&sg, u32::MAX))
+        .unwrap_err();
+    assert_eq!(err.source, "subgraph");
+    assert_eq!(err.attempts, 4);
 }
 
 #[test]
@@ -97,6 +129,7 @@ fn missing_price_days_carry_forward_instead_of_crashing() {
         opensea: world.opensea(),
         oracle: &oracle,
         observation_end: world.observation_end(),
+        threads: 1,
     };
     let report = run_study(&sources, &StudyConfig::default());
     assert!(report.losses.hijackable.total_usd() > 0.0);
@@ -114,6 +147,7 @@ fn studies_are_deterministic_and_seed_sensitive() {
             opensea: world.opensea(),
             oracle: world.oracle(),
             observation_end: world.observation_end(),
+            threads: 1,
         };
         let report = run_study(&sources, &StudyConfig::default());
         serde_json::to_string(&report.overview.domain_frequency).unwrap()

@@ -1,0 +1,352 @@
+//! Offline stand-in for `criterion` with the API surface this workspace's
+//! benches use: `Criterion`, `benchmark_group` (+ `sample_size`,
+//! `throughput`, `bench_function`, `bench_with_input`, `finish`),
+//! `Bencher::{iter, iter_with_setup}`, `BenchmarkId`, `Throughput`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement is simple wall-clock sampling: after a short warm-up each
+//! sample times a batch of iterations, and the median/mean/min over samples
+//! is printed as text. No plots, no statistics beyond that — enough to
+//! compare configurations (e.g. the `crawl_sharded/{1,2,4,8}` scaling runs)
+//! on one machine.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measured samples for one benchmark, in ns/iter.
+#[derive(Clone, Debug)]
+struct Samples {
+    ns_per_iter: Vec<f64>,
+}
+
+impl Samples {
+    fn median(&self) -> f64 {
+        let mut v = self.ns_per_iter.clone();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v[v.len() / 2]
+    }
+    fn mean(&self) -> f64 {
+        self.ns_per_iter.iter().sum::<f64>() / self.ns_per_iter.len() as f64
+    }
+    fn min(&self) -> f64 {
+        self.ns_per_iter
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Throughput annotation (printed alongside timings).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Bytes(u64),
+    BytesDecimal(u64),
+    Elements(u64),
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{parameter}", function_name.into()),
+        }
+    }
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything usable as a benchmark name.
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> String;
+}
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.id
+    }
+}
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Runs closures and records timings.
+pub struct Bencher {
+    warm_up: Duration,
+    measure: Duration,
+    sample_count: usize,
+    samples: Option<Samples>,
+}
+
+impl Bencher {
+    fn run<F: FnMut() -> Duration>(&mut self, mut timed_pass: F) {
+        // Warm-up: also learn roughly how long one pass takes.
+        let warm_start = Instant::now();
+        let mut passes = 0u64;
+        let mut warm_elapsed = Duration::ZERO;
+        while warm_start.elapsed() < self.warm_up || passes == 0 {
+            warm_elapsed += timed_pass();
+            passes += 1;
+            if passes >= 1_000_000 {
+                break;
+            }
+        }
+        let per_pass = warm_elapsed.as_secs_f64() / passes as f64;
+        // Pick a batch size so one sample costs ~ measure/sample_count.
+        let per_sample = self.measure.as_secs_f64() / self.sample_count as f64;
+        let batch = ((per_sample / per_pass.max(1e-9)) as u64).clamp(1, 10_000_000);
+
+        let mut ns_per_iter = Vec::with_capacity(self.sample_count);
+        for _ in 0..self.sample_count {
+            let mut elapsed = Duration::ZERO;
+            for _ in 0..batch {
+                elapsed += timed_pass();
+            }
+            ns_per_iter.push(elapsed.as_nanos() as f64 / batch as f64);
+        }
+        self.samples = Some(Samples { ns_per_iter });
+    }
+
+    /// Times `routine` directly.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        self.run(|| {
+            let start = Instant::now();
+            black_box(routine());
+            start.elapsed()
+        });
+    }
+
+    /// Times `routine` on a fresh input from `setup`; setup time excluded.
+    pub fn iter_with_setup<I, O, S, F>(&mut self, mut setup: S, mut routine: F)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        self.run(|| {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            start.elapsed()
+        });
+    }
+
+    /// `iter_batched` with any batch size behaves like per-iteration setup
+    /// here (we never hold more than one input at a time).
+    pub fn iter_batched<I, O, S, F>(&mut self, setup: S, routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        self.iter_with_setup(setup, routine);
+    }
+}
+
+/// Batch sizing hint (ignored by this stub).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Top-level driver.
+pub struct Criterion {
+    warm_up: Duration,
+    measure: Duration,
+    sample_count: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warm_up: Duration::from_millis(120),
+            measure: Duration::from_millis(400),
+            sample_count: 12,
+        }
+    }
+}
+
+impl Criterion {
+    /// Accepted for `criterion_main!`-style compatibility; CLI filtering is
+    /// not implemented.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_count = n.max(2);
+        self
+    }
+
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measure = d;
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_count: None,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = id.into_benchmark_id();
+        run_one(self, &name, None, f);
+        self
+    }
+
+    pub fn final_summary(&mut self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    criterion: &Criterion,
+    name: &str,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let mut bencher = Bencher {
+        warm_up: criterion.warm_up,
+        measure: criterion.measure,
+        sample_count: criterion.sample_count,
+        samples: None,
+    };
+    f(&mut bencher);
+    match bencher.samples {
+        Some(samples) => {
+            let median = samples.median();
+            let extra = match throughput {
+                Some(Throughput::Bytes(n)) | Some(Throughput::BytesDecimal(n)) => {
+                    let gib_s = n as f64 / median / 1.073_741_824;
+                    format!("  {gib_s:.3} GiB/s")
+                }
+                Some(Throughput::Elements(n)) => {
+                    let melem_s = n as f64 * 1e3 / median;
+                    format!("  {melem_s:.3} Melem/s")
+                }
+                None => String::new(),
+            };
+            println!(
+                "{name:<44} median {:>12}  mean {:>12}  min {:>12}{extra}",
+                fmt_ns(median),
+                fmt_ns(samples.mean()),
+                fmt_ns(samples.min()),
+            );
+        }
+        None => println!("{name:<44} (no measurement recorded)"),
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_count: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_count = Some(n.max(2));
+        self
+    }
+
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    fn scoped(&self) -> Criterion {
+        Criterion {
+            warm_up: self.criterion.warm_up,
+            measure: self.criterion.measure,
+            sample_count: self.sample_count.unwrap_or(self.criterion.sample_count),
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_one(&self.scoped(), &name, self.throughput, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let name = format!("{}/{}", self.name, id.id);
+        run_one(&self.scoped(), &name, self.throughput, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,598 @@
+//! Offline stand-in for `proptest` with the API surface this workspace
+//! uses: the `proptest!` macro, range/tuple strategies, `prop_map`,
+//! `prop_oneof!`, `collection::vec`, `string::string_regex`, `any::<T>()`,
+//! and `ProptestConfig::with_cases`.
+//!
+//! Sampling is deterministic (fixed seed per test body, advanced per case)
+//! and there is **no shrinking**: a failing case panics with the sampled
+//! inputs via the normal assert message. That loses minimization but keeps
+//! the property checks themselves fully functional offline.
+
+pub mod test_runner {
+    /// Deterministic SplitMix64 sampler shared by every strategy.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn new(seed: u64) -> Self {
+            TestRng {
+                state: seed ^ 0x9E37_79B9_7F4A_7C15,
+            }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform in `[0, n)`; `n` must be nonzero.
+        pub fn below(&mut self, n: u64) -> u64 {
+            (((self.next_u64() as u128) * (n as u128)) >> 64) as u64
+        }
+
+        /// Uniform in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    /// Runner configuration; only `cases` matters in this stub.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+        pub max_shrink_iters: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig {
+                cases: 64,
+                max_shrink_iters: 0,
+            }
+        }
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig {
+                cases,
+                ..Default::default()
+            }
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating values of `Value`.
+    pub trait Strategy {
+        type Value;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+
+        fn prop_filter<F>(self, _whence: &'static str, f: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter { inner: self, f }
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(self))
+        }
+    }
+
+    /// Type-erased strategy (what `prop_oneof!` stores).
+    pub struct BoxedStrategy<T>(pub Box<dyn Strategy<Value = T>>);
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            self.0.sample(rng)
+        }
+    }
+
+    /// Always yields a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, F, U> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+        fn sample(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    pub struct Filter<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, F> Strategy for Filter<S, F>
+    where
+        S: Strategy,
+        F: Fn(&S::Value) -> bool,
+    {
+        type Value = S::Value;
+        fn sample(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..10_000 {
+                let v = self.inner.sample(rng);
+                if (self.f)(&v) {
+                    return v;
+                }
+            }
+            panic!("prop_filter rejected 10000 consecutive samples");
+        }
+    }
+
+    /// Uniform choice between boxed alternatives.
+    pub struct OneOf<T> {
+        pub alternatives: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> OneOf<T> {
+        pub fn new(alternatives: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!alternatives.is_empty(), "prop_oneof! needs alternatives");
+            OneOf { alternatives }
+        }
+    }
+
+    impl<T> Strategy for OneOf<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(self.alternatives.len() as u64) as usize;
+            self.alternatives[i].sample(rng)
+        }
+    }
+
+    // --- numeric ranges as strategies ---------------------------------------
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128) as u64 + 1;
+                    (lo as i128 + rng.below(span) as i128) as $t
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! float_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let v = self.start as f64
+                        + (self.end as f64 - self.start as f64) * rng.unit_f64();
+                    if v as $t >= self.end { self.start } else { v as $t }
+                }
+            }
+        )*};
+    }
+    float_range_strategy!(f32, f64);
+
+    // --- tuples of strategies -----------------------------------------------
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategy! {
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+    }
+
+    /// Strategy produced by [`crate::arbitrary::any`].
+    pub struct ArbitraryStrategy<T>(pub PhantomData<T>);
+
+    impl<T: crate::arbitrary::Arbitrary> Strategy for ArbitraryStrategy<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary_sample(rng)
+        }
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::ArbitraryStrategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        fn arbitrary_sample(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arb_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary_sample(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary_sample(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+    impl Arbitrary for f64 {
+        fn arbitrary_sample(rng: &mut TestRng) -> f64 {
+            // Finite, sign-symmetric, wide dynamic range.
+            (rng.unit_f64() - 0.5) * 2e12
+        }
+    }
+    impl Arbitrary for char {
+        fn arbitrary_sample(rng: &mut TestRng) -> char {
+            char::from_u32((rng.below(0xD800 - 32) + 32) as u32).unwrap_or('a')
+        }
+    }
+
+    /// `any::<T>()`: the canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> ArbitraryStrategy<T> {
+        ArbitraryStrategy(PhantomData)
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Length bounds for collection strategies.
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        pub min: usize,
+        /// Exclusive.
+        pub max: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max: r.end,
+            }
+        }
+    }
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n + 1 }
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.max - self.size.min) as u64;
+            let len = self.size.min + rng.below(span.max(1)) as usize;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// `proptest::collection::vec(element, size)`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod string {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Error for unsupported/invalid patterns.
+    #[derive(Clone, Debug)]
+    pub struct Error(pub String);
+
+    impl std::fmt::Display for Error {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    #[derive(Clone, Debug)]
+    enum Atom {
+        /// Candidate characters (expanded from a class or a literal).
+        Chars(Vec<char>),
+    }
+
+    #[derive(Clone, Debug)]
+    struct Piece {
+        atom: Atom,
+        min: usize,
+        max: usize, // inclusive
+    }
+
+    /// Samples strings matching a small regex subset: literals, `[...]`
+    /// classes with ranges, and `{m}`/`{m,n}`/`?`/`*`/`+` quantifiers —
+    /// enough for the label patterns used in the property tests.
+    pub struct RegexStringStrategy {
+        pieces: Vec<Piece>,
+    }
+
+    impl Strategy for RegexStringStrategy {
+        type Value = String;
+        fn sample(&self, rng: &mut TestRng) -> String {
+            let mut out = String::new();
+            for piece in &self.pieces {
+                let span = (piece.max - piece.min + 1) as u64;
+                let n = piece.min + rng.below(span) as usize;
+                let Atom::Chars(chars) = &piece.atom;
+                for _ in 0..n {
+                    out.push(chars[rng.below(chars.len() as u64) as usize]);
+                }
+            }
+            out
+        }
+    }
+
+    pub fn string_regex(pattern: &str) -> Result<RegexStringStrategy, Error> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut pieces = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let atom = match chars[i] {
+                '[' => {
+                    let mut set = Vec::new();
+                    i += 1;
+                    while i < chars.len() && chars[i] != ']' {
+                        if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                            let (lo, hi) = (chars[i], chars[i + 2]);
+                            if lo > hi {
+                                return Err(Error(format!("bad class range {lo}-{hi}")));
+                            }
+                            for c in lo..=hi {
+                                set.push(c);
+                            }
+                            i += 3;
+                        } else {
+                            let c = if chars[i] == '\\' && i + 1 < chars.len() {
+                                i += 1;
+                                chars[i]
+                            } else {
+                                chars[i]
+                            };
+                            set.push(c);
+                            i += 1;
+                        }
+                    }
+                    if i >= chars.len() {
+                        return Err(Error("unterminated class".into()));
+                    }
+                    i += 1; // past ']'
+                    if set.is_empty() {
+                        return Err(Error("empty class".into()));
+                    }
+                    Atom::Chars(set)
+                }
+                '\\' if i + 1 < chars.len() => {
+                    i += 2;
+                    Atom::Chars(vec![chars[i - 1]])
+                }
+                '.' => {
+                    i += 1;
+                    Atom::Chars(('a'..='z').chain('0'..='9').collect())
+                }
+                c if "(){}*+?|^$".contains(c) => {
+                    return Err(Error(format!("unsupported regex syntax `{c}`")))
+                }
+                c => {
+                    i += 1;
+                    Atom::Chars(vec![c])
+                }
+            };
+            // Quantifier.
+            let (min, max) = if i < chars.len() {
+                match chars[i] {
+                    '{' => {
+                        let close = chars[i..]
+                            .iter()
+                            .position(|&c| c == '}')
+                            .ok_or_else(|| Error("unterminated quantifier".into()))?
+                            + i;
+                        let body: String = chars[i + 1..close].iter().collect();
+                        i = close + 1;
+                        if let Some((lo, hi)) = body.split_once(',') {
+                            let lo = lo.trim().parse().map_err(|_| {
+                                Error(format!("bad quantifier `{body}`"))
+                            })?;
+                            let hi = if hi.trim().is_empty() {
+                                lo + 8
+                            } else {
+                                hi.trim().parse().map_err(|_| {
+                                    Error(format!("bad quantifier `{body}`"))
+                                })?
+                            };
+                            (lo, hi)
+                        } else {
+                            let n = body.trim().parse().map_err(|_| {
+                                Error(format!("bad quantifier `{body}`"))
+                            })?;
+                            (n, n)
+                        }
+                    }
+                    '?' => {
+                        i += 1;
+                        (0, 1)
+                    }
+                    '*' => {
+                        i += 1;
+                        (0, 8)
+                    }
+                    '+' => {
+                        i += 1;
+                        (1, 8)
+                    }
+                    _ => (1, 1),
+                }
+            } else {
+                (1, 1)
+            };
+            if min > max {
+                return Err(Error("quantifier min > max".into()));
+            }
+            pieces.push(Piece { atom, min, max });
+        }
+        Ok(RegexStringStrategy { pieces })
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+}
+
+/// Runs each property function `cases` times with deterministically seeded
+/// inputs. No shrinking: failures panic with the assert's own message.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest! { @with_config ($cfg) $($rest)* }
+    };
+    (@with_config ($cfg:expr)
+        $( $(#[$meta:meta])* fn $name:ident(
+            $($arg:pat in $strat:expr),+ $(,)?
+        ) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config = $cfg;
+                // Seed from the test name so sibling tests draw distinct
+                // but reproducible streams.
+                let __seed = $crate::fnv1a(stringify!($name).as_bytes());
+                for __case in 0..__config.cases as u64 {
+                    let mut __rng =
+                        $crate::test_runner::TestRng::new(__seed ^ (__case.wrapping_mul(0x9E3779B97F4A7C15)));
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut __rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest! {
+            @with_config ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+/// FNV-1a, used to derive per-test seeds.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// Skip the case when the assumption fails (the stub just returns from the
+/// case body; with deterministic streams this is a plain early-out).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            continue;
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $( $crate::strategy::Strategy::boxed($strat) ),+
+        ])
+    };
+}

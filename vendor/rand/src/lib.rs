@@ -1,0 +1,343 @@
+//! Offline stand-in for `rand` 0.8 with the API surface this workspace
+//! uses: `Rng::{gen, gen_range, gen_bool}`, `SeedableRng::seed_from_u64`,
+//! and `rngs::{StdRng, SmallRng}`.
+//!
+//! The generator is xoshiro256** seeded through SplitMix64 — deterministic,
+//! fast, and statistically solid for simulation workloads. The exact stream
+//! differs from upstream `rand`'s ChaCha12-based `StdRng`; everything in
+//! this repository only relies on *reproducibility for a given seed*, which
+//! holds.
+
+/// The core of every generator.
+pub trait RngCore {
+    fn next_u32(&mut self) -> u32;
+    fn next_u64(&mut self) -> u64;
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// Seedable construction.
+pub trait SeedableRng: Sized {
+    type Seed: Default + AsMut<[u8]>;
+
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Expands a `u64` into a full seed via SplitMix64 (upstream does the
+    /// same style of expansion).
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let value = splitmix64(&mut state);
+            let bytes = value.to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+pub mod distributions {
+    use crate::RngCore;
+
+    /// A distribution that can sample values of `T`.
+    pub trait Distribution<T> {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// The "natural" distribution per type: uniform over the full integer
+    /// range, `[0, 1)` for floats, fair coin for `bool`.
+    pub struct Standard;
+
+    macro_rules! standard_int {
+        ($($t:ty => $via:ident),*) => {$(
+            impl Distribution<$t> for Standard {
+                fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                    rng.$via() as $t
+                }
+            }
+        )*};
+    }
+    standard_int!(u8 => next_u32, u16 => next_u32, u32 => next_u32,
+                  u64 => next_u64, usize => next_u64,
+                  i8 => next_u32, i16 => next_u32, i32 => next_u32,
+                  i64 => next_u64, isize => next_u64);
+
+    impl Distribution<u128> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u128 {
+            ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+        }
+    }
+    impl Distribution<f64> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+            // 53 random mantissa bits in [0, 1).
+            (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+    impl Distribution<f32> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+            (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+        }
+    }
+    impl Distribution<bool> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+            rng.next_u32() & 1 == 1
+        }
+    }
+
+    pub mod uniform {
+        use crate::RngCore;
+        use std::ops::{Range, RangeInclusive};
+
+        /// Types `gen_range` can sample uniformly.
+        pub trait SampleUniform: Copy + PartialOrd {
+            /// Uniform in `[lo, hi)`.
+            fn sample_half_open<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self;
+            /// Uniform in `[lo, hi]`.
+            fn sample_inclusive<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self;
+        }
+
+        macro_rules! uniform_int {
+            ($($t:ty),*) => {$(
+                impl SampleUniform for $t {
+                    fn sample_half_open<R: RngCore + ?Sized>(
+                        lo: Self, hi: Self, rng: &mut R,
+                    ) -> Self {
+                        assert!(lo < hi, "cannot sample empty range");
+                        let span = (hi as i128 - lo as i128) as u128;
+                        let offset = super::wide_uniform(span, rng);
+                        (lo as i128 + offset as i128) as $t
+                    }
+                    fn sample_inclusive<R: RngCore + ?Sized>(
+                        lo: Self, hi: Self, rng: &mut R,
+                    ) -> Self {
+                        assert!(lo <= hi, "cannot sample empty range");
+                        let span = (hi as i128 - lo as i128) as u128 + 1;
+                        let offset = super::wide_uniform(span, rng);
+                        (lo as i128 + offset as i128) as $t
+                    }
+                }
+            )*};
+        }
+        uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+        macro_rules! uniform_float {
+            ($($t:ty),*) => {$(
+                impl SampleUniform for $t {
+                    fn sample_half_open<R: RngCore + ?Sized>(
+                        lo: Self, hi: Self, rng: &mut R,
+                    ) -> Self {
+                        assert!(lo < hi, "cannot sample empty range");
+                        let unit = (rng.next_u64() >> 11) as f64
+                            * (1.0 / (1u64 << 53) as f64);
+                        let v = lo as f64 + (hi as f64 - lo as f64) * unit;
+                        // Guard against rounding up to `hi`.
+                        if v as $t >= hi { lo } else { v as $t }
+                    }
+                    fn sample_inclusive<R: RngCore + ?Sized>(
+                        lo: Self, hi: Self, rng: &mut R,
+                    ) -> Self {
+                        assert!(lo <= hi, "cannot sample empty range");
+                        let unit = (rng.next_u64() >> 11) as f64
+                            * (1.0 / (1u64 << 53) as f64);
+                        (lo as f64 + (hi as f64 - lo as f64) * unit) as $t
+                    }
+                }
+            )*};
+        }
+        uniform_float!(f32, f64);
+
+        /// Range forms accepted by `Rng::gen_range`.
+        pub trait SampleRange<T> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+        }
+
+        impl<T: SampleUniform> SampleRange<T> for Range<T> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+                T::sample_half_open(self.start, self.end, rng)
+            }
+        }
+        impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+                T::sample_inclusive(*self.start(), *self.end(), rng)
+            }
+        }
+    }
+
+    /// Uniform value in `[0, span)` via 128-bit multiply-shift.
+    fn wide_uniform<R: RngCore + ?Sized>(span: u128, rng: &mut R) -> u128 {
+        debug_assert!(span > 0);
+        if span <= u64::MAX as u128 {
+            // Lemire's multiply-shift reduction on a 64-bit draw.
+            let x = rng.next_u64() as u128;
+            (x * span) >> 64
+        } else {
+            let x = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+            x % span
+        }
+    }
+}
+
+/// User-facing convenience methods, blanket-implemented for every generator.
+pub trait Rng: RngCore {
+    fn gen<T>(&mut self) -> T
+    where
+        distributions::Standard: distributions::Distribution<T>,
+    {
+        distributions::Distribution::sample(&distributions::Standard, self)
+    }
+
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: distributions::uniform::SampleUniform,
+        R: distributions::uniform::SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p={p} outside [0,1]");
+        self.gen::<f64>() < p
+    }
+
+    fn sample<T, D: distributions::Distribution<T>>(&mut self, distr: D) -> T {
+        distr.sample(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod rngs {
+    use crate::{RngCore, SeedableRng};
+
+    macro_rules! xoshiro_rng {
+        ($(#[$doc:meta])* $name:ident) => {
+            $(#[$doc])*
+            #[derive(Clone, Debug)]
+            pub struct $name {
+                s: [u64; 4],
+            }
+
+            impl SeedableRng for $name {
+                type Seed = [u8; 32];
+
+                fn from_seed(seed: Self::Seed) -> Self {
+                    let mut s = [0u64; 4];
+                    for (i, word) in s.iter_mut().enumerate() {
+                        let mut bytes = [0u8; 8];
+                        bytes.copy_from_slice(&seed[i * 8..i * 8 + 8]);
+                        *word = u64::from_le_bytes(bytes);
+                    }
+                    if s == [0, 0, 0, 0] {
+                        // xoshiro must not start at the all-zero state.
+                        s = [
+                            0x9E37_79B9_7F4A_7C15,
+                            0xBF58_476D_1CE4_E5B9,
+                            0x94D0_49BB_1331_11EB,
+                            0x2545_F491_4F6C_DD1D,
+                        ];
+                    }
+                    $name { s }
+                }
+            }
+
+            impl RngCore for $name {
+                fn next_u64(&mut self) -> u64 {
+                    // xoshiro256** by Blackman & Vigna (public domain).
+                    let result = self.s[1]
+                        .wrapping_mul(5)
+                        .rotate_left(7)
+                        .wrapping_mul(9);
+                    let t = self.s[1] << 17;
+                    self.s[2] ^= self.s[0];
+                    self.s[3] ^= self.s[1];
+                    self.s[1] ^= self.s[2];
+                    self.s[0] ^= self.s[3];
+                    self.s[2] ^= t;
+                    self.s[3] = self.s[3].rotate_left(45);
+                    result
+                }
+
+                fn next_u32(&mut self) -> u32 {
+                    (self.next_u64() >> 32) as u32
+                }
+
+                fn fill_bytes(&mut self, dest: &mut [u8]) {
+                    for chunk in dest.chunks_mut(8) {
+                        let bytes = self.next_u64().to_le_bytes();
+                        chunk.copy_from_slice(&bytes[..chunk.len()]);
+                    }
+                }
+            }
+        };
+    }
+
+    xoshiro_rng! {
+        /// The workspace's workhorse generator (xoshiro256**; upstream uses
+        /// ChaCha12 — only per-seed reproducibility is relied upon here).
+        StdRng
+    }
+    xoshiro_rng! {
+        /// Small fast generator; same algorithm as [`StdRng`] in this stub.
+        SmallRng
+    }
+}
+
+pub mod prelude {
+    pub use crate::distributions::Distribution;
+    pub use crate::rngs::{SmallRng, StdRng};
+    pub use crate::{Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+
+    #[test]
+    fn deterministic_per_seed_and_seed_sensitive() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let mut c = StdRng::seed_from_u64(43);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(3u64..10);
+            assert!((3..10).contains(&v));
+            let w = rng.gen_range(5u8..=8);
+            assert!((5..=8).contains(&w));
+            let f = rng.gen_range(f64::MIN_POSITIVE..1.0);
+            assert!(f > 0.0 && f < 1.0);
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+            let neg = rng.gen_range(-10i64..-2);
+            assert!((-10..-2).contains(&neg));
+        }
+    }
+}

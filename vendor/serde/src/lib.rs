@@ -1,0 +1,674 @@
+//! Offline stand-in for `serde` with the same public trait surface the
+//! workspace uses: `Serialize`/`Serializer`, `Deserialize`/`Deserializer`,
+//! `de::Error::custom`, and the `#[derive(Serialize, Deserialize)]` macros.
+//!
+//! Instead of serde's visitor machinery, everything funnels through one
+//! owned [`value::Value`] tree: a `Serializer` is "anything that can accept
+//! a `Value`", a `Deserializer` is "anything that can produce one". Formats
+//! (see the sibling `serde_json` stub) convert between `Value` and text.
+//! Map contents are emitted in sorted key order so serialized output is
+//! deterministic regardless of hash-map iteration order.
+
+pub mod value {
+    /// The owned data model every serializer/deserializer speaks.
+    #[derive(Clone, Debug, PartialEq)]
+    pub enum Value {
+        Null,
+        Bool(bool),
+        /// Non-negative integers (covers u128).
+        Uint(u128),
+        /// Negative integers.
+        Int(i128),
+        Float(f64),
+        Str(String),
+        Seq(Vec<Value>),
+        /// Ordered key/value pairs. Struct fields keep declaration order;
+        /// hash/tree maps are sorted by stringified key before insertion.
+        Map(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        /// Renders a map key: only strings, integers, and bools are usable
+        /// as keys in text formats.
+        pub fn into_key(self) -> Result<String, crate::__private::StubError> {
+            match self {
+                Value::Str(s) => Ok(s),
+                Value::Uint(u) => Ok(u.to_string()),
+                Value::Int(i) => Ok(i.to_string()),
+                Value::Bool(b) => Ok(b.to_string()),
+                other => Err(crate::__private::StubError(format!(
+                    "unsupported map key: {other:?}"
+                ))),
+            }
+        }
+    }
+}
+
+pub mod ser {
+    use crate::value::Value;
+
+    /// Error raised while serializing.
+    pub trait Error: Sized + std::fmt::Display {
+        fn custom<T: std::fmt::Display>(msg: T) -> Self;
+    }
+
+    /// Anything that can accept one [`Value`].
+    pub trait Serializer: Sized {
+        type Ok;
+        type Error: Error;
+
+        /// The single required method: consume a fully built value.
+        fn serialize_value(self, value: Value) -> Result<Self::Ok, Self::Error>;
+
+        fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error> {
+            self.serialize_value(Value::Str(v.to_owned()))
+        }
+        fn serialize_bool(self, v: bool) -> Result<Self::Ok, Self::Error> {
+            self.serialize_value(Value::Bool(v))
+        }
+        fn serialize_u64(self, v: u64) -> Result<Self::Ok, Self::Error> {
+            self.serialize_value(Value::Uint(v as u128))
+        }
+        fn serialize_u128(self, v: u128) -> Result<Self::Ok, Self::Error> {
+            self.serialize_value(Value::Uint(v))
+        }
+        fn serialize_i64(self, v: i64) -> Result<Self::Ok, Self::Error> {
+            if v < 0 {
+                self.serialize_value(Value::Int(v as i128))
+            } else {
+                self.serialize_value(Value::Uint(v as u128))
+            }
+        }
+        fn serialize_f64(self, v: f64) -> Result<Self::Ok, Self::Error> {
+            if v.is_finite() {
+                self.serialize_value(Value::Float(v))
+            } else {
+                self.serialize_value(Value::Null)
+            }
+        }
+        fn serialize_unit(self) -> Result<Self::Ok, Self::Error> {
+            self.serialize_value(Value::Null)
+        }
+        fn serialize_none(self) -> Result<Self::Ok, Self::Error> {
+            self.serialize_value(Value::Null)
+        }
+    }
+
+    /// A value that can write itself to any [`Serializer`].
+    pub trait Serialize {
+        fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+    }
+}
+
+pub mod de {
+    use crate::value::Value;
+
+    /// Error raised while deserializing.
+    pub trait Error: Sized + std::fmt::Display {
+        fn custom<T: std::fmt::Display>(msg: T) -> Self;
+        fn missing_field(field: &'static str) -> Self {
+            Self::custom(format_args!("missing field `{field}`"))
+        }
+    }
+
+    /// Anything that can produce one [`Value`].
+    pub trait Deserializer<'de>: Sized {
+        type Error: Error;
+
+        /// The single required method: yield the parsed value tree.
+        fn take_value(self) -> Result<Value, Self::Error>;
+    }
+
+    /// A value that can read itself from any [`Deserializer`].
+    pub trait Deserialize<'de>: Sized {
+        fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+    }
+
+    /// Owned deserialization (what every call site in this workspace needs).
+    pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+    impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}
+}
+
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Plumbing shared by the derive macro expansion and the format crates.
+/// Not part of the emulated serde API.
+pub mod __private {
+    use crate::de::{DeserializeOwned, Deserializer};
+    use crate::ser::{Serialize, Serializer};
+    use crate::value::Value;
+
+    /// The one concrete error type behind `to_value`/`from_value`.
+    #[derive(Clone, Debug)]
+    pub struct StubError(pub String);
+
+    impl std::fmt::Display for StubError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+    impl std::error::Error for StubError {}
+    impl crate::ser::Error for StubError {
+        fn custom<T: std::fmt::Display>(msg: T) -> Self {
+            StubError(msg.to_string())
+        }
+    }
+    impl crate::de::Error for StubError {
+        fn custom<T: std::fmt::Display>(msg: T) -> Self {
+            StubError(msg.to_string())
+        }
+    }
+
+    /// Serializer that just hands back the built [`Value`].
+    pub struct ValueSerializer;
+    impl Serializer for ValueSerializer {
+        type Ok = Value;
+        type Error = StubError;
+        fn serialize_value(self, value: Value) -> Result<Value, StubError> {
+            Ok(value)
+        }
+    }
+
+    /// Deserializer over an already-parsed [`Value`].
+    pub struct ValueDeserializer(pub Value);
+    impl<'de> Deserializer<'de> for ValueDeserializer {
+        type Error = StubError;
+        fn take_value(self) -> Result<Value, StubError> {
+            Ok(self.0)
+        }
+    }
+
+    pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value, StubError> {
+        value.serialize(ValueSerializer)
+    }
+
+    pub fn from_value<T: DeserializeOwned>(value: Value) -> Result<T, StubError> {
+        T::deserialize(ValueDeserializer(value))
+    }
+
+    /// Removes and deserializes one named field from a decoded struct map.
+    /// Missing fields deserialize from `Null` so `Option` fields default to
+    /// `None`, matching serde's `missing_field` behavior.
+    pub fn take_field<T: DeserializeOwned>(
+        map: &mut Vec<(String, Value)>,
+        field: &'static str,
+    ) -> Result<T, StubError> {
+        let value = match map.iter().position(|(k, _)| k == field) {
+            Some(i) => map.swap_remove(i).1,
+            None => Value::Null,
+        };
+        from_value(value).map_err(|e| StubError(format!("field `{field}`: {e}")))
+    }
+
+    /// Builds a map value with entries sorted by key (determinism for
+    /// hash-backed maps).
+    pub fn sorted_map(mut entries: Vec<(String, Value)>) -> Value {
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Map(entries)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Serialize impls for std types.
+// ---------------------------------------------------------------------------
+
+mod std_impls {
+    use crate::__private::{from_value, to_value, StubError};
+    use crate::de::{Deserialize, DeserializeOwned, Deserializer, Error as DeError};
+    use crate::ser::{Error as SerError, Serialize, Serializer};
+    use crate::value::Value;
+    use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+    use std::hash::{BuildHasher, Hash};
+    use std::rc::Rc;
+    use std::sync::Arc;
+
+    fn expected<T>(what: &str, got: &Value) -> Result<T, StubError> {
+        Err(StubError(format!("expected {what}, got {got:?}")))
+    }
+
+    // --- integers -----------------------------------------------------------
+
+    macro_rules! int_impl {
+        ($($t:ty),*) => {$(
+            impl Serialize for $t {
+                fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                    let v = *self as i128;
+                    if v < 0 {
+                        s.serialize_value(Value::Int(v))
+                    } else {
+                        s.serialize_value(Value::Uint(v as u128))
+                    }
+                }
+            }
+            impl<'de> Deserialize<'de> for $t {
+                fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                    let value = d.take_value()?;
+                    let wide: i128 = match &value {
+                        Value::Uint(u) => {
+                            if *u > i128::MAX as u128 {
+                                return Err(D::Error::custom("integer overflow"));
+                            }
+                            *u as i128
+                        }
+                        Value::Int(i) => *i,
+                        Value::Str(s) => s
+                            .parse::<i128>()
+                            .map_err(|e| D::Error::custom(format!("bad integer key: {e}")))?,
+                        other => {
+                            return Err(D::Error::custom(format!(
+                                "expected integer, got {other:?}"
+                            )))
+                        }
+                    };
+                    <$t>::try_from(wide)
+                        .map_err(|_| D::Error::custom("integer out of range"))
+                }
+            }
+        )*};
+    }
+    int_impl!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Serialize for u128 {
+        fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+            s.serialize_u128(*self)
+        }
+    }
+    impl<'de> Deserialize<'de> for u128 {
+        fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+            match d.take_value()? {
+                Value::Uint(u) => Ok(u),
+                Value::Int(i) if i >= 0 => Ok(i as u128),
+                Value::Str(s) => s
+                    .parse::<u128>()
+                    .map_err(|e| D::Error::custom(format!("bad integer: {e}"))),
+                other => Err(D::Error::custom(format!("expected u128, got {other:?}"))),
+            }
+        }
+    }
+    impl Serialize for i128 {
+        fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+            if *self < 0 {
+                s.serialize_value(Value::Int(*self))
+            } else {
+                s.serialize_value(Value::Uint(*self as u128))
+            }
+        }
+    }
+    impl<'de> Deserialize<'de> for i128 {
+        fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+            match d.take_value()? {
+                Value::Uint(u) if u <= i128::MAX as u128 => Ok(u as i128),
+                Value::Int(i) => Ok(i),
+                Value::Str(s) => s
+                    .parse::<i128>()
+                    .map_err(|e| D::Error::custom(format!("bad integer: {e}"))),
+                other => Err(D::Error::custom(format!("expected i128, got {other:?}"))),
+            }
+        }
+    }
+
+    // --- floats, bool, char, strings ---------------------------------------
+
+    macro_rules! float_impl {
+        ($($t:ty),*) => {$(
+            impl Serialize for $t {
+                fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                    s.serialize_f64(*self as f64)
+                }
+            }
+            impl<'de> Deserialize<'de> for $t {
+                fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                    match d.take_value()? {
+                        Value::Float(f) => Ok(f as $t),
+                        Value::Uint(u) => Ok(u as $t),
+                        Value::Int(i) => Ok(i as $t),
+                        other => Err(D::Error::custom(format!(
+                            "expected float, got {other:?}"
+                        ))),
+                    }
+                }
+            }
+        )*};
+    }
+    float_impl!(f32, f64);
+
+    impl Serialize for bool {
+        fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+            s.serialize_bool(*self)
+        }
+    }
+    impl<'de> Deserialize<'de> for bool {
+        fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+            match d.take_value()? {
+                Value::Bool(b) => Ok(b),
+                Value::Str(s) if s == "true" => Ok(true),
+                Value::Str(s) if s == "false" => Ok(false),
+                other => Err(D::Error::custom(format!("expected bool, got {other:?}"))),
+            }
+        }
+    }
+
+    impl Serialize for char {
+        fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+            s.serialize_str(&self.to_string())
+        }
+    }
+    impl<'de> Deserialize<'de> for char {
+        fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+            match d.take_value()? {
+                Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+                other => Err(D::Error::custom(format!("expected char, got {other:?}"))),
+            }
+        }
+    }
+
+    impl Serialize for str {
+        fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+            s.serialize_str(self)
+        }
+    }
+    impl Serialize for String {
+        fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+            s.serialize_str(self)
+        }
+    }
+    impl<'de> Deserialize<'de> for String {
+        fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+            match d.take_value()? {
+                Value::Str(s) => Ok(s),
+                other => Err(D::Error::custom(format!("expected string, got {other:?}"))),
+            }
+        }
+    }
+
+    /// `&'static str` fields (wallet profile tables) deserialize by leaking
+    /// the decoded string: the workspace only round-trips small fixed sets
+    /// of names, so the leak is bounded and harmless. Real serde borrows
+    /// from the input instead; this stub's value model is owned.
+    impl<'de> Deserialize<'de> for &'static str {
+        fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+            String::deserialize(d).map(|s| &*s.leak())
+        }
+    }
+
+    impl Serialize for () {
+        fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+            s.serialize_unit()
+        }
+    }
+    impl<'de> Deserialize<'de> for () {
+        fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+            match d.take_value()? {
+                Value::Null => Ok(()),
+                other => Err(D::Error::custom(format!("expected null, got {other:?}"))),
+            }
+        }
+    }
+
+    // --- pointers -----------------------------------------------------------
+
+    impl<T: Serialize + ?Sized> Serialize for &T {
+        fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+            (**self).serialize(s)
+        }
+    }
+    impl<T: Serialize + ?Sized> Serialize for Box<T> {
+        fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+            (**self).serialize(s)
+        }
+    }
+    impl<'de, T: DeserializeOwned> Deserialize<'de> for Box<T> {
+        fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+            T::deserialize(d).map(Box::new)
+        }
+    }
+    impl<T: Serialize + ?Sized> Serialize for Arc<T> {
+        fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+            (**self).serialize(s)
+        }
+    }
+    impl<'de, T: DeserializeOwned> Deserialize<'de> for Arc<T> {
+        fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+            T::deserialize(d).map(Arc::new)
+        }
+    }
+    impl<T: Serialize + ?Sized> Serialize for Rc<T> {
+        fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+            (**self).serialize(s)
+        }
+    }
+    impl<'de, T: DeserializeOwned> Deserialize<'de> for Rc<T> {
+        fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+            T::deserialize(d).map(Rc::new)
+        }
+    }
+
+    // --- option -------------------------------------------------------------
+
+    impl<T: Serialize> Serialize for Option<T> {
+        fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+            match self {
+                Some(v) => v.serialize(s),
+                None => s.serialize_none(),
+            }
+        }
+    }
+    impl<'de, T: DeserializeOwned> Deserialize<'de> for Option<T> {
+        fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+            match d.take_value()? {
+                Value::Null => Ok(None),
+                other => from_value(other).map(Some).map_err(D::Error::custom),
+            }
+        }
+    }
+
+    // --- sequences ----------------------------------------------------------
+
+    fn seq_to_value<'a, T: Serialize + 'a>(
+        items: impl Iterator<Item = &'a T>,
+    ) -> Result<Value, StubError> {
+        items
+            .map(|it| to_value(it))
+            .collect::<Result<Vec<_>, _>>()
+            .map(Value::Seq)
+    }
+
+    fn value_to_seq(value: Value, what: &str) -> Result<Vec<Value>, StubError> {
+        match value {
+            Value::Seq(items) => Ok(items),
+            other => expected(what, &other),
+        }
+    }
+
+    impl<T: Serialize> Serialize for [T] {
+        fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+            let v = seq_to_value(self.iter()).map_err(S::Error::custom)?;
+            s.serialize_value(v)
+        }
+    }
+    impl<T: Serialize> Serialize for Vec<T> {
+        fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+            self.as_slice().serialize(s)
+        }
+    }
+    impl<'de, T: DeserializeOwned> Deserialize<'de> for Vec<T> {
+        fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+            let items = value_to_seq(d.take_value()?, "sequence").map_err(D::Error::custom)?;
+            items
+                .into_iter()
+                .map(|v| from_value(v).map_err(D::Error::custom))
+                .collect()
+        }
+    }
+
+    impl<T: Serialize, const N: usize> Serialize for [T; N] {
+        fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+            self.as_slice().serialize(s)
+        }
+    }
+    impl<'de, T: DeserializeOwned, const N: usize> Deserialize<'de> for [T; N] {
+        fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+            let items: Vec<T> = Vec::deserialize(d)?;
+            let len = items.len();
+            items
+                .try_into()
+                .map_err(|_| D::Error::custom(format!("expected {N} elements, got {len}")))
+        }
+    }
+
+    // --- tuples -------------------------------------------------------------
+
+    macro_rules! tuple_impl {
+        ($(($($t:ident . $idx:tt),+))*) => {$(
+            impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+                fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                    let items = vec![$(to_value(&self.$idx).map_err(S::Error::custom)?),+];
+                    s.serialize_value(Value::Seq(items))
+                }
+            }
+            impl<'de, $($t: DeserializeOwned),+> Deserialize<'de> for ($($t,)+) {
+                fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                    let items =
+                        value_to_seq(d.take_value()?, "tuple").map_err(D::Error::custom)?;
+                    let expect = [$($idx),+].len();
+                    if items.len() != expect {
+                        return Err(D::Error::custom(format!(
+                            "expected {expect}-tuple, got {} elements", items.len()
+                        )));
+                    }
+                    let mut it = items.into_iter();
+                    Ok(($({
+                        let _ = $idx;
+                        from_value::<$t>(it.next().unwrap()).map_err(D::Error::custom)?
+                    },)+))
+                }
+            }
+        )*};
+    }
+    tuple_impl! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, T3.3)
+    }
+
+    // --- maps and sets ------------------------------------------------------
+
+    fn map_to_value<'a, K, V>(
+        entries: impl Iterator<Item = (&'a K, &'a V)>,
+    ) -> Result<Value, StubError>
+    where
+        K: Serialize + 'a,
+        V: Serialize + 'a,
+    {
+        let mut out = Vec::new();
+        for (k, v) in entries {
+            out.push((to_value(k)?.into_key()?, to_value(v)?));
+        }
+        Ok(crate::__private::sorted_map(out))
+    }
+
+    fn value_to_map(value: Value) -> Result<Vec<(String, Value)>, StubError> {
+        match value {
+            Value::Map(entries) => Ok(entries),
+            other => expected("map", &other),
+        }
+    }
+
+    impl<K: Serialize, V: Serialize, H: BuildHasher> Serialize for HashMap<K, V, H> {
+        fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+            let v = map_to_value(self.iter()).map_err(S::Error::custom)?;
+            s.serialize_value(v)
+        }
+    }
+    impl<'de, K, V, H> Deserialize<'de> for HashMap<K, V, H>
+    where
+        K: DeserializeOwned + Eq + Hash,
+        V: DeserializeOwned,
+        H: BuildHasher + Default,
+    {
+        fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+            let entries = value_to_map(d.take_value()?).map_err(D::Error::custom)?;
+            entries
+                .into_iter()
+                .map(|(k, v)| {
+                    Ok((
+                        from_value::<K>(Value::Str(k)).map_err(D::Error::custom)?,
+                        from_value::<V>(v).map_err(D::Error::custom)?,
+                    ))
+                })
+                .collect()
+        }
+    }
+
+    impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+        fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+            let v = map_to_value(self.iter()).map_err(S::Error::custom)?;
+            s.serialize_value(v)
+        }
+    }
+    impl<'de, K, V> Deserialize<'de> for BTreeMap<K, V>
+    where
+        K: DeserializeOwned + Ord,
+        V: DeserializeOwned,
+    {
+        fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+            let entries = value_to_map(d.take_value()?).map_err(D::Error::custom)?;
+            entries
+                .into_iter()
+                .map(|(k, v)| {
+                    Ok((
+                        from_value::<K>(Value::Str(k)).map_err(D::Error::custom)?,
+                        from_value::<V>(v).map_err(D::Error::custom)?,
+                    ))
+                })
+                .collect()
+        }
+    }
+
+    impl<T: Serialize, H: BuildHasher> Serialize for HashSet<T, H> {
+        fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+            // Sort through the value model for deterministic output.
+            let mut items = self
+                .iter()
+                .map(to_value)
+                .collect::<Result<Vec<_>, _>>()
+                .map_err(S::Error::custom)?;
+            items.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+            s.serialize_value(Value::Seq(items))
+        }
+    }
+    impl<'de, T, H> Deserialize<'de> for HashSet<T, H>
+    where
+        T: DeserializeOwned + Eq + Hash,
+        H: BuildHasher + Default,
+    {
+        fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+            let items = value_to_seq(d.take_value()?, "set").map_err(D::Error::custom)?;
+            items
+                .into_iter()
+                .map(|v| from_value(v).map_err(D::Error::custom))
+                .collect()
+        }
+    }
+
+    impl<T: Serialize> Serialize for BTreeSet<T> {
+        fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+            let v = seq_to_value(self.iter()).map_err(S::Error::custom)?;
+            s.serialize_value(v)
+        }
+    }
+    impl<'de, T: DeserializeOwned + Ord> Deserialize<'de> for BTreeSet<T> {
+        fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+            let items = value_to_seq(d.take_value()?, "set").map_err(D::Error::custom)?;
+            items
+                .into_iter()
+                .map(|v| from_value(v).map_err(D::Error::custom))
+                .collect()
+        }
+    }
+}

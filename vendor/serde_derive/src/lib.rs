@@ -1,0 +1,638 @@
+//! Offline stand-in for `serde_derive`. Emits `Serialize`/`Deserialize`
+//! impls targeting the sibling `serde` stub's `Value` model.
+//!
+//! Written without `syn`/`quote` (registry unavailable): the derive input is
+//! re-lexed from its string form into a small token list, and the generated
+//! impl is assembled as source text and re-parsed into a `TokenStream`.
+//! Supports exactly the shapes this workspace derives: named-field structs,
+//! tuple structs (newtype-transparent when single-field), unit structs, and
+//! enums with unit / named-field / tuple variants, plus simple `<T>` type
+//! generics. `#[serde(...)]` attributes are not supported (none are used).
+
+use proc_macro::TokenStream;
+
+// ---------------------------------------------------------------------------
+// Lexing
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Debug, PartialEq)]
+enum Tok {
+    Word(String),
+    Punct(char),
+}
+
+fn lex(src: &str) -> Vec<Tok> {
+    let mut toks = Vec::new();
+    let mut chars = src.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        if c.is_whitespace() {
+            chars.next();
+        } else if c == '/' {
+            // Doc comments survive `TokenStream::to_string()`; skip every
+            // comment form outright.
+            chars.next();
+            match chars.peek() {
+                Some('/') => {
+                    for c in chars.by_ref() {
+                        if c == '\n' {
+                            break;
+                        }
+                    }
+                }
+                Some('*') => {
+                    chars.next();
+                    let mut prev = ' ';
+                    for c in chars.by_ref() {
+                        if prev == '*' && c == '/' {
+                            break;
+                        }
+                        prev = c;
+                    }
+                }
+                _ => toks.push(Tok::Punct('/')),
+            }
+        } else if c == '\'' {
+            // Char literal or lifetime; neither occurs in the shapes we
+            // derive for, but a stray quote must not derail the lexer.
+            chars.next();
+            toks.push(Tok::Punct('\''));
+        } else if c == '"' {
+            // String literal (doc attributes); consumed and dropped later
+            // with the attribute, but must be lexed as one unit so brackets
+            // inside doc text don't confuse attribute skipping.
+            chars.next();
+            let mut escaped = false;
+            for c in chars.by_ref() {
+                if escaped {
+                    escaped = false;
+                } else if c == '\\' {
+                    escaped = true;
+                } else if c == '"' {
+                    break;
+                }
+            }
+            toks.push(Tok::Word(String::new()));
+        } else if c.is_alphanumeric() || c == '_' {
+            let mut word = String::new();
+            while let Some(&c) = chars.peek() {
+                if c.is_alphanumeric() || c == '_' {
+                    word.push(c);
+                    chars.next();
+                } else {
+                    break;
+                }
+            }
+            toks.push(Tok::Word(word));
+        } else {
+            toks.push(Tok::Punct(c));
+            chars.next();
+        }
+    }
+    toks
+}
+
+/// Removes every `#[...]` attribute group.
+fn strip_attributes(toks: Vec<Tok>) -> Vec<Tok> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i] == Tok::Punct('#')
+            && matches!(toks.get(i + 1), Some(Tok::Punct('[')))
+        {
+            let mut depth = 0usize;
+            i += 1; // at '['
+            loop {
+                match toks.get(i) {
+                    Some(Tok::Punct('[')) => depth += 1,
+                    Some(Tok::Punct(']')) => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    Some(_) => {}
+                    None => break,
+                }
+                i += 1;
+            }
+            i += 1; // past ']'
+        } else {
+            out.push(toks[i].clone());
+            i += 1;
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+#[derive(Debug)]
+enum Shape {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+#[derive(Debug)]
+enum Kind {
+    Struct(Shape),
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Item {
+    name: String,
+    /// Type-parameter idents (lifetimes unsupported; none are derived).
+    generics: Vec<String>,
+    kind: Kind,
+}
+
+struct Parser {
+    toks: Vec<Tok>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Tok {
+        let t = self.toks[self.pos].clone();
+        self.pos += 1;
+        t
+    }
+
+    fn eat_punct(&mut self, c: char) -> bool {
+        if self.peek() == Some(&Tok::Punct(c)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_word(&mut self, what: &str) -> String {
+        match self.next() {
+            Tok::Word(w) => w,
+            other => panic!("serde stub derive: expected {what}, got {other:?}"),
+        }
+    }
+
+    /// Skips `pub`, `pub(crate)`, `pub(in path)`.
+    fn skip_visibility(&mut self) {
+        if self.peek() == Some(&Tok::Word("pub".into())) {
+            self.pos += 1;
+            if self.eat_punct('(') {
+                let mut depth = 1;
+                while depth > 0 {
+                    match self.next() {
+                        Tok::Punct('(') => depth += 1,
+                        Tok::Punct(')') => depth -= 1,
+                        _ => {}
+                    }
+                }
+            }
+        }
+    }
+
+    /// Skips a type, stopping at a top-level `,` or any of `stop` (not
+    /// consumed). Tracks `<>`, `()`, `[]` nesting.
+    fn skip_type(&mut self, stop: &[char]) {
+        let mut angle = 0i32;
+        let mut paren = 0i32;
+        let mut bracket = 0i32;
+        loop {
+            match self.peek() {
+                None => return,
+                Some(Tok::Punct(c)) => {
+                    let c = *c;
+                    if angle == 0 && paren == 0 && bracket == 0 && (c == ',' || stop.contains(&c))
+                    {
+                        return;
+                    }
+                    match c {
+                        '<' => angle += 1,
+                        '>' => angle -= 1,
+                        '(' => paren += 1,
+                        ')' => {
+                            if paren == 0 {
+                                return; // closing a tuple-struct field list
+                            }
+                            paren -= 1;
+                        }
+                        '[' => bracket += 1,
+                        ']' => bracket -= 1,
+                        _ => {}
+                    }
+                    self.pos += 1;
+                }
+                Some(Tok::Word(_)) => self.pos += 1,
+            }
+        }
+    }
+
+    fn parse_generics(&mut self) -> Vec<String> {
+        let mut params = Vec::new();
+        if !self.eat_punct('<') {
+            return params;
+        }
+        let mut depth = 1i32;
+        let mut expect_param = true;
+        while depth > 0 {
+            match self.next() {
+                Tok::Punct('<') => depth += 1,
+                Tok::Punct('>') => depth -= 1,
+                Tok::Punct(',') if depth == 1 => expect_param = true,
+                Tok::Punct(':') if depth == 1 => expect_param = false,
+                Tok::Word(w) if depth == 1 && expect_param => {
+                    params.push(w);
+                    expect_param = false;
+                }
+                _ => {}
+            }
+        }
+        params
+    }
+
+    fn parse_named_fields(&mut self) -> Vec<String> {
+        // Positioned just after '{'.
+        let mut fields = Vec::new();
+        loop {
+            if self.eat_punct('}') {
+                break;
+            }
+            self.skip_visibility();
+            let name = self.expect_word("field name");
+            assert!(self.eat_punct(':'), "serde stub derive: expected ':' after field");
+            fields.push(name);
+            self.skip_type(&['}']);
+            self.eat_punct(',');
+        }
+        fields
+    }
+
+    fn parse_tuple_fields(&mut self) -> usize {
+        // Positioned just after '('.
+        let mut arity = 0;
+        loop {
+            if self.eat_punct(')') {
+                break;
+            }
+            self.skip_visibility();
+            self.skip_type(&[')']);
+            arity += 1;
+            self.eat_punct(',');
+        }
+        arity
+    }
+
+    fn parse(mut self) -> Item {
+        self.skip_visibility();
+        let keyword = self.expect_word("struct/enum");
+        let name = self.expect_word("type name");
+        let generics = self.parse_generics();
+        // Skip an optional `where` clause.
+        if self.peek() == Some(&Tok::Word("where".into())) {
+            while !matches!(
+                self.peek(),
+                None | Some(Tok::Punct('{')) | Some(Tok::Punct('(')) | Some(Tok::Punct(';'))
+            ) {
+                self.pos += 1;
+            }
+        }
+        let kind = match keyword.as_str() {
+            "struct" => {
+                if self.eat_punct('{') {
+                    Kind::Struct(Shape::Named(self.parse_named_fields()))
+                } else if self.eat_punct('(') {
+                    Kind::Struct(Shape::Tuple(self.parse_tuple_fields()))
+                } else {
+                    Kind::Struct(Shape::Unit)
+                }
+            }
+            "enum" => {
+                assert!(self.eat_punct('{'), "serde stub derive: expected enum body");
+                let mut variants = Vec::new();
+                loop {
+                    if self.eat_punct('}') {
+                        break;
+                    }
+                    let vname = self.expect_word("variant name");
+                    let shape = if self.eat_punct('{') {
+                        Shape::Named(self.parse_named_fields())
+                    } else if self.eat_punct('(') {
+                        Shape::Tuple(self.parse_tuple_fields())
+                    } else {
+                        Shape::Unit
+                    };
+                    variants.push(Variant { name: vname, shape });
+                    self.eat_punct(',');
+                }
+                Kind::Enum(variants)
+            }
+            other => panic!("serde stub derive: cannot derive for `{other}`"),
+        };
+        Item {
+            name,
+            generics,
+            kind,
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks = strip_attributes(lex(&input.to_string()));
+    Parser { toks, pos: 0 }.parse()
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+/// `impl<T: BOUND> TRAIT for Name<T>` header pieces: (impl-generics,
+/// type-generics).
+fn generics_for(item: &Item, bound: &str, extra: Option<&str>) -> (String, String) {
+    let mut impl_params: Vec<String> = Vec::new();
+    if let Some(e) = extra {
+        impl_params.push(e.to_string());
+    }
+    for p in &item.generics {
+        impl_params.push(format!("{p}: {bound}"));
+    }
+    let impl_generics = if impl_params.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", impl_params.join(", "))
+    };
+    let ty_generics = if item.generics.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", item.generics.join(", "))
+    };
+    (impl_generics, ty_generics)
+}
+
+const SER_ERR: &str = "<__S::Error as serde::ser::Error>::custom";
+const DE_ERR: &str = "<__D::Error as serde::de::Error>::custom";
+
+fn push_named_fields_ser(out: &mut String, fields: &[String], access_prefix: &str) {
+    out.push_str(
+        "let mut __fields: Vec<(String, serde::value::Value)> = Vec::new();\n",
+    );
+    for f in fields {
+        out.push_str(&format!(
+            "__fields.push((\"{f}\".to_string(), \
+             serde::__private::to_value({access_prefix}{f}).map_err({SER_ERR})?));\n"
+        ));
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let (impl_generics, ty_generics) = generics_for(item, "serde::ser::Serialize", None);
+    let name = &item.name;
+    let mut body = String::new();
+    match &item.kind {
+        Kind::Struct(Shape::Named(fields)) => {
+            push_named_fields_ser(&mut body, fields, "&self.");
+            body.push_str(
+                "serde::Serializer::serialize_value(__s, serde::value::Value::Map(__fields))\n",
+            );
+        }
+        Kind::Struct(Shape::Tuple(1)) => {
+            body.push_str(&format!(
+                "serde::Serializer::serialize_value(__s, \
+                 serde::__private::to_value(&self.0).map_err({SER_ERR})?)\n"
+            ));
+        }
+        Kind::Struct(Shape::Tuple(n)) => {
+            body.push_str("let mut __items: Vec<serde::value::Value> = Vec::new();\n");
+            for i in 0..*n {
+                body.push_str(&format!(
+                    "__items.push(serde::__private::to_value(&self.{i}).map_err({SER_ERR})?);\n"
+                ));
+            }
+            body.push_str(
+                "serde::Serializer::serialize_value(__s, serde::value::Value::Seq(__items))\n",
+            );
+        }
+        Kind::Struct(Shape::Unit) => {
+            body.push_str("serde::Serializer::serialize_unit(__s)\n");
+        }
+        Kind::Enum(variants) => {
+            body.push_str("match self {\n");
+            for v in variants {
+                let vname = &v.name;
+                match &v.shape {
+                    Shape::Unit => body.push_str(&format!(
+                        "{name}::{vname} => serde::Serializer::serialize_value(__s, \
+                         serde::value::Value::Str(\"{vname}\".to_string())),\n"
+                    )),
+                    Shape::Named(fields) => {
+                        let pat = fields.join(", ");
+                        body.push_str(&format!("{name}::{vname} {{ {pat} }} => {{\n"));
+                        push_named_fields_ser(&mut body, fields, "");
+                        body.push_str(&format!(
+                            "serde::Serializer::serialize_value(__s, \
+                             serde::value::Value::Map(vec![(\"{vname}\".to_string(), \
+                             serde::value::Value::Map(__fields))]))\n}}\n"
+                        ));
+                    }
+                    Shape::Tuple(1) => body.push_str(&format!(
+                        "{name}::{vname}(__f0) => \
+                         serde::Serializer::serialize_value(__s, \
+                         serde::value::Value::Map(vec![(\"{vname}\".to_string(), \
+                         serde::__private::to_value(__f0).map_err({SER_ERR})?)])),\n"
+                    )),
+                    Shape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let pat = binds.join(", ");
+                        body.push_str(&format!("{name}::{vname}({pat}) => {{\n"));
+                        body.push_str(
+                            "let mut __items: Vec<serde::value::Value> = Vec::new();\n",
+                        );
+                        for b in &binds {
+                            body.push_str(&format!(
+                                "__items.push(serde::__private::to_value({b})\
+                                 .map_err({SER_ERR})?);\n"
+                            ));
+                        }
+                        body.push_str(&format!(
+                            "serde::Serializer::serialize_value(__s, \
+                             serde::value::Value::Map(vec![(\"{vname}\".to_string(), \
+                             serde::value::Value::Seq(__items))]))\n}}\n"
+                        ));
+                    }
+                }
+            }
+            body.push_str("}\n");
+        }
+    }
+    format!(
+        "#[automatically_derived]\n\
+         impl{impl_generics} serde::ser::Serialize for {name}{ty_generics} {{\n\
+         #[allow(unused_mut, unused_variables, clippy::all)]\n\
+         fn serialize<__S: serde::Serializer>(&self, __s: __S) \
+         -> ::std::result::Result<__S::Ok, __S::Error> {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_named_fields_de(fields: &[String]) -> String {
+    fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: serde::__private::take_field(&mut __map, \"{f}\")\
+                 .map_err({DE_ERR})?,\n"
+            )
+        })
+        .collect()
+}
+
+fn expect_map(context: &str) -> String {
+    format!(
+        "let mut __map = match __v {{\n\
+         serde::value::Value::Map(__m) => __m,\n\
+         __other => return Err({DE_ERR}(format!(\
+         \"expected map for {context}, got {{:?}}\", __other))),\n}};\n"
+    )
+}
+
+fn expect_seq(context: &str, n: usize) -> String {
+    format!(
+        "let __items = match __v {{\n\
+         serde::value::Value::Seq(__m) if __m.len() == {n} => __m,\n\
+         __other => return Err({DE_ERR}(format!(\
+         \"expected {n}-element seq for {context}, got {{:?}}\", __other))),\n}};\n\
+         let mut __it = __items.into_iter();\n"
+    )
+}
+
+fn tuple_ctor_args(n: usize) -> String {
+    (0..n)
+        .map(|_| {
+            format!(
+                "serde::__private::from_value(__it.next().unwrap()).map_err({DE_ERR})?,\n"
+            )
+        })
+        .collect()
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let (impl_generics, ty_generics) =
+        generics_for(item, "serde::de::DeserializeOwned", Some("'de"));
+    let name = &item.name;
+    let mut body = String::from("let __v = serde::Deserializer::take_value(__d)?;\n");
+    match &item.kind {
+        Kind::Struct(Shape::Named(fields)) => {
+            body.push_str(&expect_map(name));
+            body.push_str(&format!(
+                "Ok({name} {{\n{}}})\n",
+                gen_named_fields_de(fields)
+            ));
+        }
+        Kind::Struct(Shape::Tuple(1)) => {
+            body.push_str(&format!(
+                "Ok({name}(serde::__private::from_value(__v).map_err({DE_ERR})?))\n"
+            ));
+        }
+        Kind::Struct(Shape::Tuple(n)) => {
+            body.push_str(&expect_seq(name, *n));
+            body.push_str(&format!("Ok({name}(\n{}))\n", tuple_ctor_args(*n)));
+        }
+        Kind::Struct(Shape::Unit) => {
+            body.push_str(&format!(
+                "match __v {{\n\
+                 serde::value::Value::Null => Ok({name}),\n\
+                 __other => Err({DE_ERR}(format!(\
+                 \"expected null for {name}, got {{:?}}\", __other))),\n}}\n"
+            ));
+        }
+        Kind::Enum(variants) => {
+            body.push_str("match __v {\n");
+            // Unit variants arrive as plain strings.
+            body.push_str("serde::value::Value::Str(__s) => match __s.as_str() {\n");
+            for v in variants {
+                if matches!(v.shape, Shape::Unit) {
+                    let vname = &v.name;
+                    body.push_str(&format!("\"{vname}\" => Ok({name}::{vname}),\n"));
+                }
+            }
+            body.push_str(&format!(
+                "__other => Err({DE_ERR}(format!(\
+                 \"unknown {name} variant `{{}}`\", __other))),\n}},\n"
+            ));
+            // Data-carrying variants arrive as single-entry maps.
+            body.push_str(
+                "serde::value::Value::Map(mut __entries) if __entries.len() == 1 => {\n\
+                 let (__tag, __v) = __entries.pop().unwrap();\n\
+                 match __tag.as_str() {\n",
+            );
+            for v in variants {
+                let vname = &v.name;
+                match &v.shape {
+                    Shape::Unit => {}
+                    Shape::Named(fields) => {
+                        body.push_str(&format!("\"{vname}\" => {{\n"));
+                        body.push_str(&expect_map(&format!("{name}::{vname}")));
+                        body.push_str(&format!(
+                            "Ok({name}::{vname} {{\n{}}})\n}}\n",
+                            gen_named_fields_de(fields)
+                        ));
+                    }
+                    Shape::Tuple(1) => body.push_str(&format!(
+                        "\"{vname}\" => Ok({name}::{vname}(\
+                         serde::__private::from_value(__v).map_err({DE_ERR})?)),\n"
+                    )),
+                    Shape::Tuple(n) => {
+                        body.push_str(&format!("\"{vname}\" => {{\n"));
+                        body.push_str(&expect_seq(&format!("{name}::{vname}"), *n));
+                        body.push_str(&format!(
+                            "Ok({name}::{vname}(\n{}))\n}}\n",
+                            tuple_ctor_args(*n)
+                        ));
+                    }
+                }
+            }
+            body.push_str(&format!(
+                "__other => Err({DE_ERR}(format!(\
+                 \"unknown {name} variant `{{}}`\", __other))),\n}}\n}},\n"
+            ));
+            body.push_str(&format!(
+                "__other => Err({DE_ERR}(format!(\
+                 \"expected {name}, got {{:?}}\", __other))),\n}}\n"
+            ));
+        }
+    }
+    format!(
+        "#[automatically_derived]\n\
+         impl{impl_generics} serde::de::Deserialize<'de> for {name}{ty_generics} {{\n\
+         #[allow(unused_mut, unused_variables, clippy::all)]\n\
+         fn deserialize<__D: serde::Deserializer<'de>>(__d: __D) \
+         -> ::std::result::Result<Self, __D::Error> {{\n{body}\n}}\n}}\n"
+    )
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde stub derive: generated Serialize impl failed to parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde stub derive: generated Deserialize impl failed to parse")
+}
