@@ -1,0 +1,105 @@
+//! Benches for the fault-tolerance layer: how much does a crawl under
+//! chaos cost relative to a clean one? Covers the retry loop (transient
+//! bursts retried away), the degrade path (gap recording around permanent
+//! holes), and the chaos wrapper's own overhead at zero fault rate.
+
+#![allow(clippy::result_large_err)]
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use ens_bench::bench_fixture;
+use ens_dropcatch::{Crawler, FailurePolicy, RetryPolicy};
+use ens_types::{ChaosSource, FaultProfile, PPM};
+
+/// The wrapper itself, with nothing to inject: the price of the per-offset
+/// fault-bucket hash on every fetch.
+fn chaos_wrapper_overhead(c: &mut Criterion) {
+    let f = bench_fixture();
+    let mut g = c.benchmark_group("chaos");
+    g.sample_size(20);
+    g.bench_function("subgraph_clean_baseline", |b| {
+        b.iter(|| Crawler::default().crawl(black_box(&f.subgraph)))
+    });
+    let quiet = ChaosSource::new(&f.subgraph, FaultProfile::new(0));
+    g.bench_function("subgraph_zero_fault_wrapper", |b| {
+        b.iter(|| Crawler::default().crawl(black_box(&quiet)))
+    });
+    g.finish();
+}
+
+/// Retried transients at increasing fault rates: the cost of the typed
+/// retry loop plus virtual-backoff accounting (no real sleeping).
+fn transient_retry_cost(c: &mut Criterion) {
+    let f = bench_fixture();
+    let mut g = c.benchmark_group("chaos");
+    g.sample_size(10);
+    for rate_pct in [10u32, 50, 100] {
+        let profile = FaultProfile::new(11)
+            .with_server_errors(rate_pct * (PPM / 100), 2)
+            .with_rate_limits(0, 0, 0);
+        let chaotic = ChaosSource::new(&f.subgraph, profile);
+        g.bench_with_input(
+            BenchmarkId::new("subgraph_transient_retries", format!("{rate_pct}pct")),
+            &chaotic,
+            |b, src| {
+                b.iter(|| {
+                    Crawler {
+                        retry: RetryPolicy::with_max_retries(2),
+                        ..Crawler::default()
+                    }
+                    .crawl(black_box(src))
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+/// The degrade path: a permanent hole forces gap recording and page
+/// skipping; the rest of the source is still recovered.
+fn degraded_crawl(c: &mut Criterion) {
+    let f = bench_fixture();
+    let mut g = c.benchmark_group("chaos");
+    g.sample_size(10);
+    let holed = ChaosSource::new(&f.subgraph, FaultProfile::new(13).with_hole(1000, 3000));
+    g.bench_function("subgraph_degrade_over_hole", |b| {
+        b.iter(|| {
+            Crawler {
+                failure: FailurePolicy::degrade(),
+                ..Crawler::default()
+            }
+            .crawl(black_box(&holed))
+        })
+    });
+    // The full mixed profile, sharded: the shape the CI chaos job runs.
+    let mixed = ChaosSource::new(
+        &f.subgraph,
+        FaultProfile::named("mixed", 99).expect("named profile"),
+    );
+    for threads in [1usize, 4] {
+        g.bench_with_input(
+            BenchmarkId::new("subgraph_mixed_profile", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    Crawler {
+                        threads,
+                        failure: FailurePolicy::degrade(),
+                        ..Crawler::default()
+                    }
+                    .crawl(black_box(&mixed))
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    chaos_wrapper_overhead,
+    transient_retry_cost,
+    degraded_crawl
+);
+criterion_main!(benches);

@@ -2,6 +2,8 @@
 //! crawling, dataset assembly (sequential and sharded across threads),
 //! re-registration detection, and the full study.
 
+#![allow(clippy::result_large_err)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 

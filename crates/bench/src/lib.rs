@@ -53,7 +53,7 @@ impl Fixture {
             opensea: self.world.opensea(),
             oracle: self.world.oracle(),
             observation_end: self.world.observation_end(),
-            threads: 1,
+            crawl: Default::default(),
         }
     }
 

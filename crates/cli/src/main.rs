@@ -16,12 +16,33 @@
 //! `--threads` shards the crawl (and the independent analysis passes)
 //! across worker threads; the dataset and report are byte-identical for
 //! any value.
+//!
+//! Fault-tolerance knobs (for `run` and `simulate`):
+//!
+//! - `--chaos PROFILE[:SEED]` wraps every endpoint in a deterministic
+//!   fault-injecting [`ChaosSource`](ens_types::ChaosSource). Profiles:
+//!   `none`, `flaky`, `rate-limit-storm`, `timeouts`, `holes`, `mixed`.
+//! - `--fail-policy fail-fast|degrade` picks what happens when a page stays
+//!   unfetchable past the retry budget: abort with partial stats, or record
+//!   a gap and continue.
+//! - `--loss-budget N` caps estimated lost items per source under
+//!   `degrade` before the crawl escalates to an error.
+//! - `--max-retries N` sets the per-page retry budget (default 3).
+//! - `--min-recovery R` (0..=1) rejects a degraded dataset that recovered
+//!   less than the given fraction of items.
+//! - `--page-size N` requests N items per page from every endpoint
+//!   (server-side caps still apply). Smaller pages mean more shards — and
+//!   under chaos, faults that hit single pages instead of the whole crawl.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use ens_dropcatch::{run_study_on, CrawlConfig, DataSources, Dataset, StudyConfig};
+use ens_dropcatch::{
+    run_study_on, CollectError, CrawlConfig, DataSources, Dataset, FailurePolicy, RetryPolicy,
+    StudyConfig,
+};
 use ens_subgraph::SubgraphConfig;
+use ens_types::FaultProfile;
 use etherscan_sim::LabelService;
 use opensea_sim::OpenSea;
 use price_oracle::PriceOracle;
@@ -33,15 +54,36 @@ struct Args {
     threads: usize,
     dataset: Option<PathBuf>,
     csv: Option<PathBuf>,
+    chaos: Option<FaultProfile>,
+    failure: FailurePolicy,
+    max_retries: usize,
+    min_recovery: f64,
+    page_size: Option<usize>,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  ens-dropcatch run      [--names N] [--seed S] [--threads N] [--csv DIR] [--dataset FILE]\n  \
-         ens-dropcatch simulate [--names N] [--seed S] [--threads N] --dataset FILE\n  \
-         ens-dropcatch analyze  --dataset FILE [--threads N] [--csv DIR]"
+        "usage:\n  ens-dropcatch run      [--names N] [--seed S] [--threads N] [--csv DIR] [--dataset FILE] [FAULT OPTS]\n  \
+         ens-dropcatch simulate [--names N] [--seed S] [--threads N] --dataset FILE [FAULT OPTS]\n  \
+         ens-dropcatch analyze  --dataset FILE [--threads N] [--csv DIR]\n\
+         fault options:\n  \
+         --chaos PROFILE[:SEED]   inject deterministic faults (none|flaky|rate-limit-storm|timeouts|holes|mixed)\n  \
+         --fail-policy POLICY     fail-fast (default) or degrade\n  \
+         --loss-budget N          max estimated lost items per source under degrade\n  \
+         --max-retries N          per-page retry budget (default 3)\n  \
+         --min-recovery R         minimum acceptable item recovery rate in [0,1]\n  \
+         --page-size N            items requested per page from every endpoint"
     );
     ExitCode::from(2)
+}
+
+/// Parses `PROFILE` or `PROFILE:SEED` into a fault profile.
+fn parse_chaos(spec: &str) -> Option<FaultProfile> {
+    let (name, seed) = match spec.split_once(':') {
+        Some((name, seed)) => (name, seed.parse().ok()?),
+        None => (spec, 0),
+    };
+    FaultProfile::named(name, seed)
 }
 
 fn parse(mut args: impl Iterator<Item = String>) -> Option<Args> {
@@ -51,7 +93,13 @@ fn parse(mut args: impl Iterator<Item = String>) -> Option<Args> {
         threads: 1,
         dataset: None,
         csv: None,
+        chaos: None,
+        failure: FailurePolicy::FailFast,
+        max_retries: RetryPolicy::default().max_retries,
+        min_recovery: 0.0,
+        page_size: None,
     };
+    let mut loss_budget: Option<usize> = None;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--names" => out.names = args.next()?.parse().ok()?,
@@ -59,8 +107,34 @@ fn parse(mut args: impl Iterator<Item = String>) -> Option<Args> {
             "--threads" => out.threads = args.next()?.parse::<usize>().ok()?.max(1),
             "--dataset" => out.dataset = Some(PathBuf::from(args.next()?)),
             "--csv" => out.csv = Some(PathBuf::from(args.next()?)),
+            "--chaos" => out.chaos = Some(parse_chaos(&args.next()?)?),
+            "--fail-policy" => {
+                out.failure = match args.next()?.as_str() {
+                    "fail-fast" => FailurePolicy::FailFast,
+                    "degrade" => FailurePolicy::degrade(),
+                    _ => return None,
+                }
+            }
+            "--loss-budget" => loss_budget = Some(args.next()?.parse().ok()?),
+            "--max-retries" => out.max_retries = args.next()?.parse().ok()?,
+            "--page-size" => out.page_size = Some(args.next()?.parse::<usize>().ok()?.max(1)),
+            "--min-recovery" => {
+                out.min_recovery = args.next()?.parse().ok()?;
+                if !(0.0..=1.0).contains(&out.min_recovery) {
+                    return None;
+                }
+            }
             _ => return None,
         }
+    }
+    if let Some(budget) = loss_budget {
+        out.failure = match out.failure {
+            // A loss budget only means something when the crawl degrades.
+            FailurePolicy::FailFast => return None,
+            FailurePolicy::Degrade { .. } => FailurePolicy::Degrade {
+                max_lost_items: budget,
+            },
+        };
     }
     Some(out)
 }
@@ -85,6 +159,22 @@ fn main() -> ExitCode {
     }
 }
 
+impl Args {
+    fn crawl_config(&self) -> CrawlConfig {
+        let defaults = CrawlConfig::default();
+        CrawlConfig {
+            threads: self.threads,
+            retry: RetryPolicy::with_max_retries(self.max_retries),
+            failure: self.failure,
+            min_recovery: self.min_recovery,
+            chaos: self.chaos.clone(),
+            subgraph_page_size: self.page_size.unwrap_or(defaults.subgraph_page_size),
+            txlist_page_size: self.page_size.unwrap_or(defaults.txlist_page_size),
+            market_page_size: self.page_size.unwrap_or(defaults.market_page_size),
+        }
+    }
+}
+
 /// Builds a world; with `full_study` also analyzes and prints the report,
 /// otherwise just exports the dataset.
 fn run(args: Args, full_study: bool) -> ExitCode {
@@ -99,24 +189,65 @@ fn run(args: Args, full_study: bool) -> ExitCode {
     let subgraph = world.subgraph(SubgraphConfig::default());
     let etherscan = world.etherscan();
     eprintln!(
-        "crawling (subgraph + txlists + market) on {} thread(s)...",
-        args.threads
+        "crawling (subgraph + txlists + market) on {} thread(s){}...",
+        args.threads,
+        match &args.chaos {
+            Some(p) => format!(" under chaos (seed {})", p.seed),
+            None => String::new(),
+        }
     );
-    let (dataset, timings) = Dataset::collect_with(
+    let crawl_config = args.crawl_config();
+    let (dataset, timings) = match Dataset::try_collect_with(
         &subgraph,
         &etherscan,
         world.opensea(),
         world.observation_end(),
-        &CrawlConfig::with_threads(args.threads),
-    );
+        &crawl_config,
+    ) {
+        Ok(out) => out,
+        Err(CollectError::Crawl(e)) => {
+            eprintln!("crawl failed: {e}");
+            eprintln!(
+                "partial accounting: {} pages, {} items, {} retries before the failure",
+                e.stats.pages, e.stats.items, e.stats.retries
+            );
+            return ExitCode::FAILURE;
+        }
+        Err(e @ CollectError::RecoveryBelowMinimum { .. }) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = &dataset.crawl_report;
     eprintln!(
         "collected {} domains, {} transactions (recovery {:.2}%)",
-        dataset.crawl_report.domains,
-        dataset.crawl_report.transactions,
-        dataset.crawl_report.recovery_rate() * 100.0
+        report.domains,
+        report.transactions,
+        report.recovery_rate() * 100.0
     );
-    // Timings go to stderr only: stdout must be identical across thread
-    // counts.
+    // Crawl health goes to stderr only, like the timings: stdout must be
+    // identical across thread counts, and the rendered report already
+    // carries the same facts.
+    if report.degraded {
+        eprintln!(
+            "DEGRADED: {} gaps, ~{} items lost, item recovery {:.3}%",
+            report.gaps.len(),
+            report.lost_items_estimate,
+            report.item_recovery_rate() * 100.0
+        );
+    }
+    let retries = report.retries_by_kind();
+    if retries.total() > 0 {
+        eprintln!(
+            "retries: {} (rate-limited {}, timeout {}, server-error {}, malformed {}); virtual backoff {} ms",
+            retries.total(),
+            retries.rate_limited,
+            retries.timeout,
+            retries.server_error,
+            retries.malformed,
+            report.backoff_virtual_ms()
+        );
+    }
     eprintln!(
         "crawl took {:.1?} (subgraph {:.1?}, txlist {:.1?}, market {:.1?})",
         timings.total(),
@@ -151,7 +282,7 @@ fn run(args: Args, full_study: bool) -> ExitCode {
             opensea: world.opensea(),
             oracle: world.oracle(),
             observation_end: world.observation_end(),
-            threads: args.threads,
+            crawl: crawl_config,
         };
         let config = StudyConfig {
             threads: args.threads,
@@ -191,6 +322,13 @@ fn analyze(args: Args) -> ExitCode {
         dataset.domains.len(),
         dataset.crawl_report.transactions
     );
+    if dataset.crawl_report.degraded {
+        eprintln!(
+            "note: dataset is degraded ({} gaps, ~{} items lost)",
+            dataset.crawl_report.gaps.len(),
+            dataset.crawl_report.lost_items_estimate
+        );
+    }
 
     // Offline re-analysis is fully self-contained: the dataset carries its
     // own labels, reverse claims and marketplace events, so every section
@@ -205,7 +343,7 @@ fn analyze(args: Args) -> ExitCode {
         opensea: &opensea,
         oracle: &oracle,
         observation_end: dataset.observation_end,
-        threads: args.threads,
+        crawl: CrawlConfig::with_threads(args.threads),
     };
     let config = StudyConfig {
         threads: args.threads,

@@ -63,3 +63,115 @@ fn threaded_simulate_and_analyze_match_sequential_byte_for_byte() {
 
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+#[test]
+fn chaotic_degraded_export_is_byte_identical_across_threads() {
+    let dir = std::env::temp_dir().join(format!("ens-cli-chaos-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let d1 = dir.join("chaos1.json");
+    let d8 = dir.join("chaos8.json");
+
+    // Same seeded chaos, degrade policy, 1 thread vs 8: the exported
+    // dataset — including its recorded gaps — must not move by a byte.
+    // Small pages so the mixed profile's hole hits individual pages (and
+    // the thread pool has shards to interleave) rather than swallowing the
+    // whole crawl in one request.
+    let base = [
+        "simulate",
+        "--names",
+        "400",
+        "--seed",
+        "11",
+        "--page-size",
+        "32",
+        "--chaos",
+        "mixed:42",
+        "--fail-policy",
+        "degrade",
+    ];
+    let out1 = run_ok(&[&base[..], &["--dataset", d1.to_str().unwrap()]].concat());
+    let out8 = run_ok(
+        &[
+            &base[..],
+            &["--threads", "8", "--dataset", d8.to_str().unwrap()],
+        ]
+        .concat(),
+    );
+    let json1 = std::fs::read(&d1).expect("chaos1 written");
+    let json8 = std::fs::read(&d8).expect("chaos8 written");
+    assert_eq!(json1, json8, "degraded datasets differ across threads");
+    // The health summary on stderr reports the degradation.
+    for out in [&out1, &out8] {
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("DEGRADED"), "no health summary:\n{err}");
+        assert!(err.contains("retries:"), "no retry accounting:\n{err}");
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn fail_fast_chaos_fails_with_partial_accounting() {
+    // The mixed profile has a permanent hole; fail-fast must abort with a
+    // typed crawl error and the partial stats on stderr.
+    let out = cli()
+        .args([
+            "run",
+            "--names",
+            "400",
+            "--seed",
+            "11",
+            "--page-size",
+            "32",
+            "--chaos",
+            "mixed:42",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success(), "fail-fast under holes must fail");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("crawl failed"), "stderr:\n{err}");
+    assert!(err.contains("partial accounting"), "stderr:\n{err}");
+}
+
+#[test]
+fn min_recovery_rejects_lossy_runs() {
+    let out = cli()
+        .args([
+            "run",
+            "--names",
+            "400",
+            "--seed",
+            "11",
+            "--page-size",
+            "32",
+            "--chaos",
+            "mixed:42",
+            "--fail-policy",
+            "degrade",
+            "--min-recovery",
+            "0.9999",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("recovered too little"));
+}
+
+#[test]
+fn bad_fault_flags_exit_with_usage() {
+    // Unknown profile name.
+    let out = cli()
+        .args(["run", "--chaos", "earthquake"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+    // A loss budget without a degrade policy is meaningless.
+    let out = cli()
+        .args(["run", "--loss-budget", "100"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+}

@@ -3,14 +3,30 @@
 //! histories, the explorer's per-address `txlist`, and the marketplace
 //! event stream — through the [`PagedSource`] trait.
 //!
-//! Pagination, bounded retry and partial-failure accounting live in exactly
-//! one place: [`drain`], the workspace's single pagination loop. On top of
-//! it, [`Crawler`] shards the key space across `std::thread::scope` workers
-//! — a source with a known total is split into fixed page ranges, a set of
-//! keyed sources (addresses) is split by stable key hash — and merges shard
-//! results in deterministic shard-index order, so every output (items,
-//! page/retry counts, the assembled [`Dataset`](crate::dataset::Dataset))
-//! is byte-identical for any thread count.
+//! Pagination, typed-fault retry and partial-failure recovery live in
+//! exactly one place: [`drain`], the workspace's single pagination loop. On
+//! top of it, [`Crawler`] shards the key space across `std::thread::scope`
+//! workers — a source with a known total is split into fixed page ranges, a
+//! set of keyed sources (addresses) is split by stable key hash — and
+//! merges shard results in deterministic shard-index order, so every output
+//! (items, page/retry counts, recorded [`CrawlGap`]s, the assembled
+//! [`Dataset`](crate::dataset::Dataset)) is byte-identical for any thread
+//! count.
+//!
+//! ## Failure model
+//!
+//! Every [`PageError`] carries a [`FaultKind`]. The [`RetryPolicy`] retries
+//! the transient kinds with exponential backoff plus seeded jitter computed
+//! against a *virtual clock* (accounted in
+//! [`SourceStats::backoff_virtual_ms`], never slept away — so chaos runs
+//! are both fast and byte-reproducible, and honoring a server's
+//! `retry_after` is an accounting fact rather than a wall-clock one).
+//! Permanent faults and exhausted budgets are resolved by the
+//! [`FailurePolicy`]: `FailFast` returns a [`CrawlError`] that carries the
+//! partial [`SourceStats`] accumulated up to the failure, `Degrade` records
+//! a [`CrawlGap`] for the unfetchable range and keeps crawling, subject to
+//! a per-source loss budget — mirroring how the paper ships its study with
+//! 34K unrecoverable names rather than aborting at 99.9% recovery.
 //!
 //! The crawlers consume *only* the public query APIs of the data-source
 //! crates — never simulator internals — so the pipeline has exactly the
@@ -23,23 +39,70 @@ use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
 use ens_subgraph::DomainRecord;
-use ens_types::paged::{PagedSource, ShardKey};
+use ens_types::paged::{FaultKind, PageError, PagedSource, ShardKey};
 use ens_types::Address;
 use serde::{Deserialize, Serialize};
 
+/// Retries broken down by the [`FaultKind`] that caused them. Part of
+/// [`SourceStats`], so per-kind pressure (how often was this endpoint
+/// throttling vs timing out?) survives into the serialized dataset.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RetryCounts {
+    /// Retries after a rate limit.
+    pub rate_limited: usize,
+    /// Retries after a timeout.
+    pub timeout: usize,
+    /// Retries after a transient server error.
+    pub server_error: usize,
+    /// Retries after a malformed response.
+    pub malformed: usize,
+}
+
+impl RetryCounts {
+    fn count(&mut self, kind: &FaultKind) {
+        match kind {
+            FaultKind::RateLimited { .. } => self.rate_limited += 1,
+            FaultKind::Timeout => self.timeout += 1,
+            FaultKind::ServerError => self.server_error += 1,
+            FaultKind::Malformed => self.malformed += 1,
+            // Permanent holes are never retried, so they never count here.
+            FaultKind::PermanentHole => {}
+        }
+    }
+
+    fn absorb(&mut self, other: RetryCounts) {
+        self.rate_limited += other.rate_limited;
+        self.timeout += other.timeout;
+        self.server_error += other.server_error;
+        self.malformed += other.malformed;
+    }
+
+    /// Total retries across all kinds.
+    pub fn total(&self) -> usize {
+        self.rate_limited + self.timeout + self.server_error + self.malformed
+    }
+}
+
 /// Per-source crawl accounting: how many pages were fetched, how many items
-/// they carried, and how many transient failures were retried away. All
-/// three are deterministic — independent of thread count and interleaving —
-/// so they are safe to serialize inside the dataset. (Wall-clock timings
-/// are deliberately kept out of this struct; see [`CrawlTimings`].)
+/// they carried, how many transient failures were retried away (by fault
+/// kind), and how much virtual-clock backoff the retry policy scheduled.
+/// All of it is deterministic — independent of thread count and
+/// interleaving — so it is safe to serialize inside the dataset.
+/// (Wall-clock timings are deliberately kept out of this struct; see
+/// [`CrawlTimings`].)
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SourceStats {
     /// Pages fetched (including the single probe page of an empty source).
     pub pages: usize,
     /// Items returned across all pages.
     pub items: usize,
-    /// Transient page failures that were retried successfully.
+    /// Transient page failures that were retried.
     pub retries: usize,
+    /// Retries broken down by fault kind.
+    pub retries_by_kind: RetryCounts,
+    /// Backoff the retry policy scheduled, in *virtual* milliseconds — a
+    /// deterministic accounting of waiting, never actually slept.
+    pub backoff_virtual_ms: u64,
 }
 
 impl SourceStats {
@@ -47,13 +110,63 @@ impl SourceStats {
         self.pages += other.pages;
         self.items += other.items;
         self.retries += other.retries;
+        self.retries_by_kind.absorb(other.retries_by_kind);
+        self.backoff_virtual_ms = self
+            .backoff_virtual_ms
+            .saturating_add(other.backoff_virtual_ms);
+    }
+}
+
+/// A contiguous range of one source that the crawl could not recover: the
+/// page kept failing past the retry budget (or hit a permanent hole), and
+/// the `Degrade` failure policy chose to record the loss and continue —
+/// the engine's equivalent of the paper's 34K unrecoverable names.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CrawlGap {
+    /// Which source lost data.
+    pub source: String,
+    /// For keyed crawls, which key's source (e.g. the address whose
+    /// `txlist` has the hole).
+    pub key: Option<String>,
+    /// First unrecovered item offset.
+    pub start: usize,
+    /// One past the last unrecovered offset, when the source's total made
+    /// the extent knowable; `None` for a cursor-only walk that had to stop.
+    pub end: Option<usize>,
+    /// Estimated items lost in this gap (the requested page size when the
+    /// true extent is unknowable).
+    pub lost_estimate: usize,
+    /// Attempts made on the failing page (1 initial + retries).
+    pub attempts: usize,
+    /// The fault that exhausted the page.
+    pub kind: FaultKind,
+}
+
+impl fmt::Display for CrawlGap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.source)?;
+        if let Some(key) = &self.key {
+            write!(f, "[{key}]")?;
+        }
+        match self.end {
+            Some(end) => write!(f, " offsets {}..{}", self.start, end)?,
+            None => write!(f, " offsets {}.. (extent unknown)", self.start)?,
+        }
+        write!(
+            f,
+            ": ~{} items lost to {} after {} attempts",
+            self.lost_estimate,
+            self.kind.label(),
+            self.attempts
+        )
     }
 }
 
 /// What the crawl recovered, mirroring the paper's §3 reporting
 /// ("data recovery rate of 99.9%", "9,725,874 transactions"), with
-/// per-source page/retry accounting.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+/// per-source page/retry accounting and — when the crawl ran under a
+/// `Degrade` failure policy — the exact gaps it could not recover.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct CrawlReport {
     /// Domains returned by the subgraph.
     pub domains: usize,
@@ -71,6 +184,13 @@ pub struct CrawlReport {
     pub txlist: SourceStats,
     /// Marketplace event-stream paging statistics.
     pub market: SourceStats,
+    /// Ranges the crawl gave up on (empty unless a `Degrade` policy rode
+    /// over failures).
+    pub gaps: Vec<CrawlGap>,
+    /// Estimated items lost across all gaps.
+    pub lost_items_estimate: usize,
+    /// True if the crawl completed with at least one gap.
+    pub degraded: bool,
 }
 
 impl CrawlReport {
@@ -80,6 +200,34 @@ impl CrawlReport {
             return 1.0;
         }
         1.0 - self.unrecoverable_names as f64 / self.domains as f64
+    }
+
+    /// Item recovery rate across every source: recovered items over
+    /// recovered plus estimated-lost. `1.0` for a clean crawl; this is what
+    /// the collection gate (`CrawlConfig::min_recovery`) checks.
+    pub fn item_recovery_rate(&self) -> f64 {
+        let recovered = self.subgraph.items + self.txlist.items + self.market.items;
+        let expected = recovered + self.lost_items_estimate;
+        if expected == 0 {
+            return 1.0;
+        }
+        recovered as f64 / expected as f64
+    }
+
+    /// Retries summed across all sources, by fault kind.
+    pub fn retries_by_kind(&self) -> RetryCounts {
+        let mut total = self.subgraph.retries_by_kind;
+        total.absorb(self.txlist.retries_by_kind);
+        total.absorb(self.market.retries_by_kind);
+        total
+    }
+
+    /// Virtual-clock backoff summed across all sources.
+    pub fn backoff_virtual_ms(&self) -> u64 {
+        self.subgraph
+            .backoff_virtual_ms
+            .saturating_add(self.txlist.backoff_virtual_ms)
+            .saturating_add(self.market.backoff_virtual_ms)
     }
 
     /// Total pages fetched across all sources.
@@ -108,53 +256,205 @@ impl CrawlTimings {
     }
 }
 
-/// A page request that kept failing after every retry.
-#[derive(Clone, Debug, PartialEq, Eq)]
+/// A page request that kept failing after every retry (or exceeded the
+/// degrade policy's loss budget). Carries the deterministic partial
+/// accounting — stats and gaps accumulated up to the failure, merged in
+/// canonical shard order — so a failed crawl never undercounts the work it
+/// did.
+#[derive(Clone, Debug, PartialEq)]
 pub struct CrawlError {
     /// Which source failed.
     pub source: &'static str,
+    /// For keyed crawls, which key's source failed.
+    pub key: Option<String>,
     /// The item offset of the failed request.
     pub offset: usize,
     /// Attempts made (1 initial + retries).
     pub attempts: usize,
+    /// The fault that exhausted the page (or tripped the loss budget).
+    pub kind: FaultKind,
     /// The last failure's message.
     pub message: String,
+    /// Deterministic accounting accumulated before the failure.
+    pub stats: SourceStats,
+    /// Gaps recorded before the failure (non-empty only when a `Degrade`
+    /// policy failed late, e.g. on an exhausted loss budget).
+    pub gaps: Vec<CrawlGap>,
 }
 
 impl fmt::Display for CrawlError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.source)?;
+        if let Some(key) = &self.key {
+            write!(f, "[{key}]")?;
+        }
         write!(
             f,
-            "{} crawl gave up at offset {} after {} attempts: {}",
-            self.source, self.offset, self.attempts, self.message
+            " crawl gave up at offset {} after {} attempts ({}): {}",
+            self.offset,
+            self.attempts,
+            self.kind.label(),
+            self.message
         )
     }
 }
 
 impl std::error::Error for CrawlError {}
 
+/// How the crawler schedules retries: up to `max_retries` per page, with
+/// exponential backoff (base doubling per attempt, capped) plus jitter
+/// hashed from `(seed, source, offset, attempt)` — and a floor of any
+/// server-requested `retry_after`. All of it runs against a *virtual
+/// clock*: the schedule is accounted in [`SourceStats::backoff_virtual_ms`]
+/// but never slept, so backoff is byte-reproducible across thread counts
+/// and visible in reports instead of vanishing into wall time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Retries per page before the page is declared exhausted.
+    pub max_retries: usize,
+    /// Backoff before the first retry, in virtual milliseconds.
+    pub base_backoff_ms: u64,
+    /// Cap on the exponential component.
+    pub max_backoff_ms: u64,
+    /// Upper bound on the per-attempt jitter (inclusive).
+    pub jitter_ms: u64,
+    /// Seed for the jitter hash.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 3,
+            base_backoff_ms: 100,
+            max_backoff_ms: 10_000,
+            jitter_ms: 100,
+            seed: 0x5EED_BACC,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The default policy with a different retry budget.
+    pub fn with_max_retries(max_retries: usize) -> RetryPolicy {
+        RetryPolicy {
+            max_retries,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// The virtual-clock wait scheduled before retry number `attempt`
+    /// (1-based) of the page at `offset`, honoring the fault's
+    /// `retry_after` as a floor.
+    pub fn backoff_virtual_ms(
+        &self,
+        source: &str,
+        offset: usize,
+        attempt: usize,
+        kind: &FaultKind,
+    ) -> u64 {
+        let exp = self
+            .base_backoff_ms
+            .saturating_mul(1u64 << (attempt - 1).min(20))
+            .min(self.max_backoff_ms);
+        let jitter = if self.jitter_ms == 0 {
+            0
+        } else {
+            // FNV-1a over (seed, source, offset, attempt): stable across
+            // platforms, independent of thread interleaving.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ self.seed;
+            for &b in source.as_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            h ^= offset as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            h ^= attempt as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            h % (self.jitter_ms + 1)
+        };
+        exp.saturating_add(jitter)
+            .max(kind.retry_after_ms().unwrap_or(0))
+    }
+}
+
+/// What the crawler does when a page stays unfetchable after every retry
+/// (or hits a permanent fault).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FailurePolicy {
+    /// Abort the crawl with a [`CrawlError`] carrying partial stats — the
+    /// pre-existing behavior, and the default.
+    #[default]
+    FailFast,
+    /// Record a [`CrawlGap`] for the unfetchable range and keep crawling,
+    /// up to an estimated-items loss budget per source; exceeding the
+    /// budget escalates to a [`CrawlError`].
+    Degrade {
+        /// Maximum estimated items a single source may lose before the
+        /// degraded crawl escalates to an error.
+        max_lost_items: usize,
+    },
+}
+
+impl FailurePolicy {
+    /// A degrade policy with an unbounded loss budget.
+    pub fn degrade() -> FailurePolicy {
+        FailurePolicy::Degrade {
+            max_lost_items: usize::MAX,
+        }
+    }
+}
+
 /// The result of draining one source: items in the endpoint's stable
-/// order, deterministic accounting, and the (non-deterministic) wall time.
+/// order, deterministic accounting, recorded gaps (under a `Degrade`
+/// policy), and the (non-deterministic) wall time.
 #[derive(Clone, Debug)]
 pub struct Crawled<T> {
-    /// All items, in the source's stable order.
+    /// All recovered items, in the source's stable order.
     pub items: Vec<T>,
-    /// Page/item/retry accounting.
+    /// Page/item/retry/backoff accounting.
     pub stats: SourceStats,
+    /// Ranges the crawl gave up on (empty for a clean crawl).
+    pub gaps: Vec<CrawlGap>,
     /// Wall-clock time of this crawl.
     pub elapsed: Duration,
 }
 
 /// The result of draining a family of keyed sources (one `txlist` per
-/// address): a key-ordered map plus summed accounting.
+/// address): a key-ordered map plus summed accounting and gaps.
 #[derive(Clone, Debug)]
 pub struct KeyedCrawl<K, T> {
     /// Per-key items, in each source's stable order.
     pub map: BTreeMap<K, Vec<T>>,
     /// Accounting summed over every key's crawl.
     pub stats: SourceStats,
+    /// Gaps across all keys (empty for a clean crawl).
+    pub gaps: Vec<CrawlGap>,
     /// Wall-clock time of the whole keyed crawl.
     pub elapsed: Duration,
+}
+
+/// What one `drain` recovered: items, accounting, and any gaps.
+struct Drained<T> {
+    items: Vec<T>,
+    stats: SourceStats,
+    gaps: Vec<CrawlGap>,
+}
+
+impl<T> Drained<T> {
+    fn empty() -> Drained<T> {
+        Drained {
+            items: Vec::new(),
+            stats: SourceStats::default(),
+            gaps: Vec::new(),
+        }
+    }
+
+    fn absorb(&mut self, other: Drained<T>) {
+        self.items.extend(other.items);
+        self.stats.absorb(other.stats);
+        self.gaps.extend(other.gaps);
+    }
 }
 
 /// The generic crawl engine. One instance drives any [`PagedSource`]:
@@ -162,9 +462,11 @@ pub struct KeyedCrawl<K, T> {
 /// - [`Crawler::crawl`] drains a single source. If the source reports a
 ///   total, the page space is split into fixed `page_size` ranges and
 ///   `threads` scoped workers claim ranges from a shared counter; results
-///   are merged in page order, so output and accounting are identical for
-///   any thread count. Without a total the source is walked sequentially
-///   by cursor.
+///   are merged in page order. The single-threaded path walks the *same*
+///   per-shard ranges sequentially, so fetch offsets — and therefore any
+///   injected faults, recorded gaps and backoff accounting — are identical
+///   for any thread count. Without a total the source is walked
+///   sequentially by cursor.
 /// - [`Crawler::crawl_keyed`] drains one source per key (the per-address
 ///   `txlist`s), sharding keys across workers by their stable
 ///   [`ShardKey::shard_hash`] and merging into a [`BTreeMap`].
@@ -174,8 +476,10 @@ pub struct Crawler {
     pub page_size: usize,
     /// Worker threads; `1` crawls inline on the calling thread.
     pub threads: usize,
-    /// Retries per page before giving up with a [`CrawlError`].
-    pub max_retries: usize,
+    /// Retry schedule per page.
+    pub retry: RetryPolicy,
+    /// What to do when a page stays unfetchable.
+    pub failure: FailurePolicy,
 }
 
 impl Default for Crawler {
@@ -183,24 +487,34 @@ impl Default for Crawler {
         Crawler {
             page_size: 1000,
             threads: 1,
-            max_retries: 3,
+            retry: RetryPolicy::default(),
+            failure: FailurePolicy::FailFast,
         }
     }
 }
 
 /// The workspace's single pagination loop: drains `source` from item
 /// `start` up to `end` (when the total is known) or until the cursor runs
-/// dry. Each page is retried up to `max_retries` times; every extra attempt
-/// is counted in `retries`.
+/// dry. Transient faults are retried per the [`RetryPolicy`] (every extra
+/// attempt counted, every virtual millisecond of backoff accounted);
+/// exhausted pages and permanent faults are resolved per the
+/// [`FailurePolicy`] — fail fast with partial stats, or record a
+/// [`CrawlGap`] and continue. A batch larger than the requested limit is a
+/// [`FaultKind::Malformed`] fault, never accepted: accepting it would
+/// over-advance the cursor and duplicate items across shard boundaries.
 fn drain<S: PagedSource>(
     source: &S,
+    key: Option<&str>,
     start: usize,
     end: Option<usize>,
     page_size: usize,
-    max_retries: usize,
-) -> Result<(Vec<S::Item>, SourceStats), CrawlError> {
+    retry: &RetryPolicy,
+    failure: &FailurePolicy,
+) -> Result<Drained<S::Item>, CrawlError> {
+    let name = source.source_name();
     let mut out = Vec::new();
     let mut stats = SourceStats::default();
+    let mut gaps: Vec<CrawlGap> = Vec::new();
     let mut offset = start;
     loop {
         let limit = match end {
@@ -209,41 +523,140 @@ fn drain<S: PagedSource>(
             Some(e) if e > offset => (e - offset).min(page_size),
             _ => page_size,
         };
-        let mut attempt = 0;
-        let batch = loop {
-            match source.fetch(offset, limit) {
-                Ok(batch) => break batch,
+        let mut attempt = 0usize;
+        let outcome = loop {
+            attempt += 1;
+            let fetched = match source.fetch(offset, limit) {
+                Ok(batch) if batch.items.len() > limit => Err(PageError::malformed(
+                    name,
+                    offset,
+                    format!(
+                        "endpoint returned {} items for a limit of {limit}",
+                        batch.items.len()
+                    ),
+                )),
+                other => other,
+            };
+            match fetched {
+                Ok(batch) => break Ok(batch),
                 Err(err) => {
-                    attempt += 1;
-                    if attempt > max_retries {
-                        return Err(CrawlError {
-                            source: source.source_name(),
-                            offset,
-                            attempts: attempt,
-                            message: err.message,
-                        });
+                    if !err.kind.is_retryable() || attempt > retry.max_retries {
+                        break Err(err);
                     }
                     stats.retries += 1;
+                    stats.retries_by_kind.count(&err.kind);
+                    stats.backoff_virtual_ms = stats
+                        .backoff_virtual_ms
+                        .saturating_add(retry.backoff_virtual_ms(name, offset, attempt, &err.kind));
                 }
             }
         };
-        stats.pages += 1;
-        stats.items += batch.items.len();
-        let got = batch.items.len();
-        out.extend(batch.items);
-        offset += got;
-        let done = match end {
-            Some(e) => offset >= e || got == 0,
-            None => got == 0 || !batch.has_more,
-        };
-        if done {
-            return Ok((out, stats));
+        match outcome {
+            Ok(batch) => {
+                stats.pages += 1;
+                stats.items += batch.items.len();
+                let got = batch.items.len();
+                out.extend(batch.items);
+                offset += got;
+                let done = match end {
+                    Some(e) => offset >= e || got == 0,
+                    None => got == 0 || !batch.has_more,
+                };
+                if done {
+                    return Ok(Drained {
+                        items: out,
+                        stats,
+                        gaps,
+                    });
+                }
+            }
+            Err(err) => match failure {
+                FailurePolicy::FailFast => {
+                    return Err(CrawlError {
+                        source: name,
+                        key: key.map(str::to_string),
+                        offset,
+                        attempts: attempt,
+                        kind: err.kind,
+                        message: err.message,
+                        stats,
+                        gaps,
+                    });
+                }
+                FailurePolicy::Degrade { .. } => {
+                    let gap_end = end.map(|e| (offset + limit).min(e));
+                    gaps.push(CrawlGap {
+                        source: name.to_string(),
+                        key: key.map(str::to_string),
+                        start: offset,
+                        end: gap_end,
+                        lost_estimate: gap_end.map_or(limit, |e| e - offset),
+                        attempts: attempt,
+                        kind: err.kind,
+                    });
+                    match end {
+                        // Skip the unfetchable page and keep going — the
+                        // rest of the range is still addressable.
+                        Some(e) => {
+                            offset += limit;
+                            if offset >= e {
+                                return Ok(Drained {
+                                    items: out,
+                                    stats,
+                                    gaps,
+                                });
+                            }
+                        }
+                        // A cursor-only walk cannot know what lies past a
+                        // dead page; stop with an open-ended gap.
+                        None => {
+                            return Ok(Drained {
+                                items: out,
+                                stats,
+                                gaps,
+                            })
+                        }
+                    }
+                }
+            },
         }
     }
 }
 
+/// Enforces a `Degrade` policy's per-source loss budget after shard merge
+/// (individual shards cannot see each other's losses).
+fn enforce_loss_budget<T>(
+    failure: &FailurePolicy,
+    source: &'static str,
+    drained: Drained<T>,
+) -> Result<Drained<T>, CrawlError> {
+    if let FailurePolicy::Degrade { max_lost_items } = failure {
+        let lost: usize = drained.gaps.iter().map(|g| g.lost_estimate).sum();
+        if lost > *max_lost_items {
+            let first = drained
+                .gaps
+                .first()
+                .expect("a positive loss implies at least one gap");
+            return Err(CrawlError {
+                source,
+                key: first.key.clone(),
+                offset: first.start,
+                attempts: first.attempts,
+                kind: first.kind,
+                message: format!(
+                    "loss budget exceeded: ~{lost} items lost across {} gaps (budget {max_lost_items})",
+                    drained.gaps.len()
+                ),
+                stats: drained.stats,
+                gaps: drained.gaps,
+            });
+        }
+    }
+    Ok(drained)
+}
+
 impl Crawler {
-    /// A crawler with the given page size (threads and retries default).
+    /// A crawler with the given page size (threads and policies default).
     pub fn with_page_size(page_size: usize) -> Crawler {
         Crawler {
             page_size,
@@ -259,8 +672,8 @@ impl Crawler {
     {
         let started = Instant::now();
         let page_size = self.page_size.max(1);
-        let (items, stats) = match source.total_hint() {
-            None => drain(source, 0, None, page_size, self.max_retries)?,
+        let drained = match source.total_hint() {
+            None => drain(source, None, 0, None, page_size, &self.retry, &self.failure)?,
             Some(total) => {
                 // Fixed page-range shards: shard boundaries depend only on
                 // the total and the page size — never on the thread count —
@@ -268,12 +681,39 @@ impl Crawler {
                 // shard index order) reproduces the sequential output.
                 let shards = (total.div_ceil(page_size)).max(1);
                 let workers = self.threads.max(1).min(shards);
-                if workers <= 1 {
-                    drain(source, 0, Some(total), page_size, self.max_retries)?
+                let merged = if workers <= 1 {
+                    // Sequential, but walking the same per-shard ranges the
+                    // threaded path uses: fetch offsets restart at each
+                    // shard boundary either way, so injected faults, gaps
+                    // and backoff accounting are byte-identical at any
+                    // thread count.
+                    let mut agg = Drained::empty();
+                    agg.items.reserve(total);
+                    let mut result = Ok(());
+                    for shard in 0..shards {
+                        let lo = shard * page_size;
+                        let hi = ((shard + 1) * page_size).min(total);
+                        match drain(
+                            source,
+                            None,
+                            lo,
+                            Some(hi),
+                            page_size,
+                            &self.retry,
+                            &self.failure,
+                        ) {
+                            Ok(d) => agg.absorb(d),
+                            Err(e) => {
+                                result = Err(e);
+                                break;
+                            }
+                        }
+                    }
+                    attach_partials(result, agg)?
                 } else {
                     // One write-once slot per page-range shard, filled by
                     // whichever worker claims that shard.
-                    type ShardSlot<T> = OnceLock<Result<(Vec<T>, SourceStats), CrawlError>>;
+                    type ShardSlot<T> = OnceLock<Result<Drained<T>, CrawlError>>;
                     let next = AtomicUsize::new(0);
                     let slots: Vec<ShardSlot<S::Item>> =
                         (0..shards).map(|_| OnceLock::new()).collect();
@@ -286,40 +726,57 @@ impl Crawler {
                                 }
                                 let lo = shard * page_size;
                                 let hi = ((shard + 1) * page_size).min(total);
-                                let result =
-                                    drain(source, lo, Some(hi), page_size, self.max_retries);
+                                let result = drain(
+                                    source,
+                                    None,
+                                    lo,
+                                    Some(hi),
+                                    page_size,
+                                    &self.retry,
+                                    &self.failure,
+                                );
                                 let _ = slots[shard].set(result);
                             });
                         }
                     });
-                    let mut items = Vec::with_capacity(total);
-                    let mut stats = SourceStats::default();
+                    // Merge in shard-index order, stopping at the first
+                    // failed shard — sibling shards that happened to finish
+                    // later contribute nothing, so the partial stats inside
+                    // the error are identical to the sequential walk's.
+                    let mut agg = Drained::empty();
+                    agg.items.reserve(total);
+                    let mut result = Ok(());
                     for slot in slots {
-                        let (shard_items, shard_stats) =
-                            slot.into_inner().expect("every shard index was claimed")?;
-                        items.extend(shard_items);
-                        stats.absorb(shard_stats);
+                        match slot.into_inner().expect("every shard index was claimed") {
+                            Ok(d) => agg.absorb(d),
+                            Err(e) => {
+                                result = Err(e);
+                                break;
+                            }
+                        }
                     }
-                    (items, stats)
-                }
+                    attach_partials(result, agg)?
+                };
+                enforce_loss_budget(&self.failure, source.source_name(), merged)?
             }
         };
         Ok(Crawled {
-            items,
-            stats,
+            items: drained.items,
+            stats: drained.stats,
+            gaps: drained.gaps,
             elapsed: started.elapsed(),
         })
     }
 
     /// Fetches every item of every keyed source, sharding keys across
-    /// workers by [`ShardKey::shard_hash`]. The merged map and the summed
-    /// stats are independent of the thread count.
+    /// workers by [`ShardKey::shard_hash`]. The merged map, the summed
+    /// stats and the recorded gaps are independent of the thread count.
     pub fn crawl_keyed<K, S>(
         &self,
         sources: &[(K, S)],
     ) -> Result<KeyedCrawl<K, S::Item>, CrawlError>
     where
-        K: ShardKey + Ord + Clone + Sync,
+        K: ShardKey + Ord + Clone + Sync + fmt::Display,
         S: PagedSource + Sync,
         S::Item: Send + Sync,
     {
@@ -327,13 +784,30 @@ impl Crawler {
         let page_size = self.page_size.max(1);
         let workers = self.threads.max(1).min(sources.len().max(1));
         let mut map = BTreeMap::new();
-        let mut stats = SourceStats::default();
+        let mut agg: Drained<S::Item> = Drained::empty();
+        let mut failed = Ok(());
         if workers <= 1 {
             for (key, source) in sources {
-                let (items, s) =
-                    drain(source, 0, source.total_hint(), page_size, self.max_retries)?;
-                stats.absorb(s);
-                map.insert(key.clone(), items);
+                let label = key.to_string();
+                match drain(
+                    source,
+                    Some(&label),
+                    0,
+                    source.total_hint(),
+                    page_size,
+                    &self.retry,
+                    &self.failure,
+                ) {
+                    Ok(d) => {
+                        agg.stats.absorb(d.stats);
+                        agg.gaps.extend(d.gaps);
+                        map.insert(key.clone(), d.items);
+                    }
+                    Err(e) => {
+                        failed = Err(e);
+                        break;
+                    }
+                }
             }
         } else {
             let worker_results = std::thread::scope(|scope| {
@@ -346,12 +820,15 @@ impl Crawler {
                                 if key.shard_hash() % workers as u64 != w as u64 {
                                     continue;
                                 }
+                                let label = key.to_string();
                                 let result = drain(
                                     source,
+                                    Some(&label),
                                     0,
                                     source.total_hint(),
                                     page_size,
-                                    self.max_retries,
+                                    &self.retry,
+                                    &self.failure,
                                 );
                                 collected.push((i, result));
                             }
@@ -364,19 +841,58 @@ impl Crawler {
                     .map(|h| h.join().expect("crawl worker panicked"))
                     .collect::<Vec<_>>()
             });
+            // Re-order per-key results into source order, then merge in
+            // that canonical order, stopping at the first failed key — so
+            // the accounting matches the sequential walk exactly.
+            let mut by_index: Vec<Option<Result<Drained<S::Item>, CrawlError>>> =
+                (0..sources.len()).map(|_| None).collect();
             for worker in worker_results {
                 for (i, result) in worker {
-                    let (items, s) = result?;
-                    stats.absorb(s);
-                    map.insert(sources[i].0.clone(), items);
+                    by_index[i] = Some(result);
+                }
+            }
+            for (i, slot) in by_index.into_iter().enumerate() {
+                match slot.expect("every keyed source was claimed by a worker") {
+                    Ok(d) => {
+                        agg.stats.absorb(d.stats);
+                        agg.gaps.extend(d.gaps);
+                        map.insert(sources[i].0.clone(), d.items);
+                    }
+                    Err(e) => {
+                        failed = Err(e);
+                        break;
+                    }
                 }
             }
         }
+        let agg = attach_partials(failed, agg)?;
+        let source_name = sources.first().map_or("keyed", |(_, s)| s.source_name());
+        let agg = enforce_loss_budget(&self.failure, source_name, agg)?;
         Ok(KeyedCrawl {
             map,
-            stats,
+            stats: agg.stats,
+            gaps: agg.gaps,
             elapsed: started.elapsed(),
         })
+    }
+}
+
+/// On failure, folds the accounting merged so far (in canonical order)
+/// into the error — a failed crawl still reports every page and retry it
+/// spent. On success, passes the merged result through.
+fn attach_partials<T>(
+    result: Result<(), CrawlError>,
+    mut agg: Drained<T>,
+) -> Result<Drained<T>, CrawlError> {
+    match result {
+        Ok(()) => Ok(agg),
+        Err(mut e) => {
+            agg.stats.absorb(e.stats);
+            e.stats = agg.stats;
+            agg.gaps.extend(std::mem::take(&mut e.gaps));
+            e.gaps = agg.gaps;
+            Err(e)
+        }
     }
 }
 
@@ -404,7 +920,7 @@ pub fn relevant_addresses(domains: &[DomainRecord]) -> BTreeSet<Address> {
 mod tests {
     use super::*;
     use ens_subgraph::SubgraphConfig;
-    use ens_types::paged::{FlakySource, PageError, PagedBatch};
+    use ens_types::paged::{ChaosSource, FaultProfile, FlakySource, PageError, PagedBatch};
     use workload::WorldConfig;
 
     #[test]
@@ -416,6 +932,7 @@ mod tests {
         assert_eq!(crawled.items.len(), 250);
         assert_eq!(crawled.stats.pages, 250usize.div_ceil(64));
         assert_eq!(crawled.stats.items, 250);
+        assert!(crawled.gaps.is_empty());
         // No duplicates.
         let set: BTreeSet<_> = crawled.items.iter().map(|d| d.label_hash).collect();
         assert_eq!(set.len(), 250);
@@ -430,7 +947,7 @@ mod tests {
             let sharded = Crawler {
                 page_size: 64,
                 threads,
-                max_retries: 3,
+                ..Crawler::default()
             }
             .crawl(&sg)
             .unwrap();
@@ -505,17 +1022,113 @@ mod tests {
         let crawler = Crawler {
             page_size: 16,
             threads: 2,
-            max_retries: 3,
+            ..Crawler::default()
         };
         let crawled = crawler.crawl(&flaky).unwrap();
         assert_eq!(crawled.items.len(), 60);
         assert_eq!(crawled.stats.retries, 2 * crawled.stats.pages);
+        assert_eq!(
+            crawled.stats.retries_by_kind.server_error,
+            crawled.stats.retries
+        );
+        assert!(
+            crawled.stats.backoff_virtual_ms > 0,
+            "backoff was accounted"
+        );
 
         // Exhausting the retry budget surfaces a CrawlError.
         let hopeless = FlakySource::new(&sg, 5);
         let err = crawler.crawl(&hopeless).unwrap_err();
         assert_eq!(err.source, "subgraph");
         assert_eq!(err.attempts, 4, "1 initial + max_retries");
+        assert_eq!(err.kind, FaultKind::ServerError);
+        // The partial accounting survives into the error.
+        assert_eq!(err.stats.retries, 3, "the failed page's retries are kept");
+    }
+
+    #[test]
+    fn permanent_holes_are_not_retried() {
+        let world = WorldConfig::small().with_names(60).with_seed(23).build();
+        let sg = world.subgraph(SubgraphConfig::lossless());
+        let holed = ChaosSource::new(&sg, FaultProfile::new(0).with_hole(0, 16));
+        let err = Crawler::with_page_size(16).crawl(&holed).unwrap_err();
+        assert_eq!(err.kind, FaultKind::PermanentHole);
+        assert_eq!(err.attempts, 1, "permanent faults are never retried");
+        assert_eq!(err.stats.retries, 0);
+    }
+
+    #[test]
+    fn degrade_records_gaps_and_recovers_the_rest() {
+        let world = WorldConfig::small().with_names(100).with_seed(24).build();
+        let sg = world.subgraph(SubgraphConfig::lossless());
+        let holed = ChaosSource::new(&sg, FaultProfile::new(0).with_hole(20, 40));
+        let crawler = Crawler {
+            page_size: 10,
+            failure: FailurePolicy::degrade(),
+            ..Crawler::default()
+        };
+        let crawled = crawler.crawl(&holed).unwrap();
+        assert_eq!(crawled.gaps.len(), 2, "two pages fall inside the hole");
+        let lost: usize = crawled.gaps.iter().map(|g| g.lost_estimate).sum();
+        assert_eq!(lost, 20);
+        assert_eq!(crawled.items.len(), 80);
+        // The recovered items are exactly the clean crawl minus the hole.
+        let clean = Crawler::with_page_size(10).crawl(&sg).unwrap();
+        let expected: Vec<_> = clean
+            .items
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !(20..40).contains(i))
+            .map(|(_, d)| d.label_hash)
+            .collect();
+        let got: Vec<_> = crawled.items.iter().map(|d| d.label_hash).collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn loss_budget_escalates_to_an_error() {
+        let world = WorldConfig::small().with_names(100).with_seed(24).build();
+        let sg = world.subgraph(SubgraphConfig::lossless());
+        let holed = ChaosSource::new(&sg, FaultProfile::new(0).with_hole(20, 40));
+        let crawler = Crawler {
+            page_size: 10,
+            failure: FailurePolicy::Degrade { max_lost_items: 10 },
+            ..Crawler::default()
+        };
+        let err = crawler.crawl(&holed).unwrap_err();
+        assert!(err.message.contains("loss budget exceeded"), "{err}");
+        assert_eq!(err.gaps.len(), 2);
+        assert!(err.stats.pages > 0, "partial stats attached");
+    }
+
+    #[test]
+    fn oversized_batches_are_malformed_not_merged() {
+        let world = WorldConfig::small().with_names(100).with_seed(25).build();
+        let sg = world.subgraph(SubgraphConfig::lossless());
+        let chaotic = ChaosSource::new(&sg, FaultProfile::new(9).with_oversize(ens_types::PPM));
+        // FailFast: the over-delivery is a typed error, not silent corruption.
+        let err = Crawler::with_page_size(10).crawl(&chaotic).unwrap_err();
+        assert_eq!(err.kind, FaultKind::Malformed);
+        // Degrade: the page becomes a gap; no duplicates cross the merge.
+        let chaotic = ChaosSource::new(&sg, FaultProfile::new(9).with_oversize(ens_types::PPM));
+        let crawled = Crawler {
+            page_size: 10,
+            failure: FailurePolicy::degrade(),
+            ..Crawler::default()
+        }
+        .crawl(&chaotic)
+        .unwrap();
+        let mut hashes: Vec<_> = crawled.items.iter().map(|d| d.label_hash).collect();
+        let unique = {
+            let mut u = hashes.clone();
+            u.sort();
+            u.dedup();
+            u.len()
+        };
+        assert_eq!(unique, hashes.len(), "no duplicated items");
+        hashes.sort();
+        assert!(!crawled.gaps.is_empty());
+        assert!(crawled.gaps.iter().all(|g| g.kind == FaultKind::Malformed));
     }
 
     /// A cursor-only source (no total hint) exercises the sequential
@@ -547,5 +1160,42 @@ mod tests {
         let empty = Crawler::with_page_size(7).crawl(&CursorOnly(0)).unwrap();
         assert!(empty.items.is_empty());
         assert_eq!(empty.stats.pages, 1, "one probe page");
+    }
+
+    #[test]
+    fn cursor_only_degrade_stops_with_an_open_gap() {
+        let holed = ChaosSource::new(CursorOnly(40), FaultProfile::new(0).with_hole(14, 21));
+        let crawled = Crawler {
+            page_size: 7,
+            failure: FailurePolicy::degrade(),
+            ..Crawler::default()
+        }
+        .crawl(&holed)
+        .unwrap();
+        assert_eq!(crawled.items, (0..14).collect::<Vec<_>>());
+        assert_eq!(crawled.gaps.len(), 1);
+        assert_eq!(
+            crawled.gaps[0].end, None,
+            "extent unknowable without a total"
+        );
+        assert_eq!(crawled.gaps[0].lost_estimate, 7);
+    }
+
+    #[test]
+    fn backoff_schedule_is_deterministic_and_honors_retry_after() {
+        let policy = RetryPolicy::default();
+        let a = policy.backoff_virtual_ms("subgraph", 64, 1, &FaultKind::Timeout);
+        let b = policy.backoff_virtual_ms("subgraph", 64, 1, &FaultKind::Timeout);
+        assert_eq!(a, b, "same inputs, same schedule");
+        let c = policy.backoff_virtual_ms("subgraph", 64, 2, &FaultKind::Timeout);
+        assert!(c >= a, "exponential component grows");
+        let limited = FaultKind::RateLimited {
+            retry_after_ms: 60_000,
+        };
+        assert_eq!(
+            policy.backoff_virtual_ms("subgraph", 64, 1, &limited),
+            60_000,
+            "retry_after floors the schedule"
+        );
     }
 }

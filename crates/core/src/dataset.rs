@@ -9,11 +9,25 @@
 //! collection — the explorer's label directory and the subgraph's
 //! reverse-claim history — are now shared snapshots (`Arc`): the sources
 //! hand out an owned handle once and collection never copies them.
+//!
+//! # Failure handling
+//!
+//! Collection is fallible: every endpoint crawl can fail past its retry
+//! budget, and [`Dataset::try_collect_with`] propagates that as a
+//! [`CollectError`]. Under a `Degrade` [`FailurePolicy`] the crawl records
+//! [`CrawlGap`](crate::crawl::CrawlGap)s instead of aborting, the report is
+//! marked `degraded`, and [`CrawlConfig::min_recovery`] gates whether a
+//! lossy dataset is still acceptable for the study. A [`FaultProfile`]
+//! in [`CrawlConfig::chaos`] wraps every endpoint in a deterministic
+//! [`ChaosSource`] — the chaos harness used by tests, the CI chaos job and
+//! the `--chaos` CLI flag.
 
 use std::collections::{BTreeMap, HashMap};
+use std::fmt;
 use std::sync::Arc;
 
 use ens_subgraph::{DomainRecord, Subgraph, SubgraphConfig};
+use ens_types::paged::{ChaosSource, FaultProfile, ShardKey};
 use ens_types::{Address, Timestamp, UsdCents};
 use etherscan_sim::{Etherscan, LabelService};
 use opensea_sim::OpenSea;
@@ -21,18 +35,33 @@ use price_oracle::PriceOracle;
 use serde::{Deserialize, Serialize};
 use sim_chain::{Transaction, TxKind};
 
-use crate::crawl::{relevant_addresses, CrawlReport, CrawlTimings, Crawler};
+use crate::crawl::{
+    relevant_addresses, CrawlError, CrawlReport, CrawlTimings, Crawler, FailurePolicy, RetryPolicy,
+};
 
-/// Knobs for one collection run — thread count, retry budget and the page
-/// size used against each endpoint (each endpoint additionally enforces its
-/// own server-side cap).
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+/// Knobs for one collection run — thread count, retry/failure policies, the
+/// minimum acceptable recovery rate, an optional chaos profile, and the
+/// page size used against each endpoint (each endpoint additionally
+/// enforces its own server-side cap).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct CrawlConfig {
     /// Worker threads for the sharded crawls (and nothing else); `1` is
     /// fully sequential. Any value produces a byte-identical dataset.
     pub threads: usize,
-    /// Retries per page before the crawl gives up.
-    pub max_retries: usize,
+    /// Retry schedule per page.
+    pub retry: RetryPolicy,
+    /// What to do when a page stays unfetchable: abort (`FailFast`) or
+    /// record a gap and continue (`Degrade`).
+    pub failure: FailurePolicy,
+    /// Minimum acceptable item recovery rate in `[0, 1]`. A degraded crawl
+    /// whose [`CrawlReport::item_recovery_rate`] falls below this fails
+    /// collection with [`CollectError::RecoveryBelowMinimum`]. `0.0`
+    /// accepts any completed crawl.
+    pub min_recovery: f64,
+    /// Optional fault-injection profile. When set, every endpoint is
+    /// wrapped in a [`ChaosSource`] seeded per source (and per address for
+    /// the `txlist` crawl), so runs are deterministically faulty.
+    pub chaos: Option<FaultProfile>,
     /// Page size against the subgraph (server cap 1000).
     pub subgraph_page_size: usize,
     /// Page size against the explorer `txlist` (server cap 10,000).
@@ -45,7 +74,10 @@ impl Default for CrawlConfig {
     fn default() -> Self {
         CrawlConfig {
             threads: 1,
-            max_retries: 3,
+            retry: RetryPolicy::default(),
+            failure: FailurePolicy::FailFast,
+            min_recovery: 0.0,
+            chaos: None,
             subgraph_page_size: 1000,
             txlist_page_size: 10_000,
             market_page_size: opensea_sim::MAX_EVENTS_PAGE,
@@ -66,8 +98,58 @@ impl CrawlConfig {
         Crawler {
             page_size,
             threads: self.threads,
-            max_retries: self.max_retries,
+            retry: self.retry,
+            failure: self.failure,
         }
+    }
+}
+
+/// Why a collection run failed.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CollectError {
+    /// A crawl gave up (retry budget exhausted under `FailFast`, or a
+    /// `Degrade` loss budget was exceeded).
+    Crawl(CrawlError),
+    /// The crawl completed, but recovered too little of the data.
+    RecoveryBelowMinimum {
+        /// The recovery the crawl achieved.
+        achieved: f64,
+        /// The configured [`CrawlConfig::min_recovery`].
+        required: f64,
+        /// Estimated items lost across all gaps.
+        lost_items: usize,
+    },
+}
+
+impl fmt::Display for CollectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CollectError::Crawl(e) => write!(f, "collection failed: {e}"),
+            CollectError::RecoveryBelowMinimum {
+                achieved,
+                required,
+                lost_items,
+            } => write!(
+                f,
+                "collection recovered too little: {:.4} < required {:.4} (~{lost_items} items lost)",
+                achieved, required
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CollectError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CollectError::Crawl(e) => Some(e),
+            CollectError::RecoveryBelowMinimum { .. } => None,
+        }
+    }
+}
+
+impl From<CrawlError> for CollectError {
+    fn from(e: CrawlError) -> Self {
+        CollectError::Crawl(e)
     }
 }
 
@@ -98,25 +180,37 @@ pub struct Dataset {
 impl Dataset {
     /// Runs the full collection pipeline of the paper's Fig 1 against the
     /// data sources, single-threaded with default page sizes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a crawl fails — with the default fail-fast config and no
+    /// chaos profile the simulated endpoints are infallible, so this is
+    /// the convenience entry point for clean runs. Fallible collection
+    /// (chaos, degrade policies, recovery gates) goes through
+    /// [`Dataset::try_collect_with`].
     pub fn collect(
         subgraph: &Subgraph,
         etherscan: &Etherscan,
         opensea: &OpenSea,
         observation_end: Timestamp,
     ) -> Dataset {
-        Dataset::collect_with(
+        Dataset::try_collect_with(
             subgraph,
             etherscan,
             opensea,
             observation_end,
             &CrawlConfig::default(),
         )
+        .expect("clean endpoints with fail-fast defaults cannot fail")
         .0
     }
 
-    /// [`Dataset::collect`] with explicit crawl knobs; also returns the
-    /// per-source wall-clock timings (which are *not* part of the dataset —
-    /// see [`CrawlTimings`]).
+    /// [`Dataset::collect`] with explicit crawl knobs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a crawl fails; use [`Dataset::try_collect_with`] when the
+    /// config can fail (chaos profiles, loss budgets, recovery gates).
     pub fn collect_with(
         subgraph: &Subgraph,
         etherscan: &Etherscan,
@@ -124,30 +218,78 @@ impl Dataset {
         observation_end: Timestamp,
         config: &CrawlConfig,
     ) -> (Dataset, CrawlTimings) {
-        // The simulated endpoints never fail permanently, so an exhausted
-        // retry budget here is a programming error, not a data condition.
-        let crawled = config
-            .crawler(config.subgraph_page_size)
-            .crawl(subgraph)
-            .expect("subgraph endpoint is infallible");
+        Dataset::try_collect_with(subgraph, etherscan, opensea, observation_end, config)
+            .expect("collection failed")
+    }
+
+    /// Fallible collection: runs the full pipeline of the paper's Fig 1,
+    /// propagating crawl failures and enforcing the configured minimum
+    /// recovery rate. Also returns the per-source wall-clock timings
+    /// (which are *not* part of the dataset — see [`CrawlTimings`]).
+    pub fn try_collect_with(
+        subgraph: &Subgraph,
+        etherscan: &Etherscan,
+        opensea: &OpenSea,
+        observation_end: Timestamp,
+        config: &CrawlConfig,
+    ) -> Result<(Dataset, CrawlTimings), CollectError> {
+        // Each endpoint gets its own derived chaos profile (and each
+        // address its own, for the keyed txlist crawl) so injected faults
+        // never land in lockstep across sources.
+        let crawled = match &config.chaos {
+            None => config.crawler(config.subgraph_page_size).crawl(subgraph)?,
+            Some(p) => config
+                .crawler(config.subgraph_page_size)
+                .crawl(&ChaosSource::new(subgraph, p.derive("subgraph")))?,
+        };
         let domains = crawled.items;
 
         let addresses = relevant_addresses(&domains);
-        let tx_sources: Vec<_> = addresses
-            .iter()
-            .map(|&a| (a, etherscan.txlist_source(a)))
-            .collect();
-        let tx_crawl = config
-            .crawler(config.txlist_page_size)
-            .crawl_keyed(&tx_sources)
-            .expect("explorer endpoint is infallible");
+        let tx_crawl = match &config.chaos {
+            None => {
+                let tx_sources: Vec<_> = addresses
+                    .iter()
+                    .map(|&a| (a, etherscan.txlist_source(a)))
+                    .collect();
+                config
+                    .crawler(config.txlist_page_size)
+                    .crawl_keyed(&tx_sources)?
+            }
+            Some(p) => {
+                let tx_sources: Vec<_> = addresses
+                    .iter()
+                    .map(|&a| {
+                        (
+                            a,
+                            ChaosSource::new(
+                                etherscan.txlist_source(a),
+                                p.derive_keyed("txlist", a.shard_hash()),
+                            ),
+                        )
+                    })
+                    .collect();
+                config
+                    .crawler(config.txlist_page_size)
+                    .crawl_keyed(&tx_sources)?
+            }
+        };
         let transactions = tx_crawl.map;
 
-        let market_crawl = config
-            .crawler(config.market_page_size)
-            .crawl(opensea)
-            .expect("marketplace endpoint is infallible");
+        let market_crawl = match &config.chaos {
+            None => config.crawler(config.market_page_size).crawl(opensea)?,
+            Some(p) => config
+                .crawler(config.market_page_size)
+                .crawl(&ChaosSource::new(opensea, p.derive("market")))?,
+        };
         let market = OpenSea::from_events(market_crawl.items);
+
+        // Gaps concatenate in collection order (subgraph, txlist, market)
+        // — deterministic because each crawl's gaps already merge in
+        // canonical shard/key order.
+        let mut gaps = crawled.gaps;
+        gaps.extend(tx_crawl.gaps);
+        gaps.extend(market_crawl.gaps);
+        let lost_items_estimate = gaps.iter().map(|g| g.lost_estimate).sum();
 
         let stats = subgraph.stats();
         let crawl_report = CrawlReport {
@@ -159,7 +301,17 @@ impl Dataset {
             subgraph: crawled.stats,
             txlist: tx_crawl.stats,
             market: market_crawl.stats,
+            degraded: !gaps.is_empty(),
+            gaps,
+            lost_items_estimate,
         };
+        if crawl_report.item_recovery_rate() < config.min_recovery {
+            return Err(CollectError::RecoveryBelowMinimum {
+                achieved: crawl_report.item_recovery_rate(),
+                required: config.min_recovery,
+                lost_items: crawl_report.lost_items_estimate,
+            });
+        }
         let timings = CrawlTimings {
             subgraph: crawled.elapsed,
             txlist: tx_crawl.elapsed,
@@ -174,7 +326,7 @@ impl Dataset {
             market,
             crawl_report,
         };
-        (dataset, timings)
+        Ok((dataset, timings))
     }
 
     /// Incoming value transfers to `address` (mints and contract payments
@@ -254,22 +406,31 @@ pub struct DataSources<'a> {
     pub oracle: &'a PriceOracle,
     /// End of the observation window.
     pub observation_end: Timestamp,
-    /// Worker threads for collection (`1` = sequential; any value yields a
-    /// byte-identical dataset).
-    pub threads: usize,
+    /// Collection knobs (threads, retry/failure policies, chaos profile,
+    /// page sizes). Any thread count yields a byte-identical dataset.
+    pub crawl: CrawlConfig,
 }
 
 impl DataSources<'_> {
     /// Collects the dataset from these sources.
+    ///
+    /// # Panics
+    ///
+    /// Panics if collection fails; use [`DataSources::try_collect`] when
+    /// the crawl config can fail.
     pub fn collect(&self) -> Dataset {
-        Dataset::collect_with(
+        self.try_collect().expect("collection failed").0
+    }
+
+    /// Fallible collection from these sources.
+    pub fn try_collect(&self) -> Result<(Dataset, CrawlTimings), CollectError> {
+        Dataset::try_collect_with(
             self.subgraph,
             self.etherscan,
             self.opensea,
             self.observation_end,
-            &CrawlConfig::with_threads(self.threads),
+            &self.crawl,
         )
-        .0
     }
 }
 
@@ -282,6 +443,7 @@ pub fn default_subgraph(events: &[ens_registry::EnsEvent]) -> Subgraph {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::crawl::FailurePolicy;
     use ens_subgraph::SubgraphConfig;
     use workload::WorldConfig;
 
@@ -304,6 +466,10 @@ mod tests {
         // The marketplace came through the paged crawl intact.
         assert_eq!(ds.market.event_count(), world.opensea().event_count());
         assert_eq!(ds.crawl_report.market.items, ds.market.event_count());
+        // A clean crawl is not degraded and recovered everything.
+        assert!(!ds.crawl_report.degraded);
+        assert!(ds.crawl_report.gaps.is_empty());
+        assert_eq!(ds.crawl_report.item_recovery_rate(), 1.0);
     }
 
     #[test]
@@ -338,6 +504,89 @@ mod tests {
         let a = collect(1).to_json().unwrap();
         let b = collect(4).to_json().unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn chaotic_degraded_collection_reports_gaps() {
+        let world = WorldConfig::small().with_names(200).with_seed(30).build();
+        let sg = world.subgraph(SubgraphConfig::lossless());
+        let scan = world.etherscan();
+        let config = CrawlConfig {
+            chaos: Some(FaultProfile::new(77).with_hole(16, 48)),
+            failure: FailurePolicy::degrade(),
+            subgraph_page_size: 16,
+            ..CrawlConfig::default()
+        };
+        let (ds, _) = Dataset::try_collect_with(
+            &sg,
+            &scan,
+            world.opensea(),
+            world.observation_end(),
+            &config,
+        )
+        .unwrap();
+        assert!(ds.crawl_report.degraded);
+        assert!(!ds.crawl_report.gaps.is_empty());
+        assert!(ds.crawl_report.lost_items_estimate > 0);
+        assert!(ds.crawl_report.item_recovery_rate() < 1.0);
+        assert!(ds.domains.len() < 200, "the hole cost some domains");
+    }
+
+    #[test]
+    fn min_recovery_gates_lossy_collections() {
+        let world = WorldConfig::small().with_names(200).with_seed(30).build();
+        let sg = world.subgraph(SubgraphConfig::lossless());
+        let scan = world.etherscan();
+        let config = CrawlConfig {
+            chaos: Some(FaultProfile::new(77).with_hole(0, 128)),
+            failure: FailurePolicy::degrade(),
+            min_recovery: 0.9999,
+            subgraph_page_size: 16,
+            ..CrawlConfig::default()
+        };
+        let err = Dataset::try_collect_with(
+            &sg,
+            &scan,
+            world.opensea(),
+            world.observation_end(),
+            &config,
+        )
+        .unwrap_err();
+        match err {
+            CollectError::RecoveryBelowMinimum {
+                achieved, required, ..
+            } => {
+                assert!(achieved < required);
+            }
+            other => panic!("expected RecoveryBelowMinimum, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn chaotic_fail_fast_surfaces_the_crawl_error() {
+        let world = WorldConfig::small().with_names(200).with_seed(30).build();
+        let sg = world.subgraph(SubgraphConfig::lossless());
+        let scan = world.etherscan();
+        let config = CrawlConfig {
+            chaos: Some(FaultProfile::new(77).with_hole(16, 48)),
+            subgraph_page_size: 16,
+            ..CrawlConfig::default()
+        };
+        let err = Dataset::try_collect_with(
+            &sg,
+            &scan,
+            world.opensea(),
+            world.observation_end(),
+            &config,
+        )
+        .unwrap_err();
+        match err {
+            CollectError::Crawl(e) => {
+                assert_eq!(e.source, "subgraph");
+                assert!(e.stats.pages > 0, "partial stats attached");
+            }
+            other => panic!("expected Crawl, got {other:?}"),
+        }
     }
 
     #[test]

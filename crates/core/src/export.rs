@@ -284,7 +284,7 @@ mod tests {
             opensea: world.opensea(),
             oracle: world.oracle(),
             observation_end: world.observation_end(),
-            threads: 1,
+            crawl: Default::default(),
         };
         run_study(&sources, &StudyConfig::default())
     }

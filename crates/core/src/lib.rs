@@ -31,6 +31,10 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// A failed crawl's error deliberately carries the full partial accounting
+// (per-source stats + recorded gaps), so the Err variants are fat; every
+// construction site is a cold abort path.
+#![allow(clippy::result_large_err)]
 
 pub mod countermeasures;
 pub mod crawl;
@@ -46,17 +50,17 @@ pub mod resale;
 pub mod stats;
 
 pub use crawl::{
-    relevant_addresses, CrawlError, CrawlReport, CrawlTimings, Crawled, Crawler, KeyedCrawl,
-    SourceStats,
+    relevant_addresses, CrawlError, CrawlGap, CrawlReport, CrawlTimings, Crawled, Crawler,
+    FailurePolicy, KeyedCrawl, RetryCounts, RetryPolicy, SourceStats,
 };
-pub use dataset::{CrawlConfig, DataSources, Dataset};
+pub use dataset::{CollectError, CrawlConfig, DataSources, Dataset};
 pub use export::CsvArtifact;
 pub use features::{compare_features, DomainFeatures, FeatureComparison, FeatureRow};
 pub use losses::{
     analyze_losses, upper_bound_losses, DomainLoss, LossReport, SenderKind, UpperBoundLoss,
 };
 pub use overview::{overview, OverviewReport};
-pub use pipeline::{run_study, run_study_on, StudyConfig, StudyReport};
+pub use pipeline::{run_study, run_study_on, try_run_study, StudyConfig, StudyReport};
 pub use registrations::{
     classify, detect_all, detect_reregistrations, detect_reregistrations_ignoring_transfers,
     DomainOutcome, ReRegistration,

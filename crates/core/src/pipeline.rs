@@ -6,7 +6,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::countermeasures::{evaluate_countermeasure, CountermeasureReport};
 use crate::crawl::CrawlReport;
-use crate::dataset::{DataSources, Dataset};
+use crate::dataset::{CollectError, DataSources, Dataset};
 use crate::features::{compare_features, FeatureComparison, FeatureRow};
 use crate::losses::{analyze_losses, LossReport};
 use crate::overview::{overview, OverviewReport};
@@ -55,7 +55,7 @@ pub struct StudyReport {
 /// Runs the full study against a set of data sources.
 ///
 /// ```
-/// use ens_dropcatch::{run_study, DataSources, StudyConfig};
+/// use ens_dropcatch::{run_study, CrawlConfig, DataSources, StudyConfig};
 /// use ens_subgraph::SubgraphConfig;
 /// use workload::WorldConfig;
 ///
@@ -69,15 +69,31 @@ pub struct StudyReport {
 ///         opensea: world.opensea(),
 ///         oracle: world.oracle(),
 ///         observation_end: world.observation_end(),
-///         threads: 1,
+///         crawl: CrawlConfig::default(),
 ///     },
 ///     &StudyConfig::default(),
 /// );
 /// assert_eq!(report.crawl.domains, 120);
 /// ```
+///
+/// # Panics
+///
+/// Panics if collection fails; use [`try_run_study`] when the crawl config
+/// can fail (chaos profiles, loss budgets, recovery gates).
 pub fn run_study(sources: &DataSources<'_>, config: &StudyConfig) -> StudyReport {
-    let dataset = sources.collect();
-    run_study_on(&dataset, sources, config)
+    try_run_study(sources, config).expect("collection failed")
+}
+
+/// Fallible [`run_study`]: collection errors (a crawl that gave up, or a
+/// degraded crawl below [`CrawlConfig::min_recovery`](crate::dataset::CrawlConfig::min_recovery))
+/// are returned instead of panicking. A degraded-but-acceptable crawl still
+/// produces a full report — its `crawl.gaps` record exactly what was lost.
+pub fn try_run_study(
+    sources: &DataSources<'_>,
+    config: &StudyConfig,
+) -> Result<StudyReport, CollectError> {
+    let (dataset, _) = sources.try_collect()?;
+    Ok(run_study_on(&dataset, sources, config))
 }
 
 /// Runs the full study on an already-collected dataset.
@@ -112,7 +128,7 @@ pub fn run_study_on(
     };
     let countermeasures = evaluate_countermeasure(&losses, dataset, config.warning_window);
     StudyReport {
-        crawl: dataset.crawl_report,
+        crawl: dataset.crawl_report.clone(),
         overview,
         features,
         losses,
@@ -142,6 +158,36 @@ impl StudyReport {
                 self.crawl.transactions
             ),
         );
+        if self.crawl.degraded {
+            push(
+                &mut out,
+                &format!(
+                    "DEGRADED crawl: {} gaps, ~{} items lost (item recovery {:.3}%)",
+                    self.crawl.gaps.len(),
+                    self.crawl.lost_items_estimate,
+                    self.crawl.item_recovery_rate() * 100.0
+                ),
+            );
+            for gap in &self.crawl.gaps {
+                push(&mut out, &format!("  gap: {gap}"));
+            }
+        }
+        let retries = self.crawl.retries_by_kind();
+        if retries.total() > 0 {
+            push(
+                &mut out,
+                &format!(
+                    "retries: {} (rate-limited {}, timeout {}, server-error {}, malformed {}); \
+                     virtual backoff: {} ms",
+                    retries.total(),
+                    retries.rate_limited,
+                    retries.timeout,
+                    retries.server_error,
+                    retries.malformed,
+                    self.crawl.backoff_virtual_ms()
+                ),
+            );
+        }
 
         push(&mut out, "\n== Fig 2: monthly timeline ==");
         let rows: Vec<Vec<String>> = self
@@ -382,7 +428,7 @@ mod tests {
             opensea: world.opensea(),
             oracle: world.oracle(),
             observation_end: world.observation_end(),
-            threads: 1,
+            crawl: Default::default(),
         };
         let report = run_study(&sources, &StudyConfig::default());
         assert!(report.crawl.domains == 2_000);
@@ -408,7 +454,7 @@ mod tests {
                 opensea: world.opensea(),
                 oracle: world.oracle(),
                 observation_end: world.observation_end(),
-                threads,
+                crawl: crate::dataset::CrawlConfig::with_threads(threads),
             };
             let config = StudyConfig {
                 threads,

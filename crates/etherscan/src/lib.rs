@@ -244,6 +244,15 @@ impl PagedSource for TxListSource<'_> {
     }
 
     fn fetch(&self, offset: usize, limit: usize) -> Result<PagedBatch<Transaction>, PageError> {
+        if limit == 0 {
+            // A zero-limit request can never make progress; surface it as a
+            // typed malformed-request fault instead of looping forever.
+            return Err(PageError::malformed(
+                self.source_name(),
+                offset,
+                "zero-limit page request",
+            ));
+        }
         let items = self.scan.txlist_window(self.address, offset, limit);
         let has_more = offset + items.len() < self.scan.tx_count(self.address);
         Ok(PagedBatch { items, has_more })

@@ -203,6 +203,15 @@ impl PagedSource for OpenSea {
     }
 
     fn fetch(&self, offset: usize, limit: usize) -> Result<PagedBatch<MarketEvent>, PageError> {
+        if limit == 0 {
+            // A zero-limit request can never make progress; surface it as a
+            // typed malformed-request fault instead of looping forever.
+            return Err(PageError::malformed(
+                self.source_name(),
+                offset,
+                "zero-limit page request",
+            ));
+        }
         let items = self.events_window(offset, limit).to_vec();
         let has_more = offset + items.len() < self.events.len();
         Ok(PagedBatch { items, has_more })

@@ -228,6 +228,15 @@ impl PagedSource for Subgraph {
     }
 
     fn fetch(&self, offset: usize, limit: usize) -> Result<PagedBatch<DomainRecord>, PageError> {
+        if limit == 0 {
+            // A zero-limit request can never make progress; surface it as a
+            // typed malformed-request fault instead of looping forever.
+            return Err(PageError::malformed(
+                self.source_name(),
+                offset,
+                "zero-limit page request",
+            ));
+        }
         let page = self.domains(PageRequest {
             first: limit,
             skip: offset,

@@ -15,7 +15,9 @@
 //! - [`name`] — validated ENS [`Label`]s/[`EnsName`]s and the recursive
 //!   [`namehash`](name::namehash);
 //! - [`paged`] — the [`PagedSource`] trait every paged data-source endpoint
-//!   implements, so one generic crawler can drive them all.
+//!   implements, so one generic crawler can drive them all, plus the typed
+//!   fault taxonomy ([`FaultKind`]) and the seeded chaos harness
+//!   ([`ChaosSource`]/[`FaultProfile`]) used for failure injection.
 //!
 //! Everything is `#![forbid(unsafe_code)]`, dependency-light and
 //! deterministic, per the simplicity-first idiom of the networking guides.
@@ -36,7 +38,10 @@ pub use amount::{UsdCents, Wei, WEI_PER_ETH};
 pub use hash::{Hash32, LabelHash, NameHash, TxHash};
 pub use keccak::{keccak256, Keccak256};
 pub use name::{namehash, EnsName, Label, NameError};
-pub use paged::{FlakySource, PageError, PagedBatch, PagedSource, ShardKey};
+pub use paged::{
+    ChaosSource, FaultKind, FaultProfile, FlakySource, PageError, PagedBatch, PagedSource,
+    ShardKey, PPM,
+};
 pub use time::{BlockNumber, Duration, Timestamp, SECONDS_PER_BLOCK, SECONDS_PER_DAY};
 
 /// Glob-import convenience for downstream crates.

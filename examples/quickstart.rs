@@ -29,7 +29,7 @@ fn main() {
         opensea: world.opensea(),
         oracle: world.oracle(),
         observation_end: world.observation_end(),
-        threads: 1,
+        crawl: Default::default(),
     };
 
     // 3. Run the study (crawl → detect → analyze, §3–§6 of the paper).

@@ -21,7 +21,7 @@ fn main() {
         opensea: world.opensea(),
         oracle: world.oracle(),
         observation_end: world.observation_end(),
-        threads: 1,
+        crawl: Default::default(),
     };
 
     println!("collecting the dataset (subgraph + txlists)...");

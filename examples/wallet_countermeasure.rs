@@ -101,7 +101,7 @@ fn main() {
         opensea: world.opensea(),
         oracle: world.oracle(),
         observation_end: world.observation_end(),
-        threads: 1,
+        crawl: Default::default(),
     };
     let dataset = sources.collect();
     let losses = analyze_losses(&dataset, world.oracle());

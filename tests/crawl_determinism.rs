@@ -3,7 +3,7 @@
 //! degenerate shapes (empty source, single page, more shards than items)
 //! without special-casing.
 
-use ens_dropcatch_suite::analysis::{CrawlConfig, Crawler, Dataset};
+use ens_dropcatch_suite::analysis::{CrawlConfig, Crawler, Dataset, RetryPolicy};
 use ens_dropcatch_suite::subgraph::{Subgraph, SubgraphConfig};
 use ens_dropcatch_suite::workload::WorldConfig;
 
@@ -69,7 +69,8 @@ fn more_shards_than_items_is_harmless() {
     let many = Crawler {
         page_size: 1,
         threads: 64,
-        max_retries: 0,
+        retry: RetryPolicy::with_max_retries(0),
+        ..Crawler::default()
     }
     .crawl(&sg)
     .expect("crawl");

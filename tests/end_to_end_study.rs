@@ -3,7 +3,7 @@
 //! (who wins, by roughly what factor, where the cliffs fall) — see
 //! DESIGN.md §5 for the calibration anchors.
 
-use ens_dropcatch_suite::analysis::{run_study, DataSources, FeatureRow, StudyConfig};
+use ens_dropcatch_suite::analysis::{run_study, CrawlConfig, DataSources, FeatureRow, StudyConfig};
 use ens_dropcatch_suite::subgraph::SubgraphConfig;
 use ens_dropcatch_suite::workload::{OwnerKind, WorldConfig};
 
@@ -27,7 +27,7 @@ fn build_study() -> (workload::World, ens_dropcatch::StudyReport) {
         opensea: world.opensea(),
         oracle: world.oracle(),
         observation_end: world.observation_end(),
-        threads: 4,
+        crawl: CrawlConfig::with_threads(4),
     };
     let config = StudyConfig {
         threads: 4,

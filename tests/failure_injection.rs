@@ -3,10 +3,14 @@
 //! pages, transiently failing endpoints — and stay bit-identical across
 //! reruns.
 
-use ens_dropcatch_suite::analysis::{run_study, Crawler, DataSources, Dataset, StudyConfig};
+use ens_dropcatch_suite::analysis::{
+    run_study, Crawler, DataSources, Dataset, FailurePolicy, StudyConfig,
+};
 use ens_dropcatch_suite::oracle::PriceOracle;
 use ens_dropcatch_suite::subgraph::SubgraphConfig;
-use ens_dropcatch_suite::types::{FlakySource, Timestamp};
+use ens_dropcatch_suite::types::{
+    ChaosSource, FaultKind, FaultProfile, FlakySource, Timestamp, PPM,
+};
 use ens_dropcatch_suite::workload::WorldConfig;
 
 fn world() -> workload::World {
@@ -47,7 +51,7 @@ fn name_loss_degrades_lexical_coverage_but_not_detection() {
         opensea: world.opensea(),
         oracle: world.oracle(),
         observation_end: world.observation_end(),
-        threads: 1,
+        crawl: Default::default(),
     };
     let report = run_study(&sources, &StudyConfig::default());
     assert!(report.features.n_rereg > 0);
@@ -96,12 +100,78 @@ fn transient_endpoint_failures_are_retried_away() {
     assert_eq!(clean.items, flaky.items);
     assert_eq!(flaky.stats.retries, 2 * flaky.stats.pages);
 
-    // A source that always fails exhausts the budget and reports where.
+    // A source that always fails exhausts the budget and reports where —
+    // with the fault kind and the partial accounting attached.
     let err = Crawler::with_page_size(64)
         .crawl(&FlakySource::new(&sg, u32::MAX))
         .unwrap_err();
     assert_eq!(err.source, "subgraph");
     assert_eq!(err.attempts, 4);
+    assert_eq!(err.kind, FaultKind::ServerError);
+    assert_eq!(err.stats.retries, 3, "the failed page's retries survive");
+    assert!(err.stats.backoff_virtual_ms > 0);
+}
+
+#[test]
+fn typed_faults_are_retried_and_attributed_by_kind() {
+    let world = world();
+    let sg = world.subgraph(SubgraphConfig::lossless());
+    let clean = Crawler::with_page_size(64).crawl(&sg).unwrap();
+
+    // A rate-limit storm: every retried page shows up under `rate_limited`
+    // and the server's retry_after floors the virtual backoff.
+    let profile = FaultProfile::new(7).with_rate_limits(PPM, 1, 800);
+    let stormy = Crawler::with_page_size(64)
+        .crawl(&ChaosSource::new(&sg, profile))
+        .unwrap();
+    assert_eq!(stormy.items, clean.items, "storms are retried away");
+    assert_eq!(stormy.stats.retries, stormy.stats.pages);
+    assert_eq!(
+        stormy.stats.retries_by_kind.rate_limited,
+        stormy.stats.retries
+    );
+    assert!(
+        stormy.stats.backoff_virtual_ms >= 800 * stormy.stats.retries as u64,
+        "retry_after floors every scheduled wait"
+    );
+
+    // A permanent hole is not retryable: fail-fast reports it immediately.
+    let holed = ChaosSource::new(&sg, FaultProfile::new(7).with_hole(0, 10));
+    let err = Crawler::with_page_size(64).crawl(&holed).unwrap_err();
+    assert_eq!(err.kind, FaultKind::PermanentHole);
+    assert_eq!(err.attempts, 1);
+}
+
+#[test]
+fn degrade_policy_carves_gaps_instead_of_aborting() {
+    let world = world();
+    let sg = world.subgraph(SubgraphConfig::lossless());
+    let clean = Crawler::with_page_size(50).crawl(&sg).unwrap();
+    let total = clean.items.len();
+
+    let holed = ChaosSource::new(&sg, FaultProfile::new(7).with_hole(100, 150));
+    let degraded = Crawler {
+        page_size: 50,
+        failure: FailurePolicy::degrade(),
+        ..Crawler::default()
+    }
+    .crawl(&holed)
+    .unwrap();
+    assert_eq!(degraded.items.len(), total - 50);
+    assert_eq!(degraded.gaps.len(), 1);
+    assert_eq!(degraded.gaps[0].start, 100);
+    assert_eq!(degraded.gaps[0].end, Some(150));
+    assert_eq!(degraded.gaps[0].lost_estimate, 50);
+    // What was recovered is exactly the clean crawl minus the hole.
+    let expected: Vec<_> = clean
+        .items
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| !(100..150).contains(i))
+        .map(|(_, d)| d.label_hash)
+        .collect();
+    let got: Vec<_> = degraded.items.iter().map(|d| d.label_hash).collect();
+    assert_eq!(got, expected);
 }
 
 #[test]
@@ -129,7 +199,7 @@ fn missing_price_days_carry_forward_instead_of_crashing() {
         opensea: world.opensea(),
         oracle: &oracle,
         observation_end: world.observation_end(),
-        threads: 1,
+        crawl: Default::default(),
     };
     let report = run_study(&sources, &StudyConfig::default());
     assert!(report.losses.hijackable.total_usd() > 0.0);
@@ -147,7 +217,7 @@ fn studies_are_deterministic_and_seed_sensitive() {
             opensea: world.opensea(),
             oracle: world.oracle(),
             observation_end: world.observation_end(),
-            threads: 1,
+            crawl: Default::default(),
         };
         let report = run_study(&sources, &StudyConfig::default());
         serde_json::to_string(&report.overview.domain_frequency).unwrap()
