@@ -1,0 +1,223 @@
+//! The analysis-substrate bench: times the naive (pre-index) loss and
+//! feature passes against their [`AnalysisIndex`]-backed replacements at
+//! several thread counts, checks the reports stay byte-identical, and
+//! writes the whole trajectory to `BENCH_analysis.json`.
+
+use std::time::Instant;
+
+use ens_dropcatch::{
+    analyze_losses_naive, analyze_losses_with, compare_features_naive, compare_features_with,
+    run_study_on_naive, run_study_with_index, AnalysisIndex, StudyConfig,
+};
+use serde::Serialize;
+
+use crate::Fixture;
+
+/// Wall time of the two hot passes, milliseconds (min over repeats).
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct PassTimings {
+    /// §4.4 loss analysis.
+    pub analyze_losses_ms: f64,
+    /// §4.3 feature comparison.
+    pub compare_features_ms: f64,
+    /// Sum of the two.
+    pub total_ms: f64,
+}
+
+/// One indexed run at a fixed thread count.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct ThreadedRun {
+    /// Worker threads the passes sharded across.
+    pub threads: usize,
+    /// Index build time at this thread count, ms (reported separately
+    /// from the passes — it is paid once per study, not per pass).
+    pub index_build_ms: f64,
+    /// The indexed pass timings.
+    pub passes: PassTimings,
+    /// Naive pass total / indexed pass total.
+    pub speedup_vs_naive: f64,
+    /// Naive pass total / (index build + indexed pass total).
+    pub speedup_incl_index_build: f64,
+    /// Whether the full `StudyReport` JSON at this thread count is
+    /// byte-identical to the naive study.
+    pub report_identical_to_naive: bool,
+}
+
+/// The `BENCH_analysis.json` document.
+#[derive(Clone, Debug, Serialize)]
+pub struct AnalysisBenchReport {
+    /// World size (names).
+    pub names: usize,
+    /// World seed.
+    pub seed: u64,
+    /// Transactions in the crawled dataset.
+    pub transactions: usize,
+    /// Re-registrations detected (work items for the loss pass).
+    pub reregistrations: usize,
+    /// Timing repeats (min is reported).
+    pub repeats: usize,
+    /// The pre-index baseline: full-vector scans, per-call re-pricing,
+    /// per-pass re-detection, sequential.
+    pub naive: PassTimings,
+    /// Indexed runs, one per requested thread count.
+    pub runs: Vec<ThreadedRun>,
+    /// True iff every indexed run's report matched the naive one.
+    pub outputs_identical: bool,
+}
+
+impl AnalysisBenchReport {
+    /// The best pass speedup across the thread trajectory.
+    pub fn best_speedup(&self) -> f64 {
+        self.runs
+            .iter()
+            .map(|r| r.speedup_vs_naive)
+            .fold(0.0, f64::max)
+    }
+
+    /// Serializes (indented) with a trailing newline, ready for disk.
+    pub fn to_json(&self) -> String {
+        let compact = serde_json::to_string(self).expect("bench report serializes");
+        let mut s = indent_json(&compact);
+        s.push('\n');
+        s
+    }
+}
+
+/// Re-indents compact JSON (the vendored `serde_json` has no pretty
+/// printer). String-aware, two-space indent.
+fn indent_json(compact: &str) -> String {
+    let mut out = String::with_capacity(compact.len() * 2);
+    let mut depth = 0usize;
+    let mut in_string = false;
+    let mut escaped = false;
+    let newline = |out: &mut String, depth: usize| {
+        out.push('\n');
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+    };
+    for c in compact.chars() {
+        if in_string {
+            out.push(c);
+            match c {
+                _ if escaped => escaped = false,
+                '\\' => escaped = true,
+                '"' => in_string = false,
+                _ => {}
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                in_string = true;
+                out.push(c);
+            }
+            '{' | '[' => {
+                out.push(c);
+                depth += 1;
+                newline(&mut out, depth);
+            }
+            '}' | ']' => {
+                depth = depth.saturating_sub(1);
+                newline(&mut out, depth);
+                out.push(c);
+            }
+            ',' => {
+                out.push(c);
+                newline(&mut out, depth);
+            }
+            ':' => out.push_str(": "),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Min wall-clock over `repeats` runs of `f`, in ms, plus the last result.
+fn time_ms<R>(repeats: usize, mut f: impl FnMut() -> R) -> (f64, R) {
+    assert!(repeats > 0);
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..repeats {
+        let t = Instant::now();
+        out = Some(f());
+        best = best.min(t.elapsed().as_secs_f64() * 1e3);
+    }
+    (best, out.expect("repeats > 0"))
+}
+
+/// Runs the naive-vs-indexed comparison on a fixture and returns the
+/// report for `BENCH_analysis.json`.
+pub fn run_analysis_bench(
+    fixture: &Fixture,
+    thread_counts: &[usize],
+    repeats: usize,
+) -> AnalysisBenchReport {
+    let dataset = &fixture.dataset;
+    let sources = fixture.sources();
+    let oracle = sources.oracle;
+    let config = StudyConfig::default();
+
+    let (naive_losses_ms, _) = time_ms(repeats, || analyze_losses_naive(dataset, oracle));
+    let (naive_features_ms, _) = time_ms(repeats, || {
+        compare_features_naive(dataset, oracle, config.control_seed)
+    });
+    let naive = PassTimings {
+        analyze_losses_ms: naive_losses_ms,
+        compare_features_ms: naive_features_ms,
+        total_ms: naive_losses_ms + naive_features_ms,
+    };
+    let naive_report_json =
+        serde_json::to_string(&run_study_on_naive(dataset, &sources, &config)).expect("serializes");
+
+    let mut runs = Vec::new();
+    let mut reregistrations = 0;
+    for &threads in thread_counts {
+        let (index_build_ms, index) = time_ms(repeats, || {
+            AnalysisIndex::build_with_threads(dataset, oracle, threads)
+        });
+        reregistrations = index.reregistrations().len();
+
+        let (losses_ms, _) = time_ms(repeats, || {
+            analyze_losses_with(dataset, oracle, &index, threads)
+        });
+        let (features_ms, _) = time_ms(repeats, || {
+            compare_features_with(dataset, config.control_seed, &index, threads)
+        });
+        let passes = PassTimings {
+            analyze_losses_ms: losses_ms,
+            compare_features_ms: features_ms,
+            total_ms: losses_ms + features_ms,
+        };
+
+        let threaded_config = StudyConfig { threads, ..config };
+        let indexed_report_json = serde_json::to_string(&run_study_with_index(
+            dataset,
+            &sources,
+            &threaded_config,
+            &index,
+        ))
+        .expect("serializes");
+
+        runs.push(ThreadedRun {
+            threads,
+            index_build_ms,
+            passes,
+            speedup_vs_naive: naive.total_ms / passes.total_ms,
+            speedup_incl_index_build: naive.total_ms / (index_build_ms + passes.total_ms),
+            report_identical_to_naive: indexed_report_json == naive_report_json,
+        });
+    }
+
+    let outputs_identical = runs.iter().all(|r| r.report_identical_to_naive);
+    AnalysisBenchReport {
+        names: fixture.world.config.n_names,
+        seed: fixture.world.config.seed,
+        transactions: dataset.crawl_report.transactions,
+        reregistrations,
+        repeats,
+        naive,
+        runs,
+        outputs_identical,
+    }
+}

@@ -1,0 +1,135 @@
+//! Times the naive vs indexed analysis passes and writes
+//! `BENCH_analysis.json`.
+//!
+//! ```sh
+//! cargo run --release -p ens-bench --bin analysis_bench -- \
+//!     --names 8000 --seed 48879 --out BENCH_analysis.json
+//! ```
+//!
+//! Exits non-zero if any run's report diverges from the naive baseline,
+//! or if the best speedup falls below `--min-speedup` (when given).
+
+use std::time::Instant;
+
+use ens_bench::{run_analysis_bench, Fixture};
+
+struct Args {
+    names: usize,
+    seed: u64,
+    out: Option<String>,
+    threads: Vec<usize>,
+    repeats: usize,
+    min_speedup: Option<f64>,
+}
+
+fn parse_args() -> Args {
+    let mut parsed = Args {
+        names: 8_000,
+        seed: 0xBEEF,
+        out: None,
+        threads: vec![1, 2, 8],
+        repeats: 3,
+        min_speedup: None,
+    };
+    let mut args = std::env::args().skip(1);
+    let next = |args: &mut dyn Iterator<Item = String>, flag: &str| {
+        args.next()
+            .unwrap_or_else(|| panic!("{flag} needs a value"))
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--names" => parsed.names = next(&mut args, "--names").parse().expect("--names"),
+            "--seed" => parsed.seed = next(&mut args, "--seed").parse().expect("--seed"),
+            "--out" => parsed.out = Some(next(&mut args, "--out")),
+            "--repeats" => {
+                parsed.repeats = next(&mut args, "--repeats").parse().expect("--repeats")
+            }
+            "--min-speedup" => {
+                parsed.min_speedup = Some(
+                    next(&mut args, "--min-speedup")
+                        .parse()
+                        .expect("--min-speedup"),
+                )
+            }
+            "--threads" => {
+                parsed.threads = next(&mut args, "--threads")
+                    .split(',')
+                    .map(|t| t.parse().expect("--threads takes e.g. 1,2,8"))
+                    .collect()
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: analysis_bench [--names N] [--seed S] [--out PATH] \
+                     [--threads 1,2,8] [--repeats R] [--min-speedup X]"
+                );
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown argument {other}; try --help");
+                std::process::exit(2);
+            }
+        }
+    }
+    parsed
+}
+
+fn main() {
+    let args = parse_args();
+
+    eprintln!(
+        "building the world ({} names, seed {})...",
+        args.names, args.seed
+    );
+    let t0 = Instant::now();
+    let fixture = Fixture::build(args.names, args.seed);
+    eprintln!(
+        "  built in {:.1?}: {} transactions crawled",
+        t0.elapsed(),
+        fixture.dataset.crawl_report.transactions
+    );
+
+    eprintln!(
+        "benching naive vs indexed at threads {:?} ({} repeats, min reported)...",
+        args.threads, args.repeats
+    );
+    let report = run_analysis_bench(&fixture, &args.threads, args.repeats);
+
+    let json = report.to_json();
+    match &args.out {
+        Some(path) => {
+            std::fs::write(path, &json).expect("write bench json");
+            eprintln!("wrote {path}");
+        }
+        None => println!("{json}"),
+    }
+
+    eprintln!(
+        "naive: losses {:.1} ms + features {:.1} ms = {:.1} ms",
+        report.naive.analyze_losses_ms, report.naive.compare_features_ms, report.naive.total_ms
+    );
+    for run in &report.runs {
+        eprintln!(
+            "  threads {}: index build {:.1} ms, passes {:.1} ms \
+             ({:.1}x vs naive; {:.1}x incl. build), identical: {}",
+            run.threads,
+            run.index_build_ms,
+            run.passes.total_ms,
+            run.speedup_vs_naive,
+            run.speedup_incl_index_build,
+            run.report_identical_to_naive
+        );
+    }
+
+    if !report.outputs_identical {
+        eprintln!("FAIL: an indexed report diverged from the naive baseline");
+        std::process::exit(1);
+    }
+    if let Some(min) = args.min_speedup {
+        let best = report.best_speedup();
+        if best < min {
+            eprintln!("FAIL: best speedup {best:.2}x is below the required {min:.2}x");
+            std::process::exit(1);
+        }
+        eprintln!("best speedup {best:.2}x >= required {min:.2}x");
+    }
+}

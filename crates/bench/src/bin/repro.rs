@@ -8,11 +8,12 @@
 
 use std::time::Instant;
 
-use ens_bench::{compare_to_paper, render_comparison_markdown, Fixture};
+use ens_bench::{compare_to_paper, render_comparison_markdown, run_analysis_bench, Fixture};
 
-fn parse_args() -> (usize, u64) {
+fn parse_args() -> (usize, u64, Option<String>) {
     let mut names = 60_000usize;
     let mut seed = 1u64;
+    let mut bench_json = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -28,8 +29,11 @@ fn parse_args() -> (usize, u64) {
                     .and_then(|v| v.parse().ok())
                     .expect("--seed needs a number");
             }
+            "--bench-json" => {
+                bench_json = Some(args.next().expect("--bench-json needs a path"));
+            }
             "--help" | "-h" => {
-                eprintln!("usage: repro [--names N] [--seed S]");
+                eprintln!("usage: repro [--names N] [--seed S] [--bench-json PATH]");
                 std::process::exit(0);
             }
             other => {
@@ -38,11 +42,11 @@ fn parse_args() -> (usize, u64) {
             }
         }
     }
-    (names, seed)
+    (names, seed, bench_json)
 }
 
 fn main() {
-    let (names, seed) = parse_args();
+    let (names, seed, bench_json) = parse_args();
 
     eprintln!("building the world ({names} names, seed {seed})...");
     let t0 = Instant::now();
@@ -71,4 +75,19 @@ fn main() {
         std::process::exit(1);
     }
     eprintln!("all {} shape expectations hold", rows.len());
+
+    if let Some(path) = bench_json {
+        eprintln!("benching analysis passes (naive vs indexed at 1/2/8 threads)...");
+        let bench = run_analysis_bench(&fixture, &[1, 2, 8], 3);
+        std::fs::write(&path, bench.to_json()).expect("write bench json");
+        eprintln!(
+            "  wrote {path} (best speedup {:.1}x, outputs identical: {})",
+            bench.best_speedup(),
+            bench.outputs_identical
+        );
+        if !bench.outputs_identical {
+            eprintln!("FAIL: an indexed report diverged from the naive baseline");
+            std::process::exit(1);
+        }
+    }
 }

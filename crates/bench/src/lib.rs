@@ -3,6 +3,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analysis;
+
+pub use analysis::{run_analysis_bench, AnalysisBenchReport, PassTimings, ThreadedRun};
+
 use std::sync::OnceLock;
 
 use ens_dropcatch::{run_study_on, DataSources, Dataset, StudyConfig, StudyReport};

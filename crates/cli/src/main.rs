@@ -13,9 +13,9 @@
 //! per-address transactions, labels, reverse claims, marketplace events) as
 //! JSON; `analyze` re-runs the full study from such a file — no simulator
 //! required, exactly how a third party would re-analyze the released data.
-//! `--threads` shards the crawl (and the independent analysis passes)
-//! across worker threads; the dataset and report are byte-identical for
-//! any value.
+//! `--threads` shards the crawl, the `AnalysisIndex` build and the
+//! internally parallel loss/feature passes across worker threads; the
+//! dataset and report are byte-identical for any value.
 //!
 //! Fault-tolerance knobs (for `run` and `simulate`):
 //!

@@ -22,6 +22,7 @@ use serde::{Deserialize, Serialize};
 use wallet_sim::{production_wallets, ResolutionContext, WalletProfile, WarningPolicy};
 
 use crate::dataset::Dataset;
+use crate::index::AnalysisIndex;
 use crate::losses::LossReport;
 
 /// One row of Table 2.
@@ -138,8 +139,16 @@ fn wallet_with(policy: WarningPolicy) -> WalletProfile {
 }
 
 /// Evaluates one policy against every misdirected transaction (interception)
-/// and every legitimate incoming transaction (annoyance).
-fn evaluate_policy(losses: &LossReport, dataset: &Dataset, policy: WarningPolicy) -> PolicyOutcome {
+/// and every legitimate incoming transaction (annoyance). With an
+/// [`AnalysisIndex`] the tenure-window scans of the annoyance loop are
+/// binary-search slices; without one they are the naive full-vector
+/// filters of the seed (kept as the equivalence baseline).
+fn evaluate_policy(
+    losses: &LossReport,
+    dataset: &Dataset,
+    index: Option<&AnalysisIndex>,
+    policy: WarningPolicy,
+) -> PolicyOutcome {
     let wallet = wallet_with(policy);
     let mut outcome = PolicyOutcome::default();
 
@@ -191,24 +200,37 @@ fn evaluate_policy(losses: &LossReport, dataset: &Dataset, policy: WarningPolicy
                 && crate::registrations::effective_owner_at_expiry(domain, idx - 1)
                     != Some(reg.owner))
             .then_some(reg.registered_at);
-            for tx in dataset.incoming(reg.owner, Some((reg.registered_at, window_end))) {
-                if flagged_set.contains(&(tx.from, tx.timestamp.0)) {
-                    continue;
+            let mut eval_tx = |from: Address, at: Timestamp| {
+                if flagged_set.contains(&(from, at.0)) {
+                    return;
                 }
                 let reverse_matches = name
                     .as_deref()
-                    .map(|n| dataset.primary_name_at(reg.owner, tx.timestamp) == Some(n));
+                    .map(|n| dataset.primary_name_at(reg.owner, at) == Some(n));
                 let ctx = ResolutionContext {
                     resolved: Some(reg.owner),
                     expiry: Some(expiry),
                     registered_at: Some(reg.registered_at),
                     owner_changed_at,
                     reverse_matches,
-                    now: tx.timestamp,
+                    now: at,
                 };
                 outcome.legit_txs += 1;
                 if wallet.displays_warning(&ctx) {
                     outcome.false_positive_txs += 1;
+                }
+            };
+            let tenure = Some((reg.registered_at, window_end));
+            match index {
+                Some(ix) => {
+                    for tx in ix.incoming(reg.owner, tenure) {
+                        eval_tx(tx.from, tx.timestamp);
+                    }
+                }
+                None => {
+                    for tx in dataset.incoming(reg.owner, tenure) {
+                        eval_tx(tx.from, tx.timestamp);
+                    }
                 }
             }
         }
@@ -218,15 +240,36 @@ fn evaluate_policy(losses: &LossReport, dataset: &Dataset, policy: WarningPolicy
 }
 
 /// Evaluates the proposed countermeasure (and the reverse-check variant)
-/// against a loss report.
+/// against a loss report, on the naive scan path.
 pub fn evaluate_countermeasure(
     losses: &LossReport,
     dataset: &Dataset,
     window: Duration,
 ) -> CountermeasureReport {
+    evaluate_countermeasure_inner(losses, dataset, None, window)
+}
+
+/// [`evaluate_countermeasure`] on the analysis substrate — identical
+/// output, with the annoyance loop's tenure scans served by the index.
+pub fn evaluate_countermeasure_with(
+    losses: &LossReport,
+    dataset: &Dataset,
+    index: &AnalysisIndex,
+    window: Duration,
+) -> CountermeasureReport {
+    evaluate_countermeasure_inner(losses, dataset, Some(index), window)
+}
+
+fn evaluate_countermeasure_inner(
+    losses: &LossReport,
+    dataset: &Dataset,
+    index: Option<&AnalysisIndex>,
+    window: Duration,
+) -> CountermeasureReport {
     let risk_policy = evaluate_policy(
         losses,
         dataset,
+        index,
         WarningPolicy::WarnOnRisk {
             recent_window: window,
         },
@@ -234,14 +277,17 @@ pub fn evaluate_countermeasure(
     let rereg_policy = evaluate_policy(
         losses,
         dataset,
+        index,
         WarningPolicy::WarnOnRecentOwnerChange {
             recent_window: window,
         },
     );
-    let reverse_policy = evaluate_policy(losses, dataset, WarningPolicy::WarnOnReverseMismatch);
+    let reverse_policy =
+        evaluate_policy(losses, dataset, index, WarningPolicy::WarnOnReverseMismatch);
     let combined_policy = evaluate_policy(
         losses,
         dataset,
+        index,
         WarningPolicy::WarnOnRiskOrReverseMismatch {
             recent_window: window,
         },

@@ -7,13 +7,18 @@
 //! coherent if the feature means "contains a digit but is not purely
 //! numeric"; we compute it that way (see `ens-lexicon`'s crate docs).
 
+use std::collections::HashSet;
+
 use ens_subgraph::DomainRecord;
-use ens_types::{keccak256, Timestamp};
+use ens_types::{keccak256, LabelHash, Timestamp};
 use price_oracle::PriceOracle;
 use serde::{Deserialize, Serialize};
 
 use crate::dataset::Dataset;
-use crate::registrations::{classify, effective_owner_at_expiry, DomainOutcome};
+use crate::index::{shard_map, AnalysisIndex};
+use crate::registrations::{
+    classify, classify_with_detected, effective_owner_at_expiry, DomainOutcome,
+};
 use crate::stats::{two_proportion_z_test, welch_t_test, Ecdf, TestResult};
 
 /// Features of one domain's *previous owner* era (the registration that
@@ -48,18 +53,31 @@ pub struct DomainFeatures {
     pub num_transactions: usize,
 }
 
-/// Extracts the feature vector for the first (expired) registration period
-/// of a domain.
-pub fn extract_features(
-    dataset: &Dataset,
-    oracle: &PriceOracle,
+/// The lexical columns of one record, plus the owner and tenure window of
+/// its first (expired) registration — everything a feature vector needs
+/// except the transactional queries.
+#[allow(clippy::type_complexity)]
+fn feature_frame(
     record: &DomainRecord,
-) -> Option<DomainFeatures> {
+) -> Option<(
+    ens_types::Address,
+    (Timestamp, Timestamp),
+    Option<(
+        String,
+        usize,
+        bool,
+        bool,
+        bool,
+        bool,
+        bool,
+        bool,
+        bool,
+        bool,
+    )>,
+)> {
     let first = record.registrations.first()?;
     let expiry = record.expiry_of_registration(0)?;
     let owner = effective_owner_at_expiry(record, 0)?;
-    let window = Some((first.registered_at, expiry));
-
     let lex = record.name.as_ref().map(|n| {
         let s = n.label().as_str();
         (
@@ -75,12 +93,28 @@ pub fn extract_features(
             ens_lexicon::contains_underscore(s),
         )
     });
+    Some((owner, (first.registered_at, expiry), lex))
+}
 
-    let income_usd = dataset.income_usd(owner, window, oracle).as_dollars_f64();
-    let num_unique_senders = dataset.unique_senders(owner, window);
-    let num_transactions = dataset.incoming(owner, window).count();
-
-    Some(DomainFeatures {
+#[allow(clippy::type_complexity)]
+fn assemble_features(
+    lex: Option<(
+        String,
+        usize,
+        bool,
+        bool,
+        bool,
+        bool,
+        bool,
+        bool,
+        bool,
+        bool,
+    )>,
+    income_usd: f64,
+    num_unique_senders: usize,
+    num_transactions: usize,
+) -> DomainFeatures {
+    DomainFeatures {
         label: lex.as_ref().map(|l| l.0.clone()),
         length: lex.as_ref().map(|l| l.1),
         contains_digit: lex.as_ref().map(|l| l.2),
@@ -94,7 +128,48 @@ pub fn extract_features(
         income_usd,
         num_unique_senders,
         num_transactions,
-    })
+    }
+}
+
+/// Extracts the feature vector for the first (expired) registration period
+/// of a domain — the naive baseline path: three separate scans of the
+/// owner's full transaction vector (income, unique senders, count).
+pub fn extract_features(
+    dataset: &Dataset,
+    oracle: &PriceOracle,
+    record: &DomainRecord,
+) -> Option<DomainFeatures> {
+    let (owner, window, lex) = feature_frame(record)?;
+    let window = Some(window);
+    let income_usd = dataset.income_usd(owner, window, oracle).as_dollars_f64();
+    let num_unique_senders = dataset.unique_senders(owner, window);
+    let num_transactions = dataset.incoming(owner, window).count();
+    Some(assemble_features(
+        lex,
+        income_usd,
+        num_unique_senders,
+        num_transactions,
+    ))
+}
+
+/// [`extract_features`] on the analysis substrate: income and transaction
+/// count come from a single prefix-sum range lookup (the seed scanned the
+/// vector once for income and again for the count), unique senders from
+/// the same pre-filtered slice.
+pub fn extract_features_with(
+    index: &AnalysisIndex,
+    record: &DomainRecord,
+) -> Option<DomainFeatures> {
+    let (owner, window, lex) = feature_frame(record)?;
+    let window = Some(window);
+    let (income, num_transactions) = index.income_and_count(owner, window);
+    let num_unique_senders = index.unique_senders(owner, window);
+    Some(assemble_features(
+        lex,
+        income.as_dollars_f64(),
+        num_unique_senders,
+        num_transactions,
+    ))
 }
 
 /// One row of Table 1.
@@ -186,8 +261,12 @@ fn sample_control(pool: Vec<&DomainRecord>, k: usize, seed: u64) -> Vec<&DomainR
     keyed.into_iter().take(k).map(|(_, d)| d).collect()
 }
 
-/// Runs the full §4.3 comparison.
-pub fn compare_features(
+/// Runs the full §4.3 comparison on the naive baseline path: per-domain
+/// re-registration detection for the group split and triple full-vector
+/// scans per feature vector, sequentially. Kept as the reference
+/// implementation the equivalence tests and `BENCH_analysis.json` regress
+/// against.
+pub fn compare_features_naive(
     dataset: &Dataset,
     oracle: &PriceOracle,
     control_seed: u64,
@@ -211,7 +290,69 @@ pub fn compare_features(
         .iter()
         .filter_map(|d| extract_features(dataset, oracle, d))
         .collect();
+    build_comparison(f_rereg, f_control)
+}
 
+/// Runs the full §4.3 comparison. Builds a one-shot [`AnalysisIndex`];
+/// callers running multiple passes should build the index once and use
+/// [`compare_features_with`].
+pub fn compare_features(
+    dataset: &Dataset,
+    oracle: &PriceOracle,
+    control_seed: u64,
+) -> FeatureComparison {
+    let index = AnalysisIndex::build(dataset, oracle);
+    compare_features_with(dataset, control_seed, &index, 1)
+}
+
+/// Runs the full §4.3 comparison on the analysis substrate: the group
+/// split reuses the index's re-registration list instead of re-detecting
+/// per domain, and the per-domain feature extraction fans across
+/// `threads` scoped workers with a deterministic ordered merge. The
+/// comparison is identical to [`compare_features_naive`] at any thread
+/// count.
+pub fn compare_features_with(
+    dataset: &Dataset,
+    control_seed: u64,
+    index: &AnalysisIndex,
+    threads: usize,
+) -> FeatureComparison {
+    let caught: HashSet<LabelHash> = index
+        .reregistrations()
+        .iter()
+        .map(|r| r.label_hash)
+        .collect();
+    let mut rereg: Vec<&DomainRecord> = Vec::new();
+    let mut expired_pool: Vec<&DomainRecord> = Vec::new();
+    for d in &dataset.domains {
+        match classify_with_detected(d, dataset.observation_end, caught.contains(&d.label_hash)) {
+            DomainOutcome::ReRegistered => rereg.push(d),
+            DomainOutcome::ExpiredNotReRegistered => expired_pool.push(d),
+            DomainOutcome::ActiveOriginal => {}
+        }
+    }
+    let control = sample_control(expired_pool, rereg.len(), control_seed);
+
+    let f_rereg: Vec<DomainFeatures> =
+        shard_map(&rereg, threads, |d| extract_features_with(index, d))
+            .into_iter()
+            .flatten()
+            .collect();
+    let f_control: Vec<DomainFeatures> =
+        shard_map(&control, threads, |d| extract_features_with(index, d))
+            .into_iter()
+            .flatten()
+            .collect();
+    build_comparison(f_rereg, f_control)
+}
+
+/// Builds Table 1 and the Fig 6 distributions from the two groups'
+/// feature vectors — shared by the naive and indexed paths so their
+/// outputs are byte-identical by construction.
+fn build_comparison(
+    f_rereg: Vec<DomainFeatures>,
+    f_control: Vec<DomainFeatures>,
+) -> FeatureComparison {
     let mut rows = Vec::new();
 
     let numeric = |name: &str, fr: &dyn Fn(&DomainFeatures) -> Option<f64>| -> FeatureRow {

@@ -11,6 +11,11 @@
 //!   for any thread count;
 //! - [`registrations`] — the core primitive: ownership timelines and
 //!   re-registration (dropcatch) detection;
+//! - [`index`] — the shared analysis substrate: one
+//!   [`AnalysisIndex`](index::AnalysisIndex) per study memoizes
+//!   re-registration detection, per-address incoming-transfer slices and
+//!   USD valuations, turning every window query into a binary search plus
+//!   a prefix-sum lookup;
 //! - [`overview`] — §4.1: the monthly timeline (Fig 2), delay distribution
 //!   (Fig 3), per-domain frequency (Fig 4), catcher concentration (Fig 5);
 //! - [`features`] — §4.3: the lexical/transactional Table 1 with Welch
@@ -41,6 +46,7 @@ pub mod crawl;
 pub mod dataset;
 pub mod export;
 pub mod features;
+pub mod index;
 pub mod losses;
 pub mod overview;
 pub mod pipeline;
@@ -55,15 +61,23 @@ pub use crawl::{
 };
 pub use dataset::{CollectError, CrawlConfig, DataSources, Dataset};
 pub use export::CsvArtifact;
-pub use features::{compare_features, DomainFeatures, FeatureComparison, FeatureRow};
-pub use losses::{
-    analyze_losses, upper_bound_losses, DomainLoss, LossReport, SenderKind, UpperBoundLoss,
+pub use features::{
+    compare_features, compare_features_naive, compare_features_with, extract_features,
+    extract_features_with, DomainFeatures, FeatureComparison, FeatureRow,
 };
-pub use overview::{overview, OverviewReport};
-pub use pipeline::{run_study, run_study_on, try_run_study, StudyConfig, StudyReport};
+pub use index::{shard_map, AnalysisIndex, IndexedTransfer};
+pub use losses::{
+    analyze_losses, analyze_losses_naive, analyze_losses_with, upper_bound_losses,
+    upper_bound_losses_with, DomainLoss, LossReport, SenderKind, UpperBoundLoss,
+};
+pub use overview::{overview, overview_from, OverviewReport};
+pub use pipeline::{
+    run_study, run_study_on, run_study_on_naive, run_study_with_index, try_run_study, StudyConfig,
+    StudyReport,
+};
 pub use registrations::{
-    classify, detect_all, detect_reregistrations, detect_reregistrations_ignoring_transfers,
-    DomainOutcome, ReRegistration,
+    classify, classify_with_detected, detect_all, detect_reregistrations,
+    detect_reregistrations_ignoring_transfers, DomainOutcome, ReRegistration,
 };
 pub use resale::{analyze_resales, ResaleReport};
 

@@ -15,6 +15,7 @@ use price_oracle::PriceOracle;
 use serde::{Deserialize, Serialize};
 
 use crate::dataset::Dataset;
+use crate::index::{shard_map, AnalysisIndex};
 use crate::registrations::{detect_all, ReRegistration};
 use crate::stats::Ecdf;
 
@@ -233,7 +234,9 @@ pub struct UpperBoundLoss {
     pub per_domain_usd: Vec<f64>,
 }
 
-/// Computes the upper-bound estimate over all re-registrations.
+/// Computes the upper-bound estimate over all re-registrations — the naive
+/// baseline path, which re-detects re-registrations and filter-scans whole
+/// transaction vectors. Prefer [`upper_bound_losses_with`].
 pub fn upper_bound_losses(dataset: &Dataset, oracle: &PriceOracle) -> UpperBoundLoss {
     let rereg = detect_all(&dataset.domains);
     let mut out = UpperBoundLoss::default();
@@ -270,9 +273,52 @@ pub fn upper_bound_losses(dataset: &Dataset, oracle: &PriceOracle) -> UpperBound
     out
 }
 
+/// [`upper_bound_losses`] on the analysis substrate: the re-registration
+/// list comes from the index (detected once per study) and every window
+/// query is a binary-search slice with memoized USD valuations.
+pub fn upper_bound_losses_with(dataset: &Dataset, index: &AnalysisIndex) -> UpperBoundLoss {
+    let mut out = UpperBoundLoss::default();
+    let mut seen: std::collections::HashSet<(Address, Address, u64)> = Default::default();
+    for r in index.reregistrations() {
+        let a2 = r.new_owner;
+        let known: std::collections::HashSet<Address> = index
+            .incoming(a2, Some((Timestamp(0), r.at)))
+            .iter()
+            .map(|tx| tx.from)
+            .collect();
+        let mut domain_usd = 0.0;
+        for tx in index.incoming(a2, Some((r.at, r.new_expiry))) {
+            if known.contains(&tx.from)
+                || tx.from == r.prev_wallet
+                || dataset.labels.is_non_coinbase_custodial(tx.from)
+            {
+                continue;
+            }
+            if !seen.insert((a2, tx.from, tx.timestamp.0)) {
+                continue;
+            }
+            let usd = tx.usd.as_dollars_f64();
+            domain_usd += usd;
+            out.txs += 1;
+            out.total_usd += usd;
+        }
+        if domain_usd > 0.0 {
+            out.domains += 1;
+            out.per_domain_usd.push(domain_usd);
+        }
+    }
+    out
+}
+
 /// Fig 7: funds sent to the lapsed wallet between expiry and the next
-/// registration (or the window end for never-re-registered names).
-pub fn hijackable_funds(dataset: &Dataset, oracle: &PriceOracle) -> Fig7Hijackable {
+/// registration (or the window end for never-re-registered names). The
+/// expiry-gap income query is either a naive full-vector filter (`None`
+/// index — the baseline path) or an O(log n) prefix-sum lookup.
+fn hijackable_funds_inner(
+    dataset: &Dataset,
+    oracle: &PriceOracle,
+    index: Option<&AnalysisIndex>,
+) -> Fig7Hijackable {
     let mut fig = Fig7Hijackable::default();
     for d in &dataset.domains {
         for idx in 0..d.registrations.len() {
@@ -294,15 +340,32 @@ pub fn hijackable_funds(dataset: &Dataset, oracle: &PriceOracle) -> Fig7Hijackab
                 .or_else(|| crate::registrations::effective_owner_at_expiry(d, idx));
             let Some(wallet) = wallet else { continue };
             fig.domains_considered += 1;
-            let usd = dataset
-                .income_usd(wallet, Some((expiry, gap_end)), oracle)
-                .as_dollars_f64();
+            let window = Some((expiry, gap_end));
+            let usd = match index {
+                Some(ix) => ix.income_usd(wallet, window),
+                None => dataset.income_usd(wallet, window, oracle),
+            }
+            .as_dollars_f64();
             if usd > 0.0 {
                 fig.usd_per_domain.push(usd);
             }
         }
     }
     fig
+}
+
+/// Fig 7 on the naive path (full-vector filters, per-call USD pricing).
+pub fn hijackable_funds(dataset: &Dataset, oracle: &PriceOracle) -> Fig7Hijackable {
+    hijackable_funds_inner(dataset, oracle, None)
+}
+
+/// Fig 7 on the analysis substrate.
+pub fn hijackable_funds_with(
+    dataset: &Dataset,
+    oracle: &PriceOracle,
+    index: &AnalysisIndex,
+) -> Fig7Hijackable {
+    hijackable_funds_inner(dataset, oracle, Some(index))
 }
 
 /// Classifies a sender address.
@@ -370,13 +433,81 @@ fn common_senders_for(
         to_new.remove(&k);
     }
 
+    finish_common_senders(&dataset.labels, to_prev, to_new)
+}
+
+/// [`common_senders_for`] on the analysis substrate: both address scans
+/// become walks over the pre-filtered incoming slices, with the USD value
+/// of every `c → a2` transfer already memoized.
+fn common_senders_with(
+    dataset: &Dataset,
+    index: &AnalysisIndex,
+    r: &ReRegistration,
+) -> Vec<CommonSender> {
+    let a1 = r.prev_wallet;
+    let a2 = r.new_owner;
+    if a1 == a2 {
+        return Vec::new();
+    }
+
+    let mut to_prev: HashMap<Address, usize> = HashMap::new();
+    let mut disqualified: Vec<Address> = Vec::new();
+    for tx in index.incoming(a1, None) {
+        if tx.from == a2 {
+            continue;
+        }
+        if tx.timestamp < r.at {
+            *to_prev.entry(tx.from).or_default() += 1;
+        } else {
+            disqualified.push(tx.from);
+        }
+    }
+    for d in disqualified {
+        to_prev.remove(&d);
+    }
+    if to_prev.is_empty() {
+        return Vec::new();
+    }
+
+    // Any tx to a2 before the catch means c already knew a2; txs at or
+    // after the new expiry are outside the tenure. Walk the slice covering
+    // everything before `new_expiry` and split at `r.at`.
+    let mut to_new: HashMap<Address, Vec<(Timestamp, f64)>> = HashMap::new();
+    let mut knew_a2: Vec<Address> = Vec::new();
+    for tx in index.incoming(a2, Some((Timestamp(0), r.new_expiry))) {
+        if tx.from == a1 {
+            continue;
+        }
+        if tx.timestamp < r.at {
+            knew_a2.push(tx.from);
+        } else {
+            to_new
+                .entry(tx.from)
+                .or_default()
+                .push((tx.timestamp, tx.usd.as_dollars_f64()));
+        }
+    }
+    for k in knew_a2 {
+        to_new.remove(&k);
+    }
+
+    finish_common_senders(&dataset.labels, to_prev, to_new)
+}
+
+/// Joins the qualified-sender maps into the sorted finding list, *moving*
+/// each sender's transfer vector out of the map instead of cloning it.
+fn finish_common_senders(
+    labels: &LabelService,
+    to_prev: HashMap<Address, usize>,
+    mut to_new: HashMap<Address, Vec<(Timestamp, f64)>>,
+) -> Vec<CommonSender> {
     let mut out: Vec<CommonSender> = to_prev
         .into_iter()
         .filter_map(|(c, txs_to_prev)| {
-            let transfers_to_new = to_new.get(&c)?.clone();
+            let transfers_to_new = to_new.remove(&c)?;
             Some(CommonSender {
                 sender: c,
-                kind: sender_kind(&dataset.labels, c),
+                kind: sender_kind(labels, c),
                 txs_to_prev,
                 txs_to_new: transfers_to_new.len(),
                 usd_to_new: transfers_to_new.iter().map(|(_, u)| u).sum(),
@@ -388,19 +519,70 @@ fn common_senders_for(
     out
 }
 
-/// Runs the full §4.4 analysis.
-pub fn analyze_losses(dataset: &Dataset, oracle: &PriceOracle) -> LossReport {
+/// Runs the full §4.4 analysis on the naive baseline path: re-detects
+/// re-registrations and filter-scans the full transaction vectors for
+/// every one of them, sequentially. Kept as the reference implementation
+/// the equivalence tests and `BENCH_analysis.json` regress against.
+pub fn analyze_losses_naive(dataset: &Dataset, oracle: &PriceOracle) -> LossReport {
     let rereg = detect_all(&dataset.domains);
+    let senders_per: Vec<Vec<CommonSender>> = rereg
+        .iter()
+        .map(|r| common_senders_for(dataset, oracle, r))
+        .collect();
+    assemble_loss_report(
+        &rereg,
+        senders_per,
+        oracle,
+        hijackable_funds(dataset, oracle),
+    )
+}
+
+/// Runs the full §4.4 analysis. Builds a one-shot [`AnalysisIndex`];
+/// callers running multiple passes should build the index once and use
+/// [`analyze_losses_with`].
+pub fn analyze_losses(dataset: &Dataset, oracle: &PriceOracle) -> LossReport {
+    let index = AnalysisIndex::build(dataset, oracle);
+    analyze_losses_with(dataset, oracle, &index, 1)
+}
+
+/// Runs the full §4.4 analysis on the analysis substrate, fanning the
+/// per-re-registration common-sender search across `threads` scoped
+/// workers with a deterministic ordered merge — the report is identical
+/// to [`analyze_losses_naive`] at any thread count.
+pub fn analyze_losses_with(
+    dataset: &Dataset,
+    oracle: &PriceOracle,
+    index: &AnalysisIndex,
+    threads: usize,
+) -> LossReport {
+    let rereg = index.reregistrations();
+    let senders_per = shard_map(rereg, threads, |r| common_senders_with(dataset, index, r));
+    assemble_loss_report(
+        rereg,
+        senders_per,
+        oracle,
+        hijackable_funds_with(dataset, oracle, index),
+    )
+}
+
+/// Folds the per-re-registration findings (in detection order) into the
+/// final report — shared by the naive and indexed paths so their outputs
+/// are byte-identical by construction.
+fn assemble_loss_report(
+    rereg: &[ReRegistration],
+    senders_per: Vec<Vec<CommonSender>>,
+    oracle: &PriceOracle,
+    hijackable: Fig7Hijackable,
+) -> LossReport {
     let mut report = LossReport {
-        hijackable: hijackable_funds(dataset, oracle),
+        hijackable,
         ..LossReport::default()
     };
 
     let mut unique_nc: Vec<Address> = Vec::new();
     let mut unique_ic: Vec<Address> = Vec::new();
 
-    for r in &rereg {
-        let senders = common_senders_for(dataset, oracle, r);
+    for (r, senders) in rereg.iter().zip(senders_per) {
         if senders.is_empty() {
             continue;
         }

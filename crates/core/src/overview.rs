@@ -45,8 +45,19 @@ impl Fig2Timeline {
     }
 }
 
-/// Builds Fig 2 from domain records.
+/// Builds Fig 2 from domain records, re-detecting re-registrations.
 pub fn fig2_timeline(domains: &[DomainRecord], observation_end: Timestamp) -> Fig2Timeline {
+    fig2_timeline_from(domains, observation_end, &detect_all(domains))
+}
+
+/// Builds Fig 2 from domain records and an already-detected
+/// re-registration list (monthly counts are order-insensitive, so the
+/// result is identical to [`fig2_timeline`]).
+pub fn fig2_timeline_from(
+    domains: &[DomainRecord],
+    observation_end: Timestamp,
+    rereg: &[ReRegistration],
+) -> Fig2Timeline {
     let mut rows: BTreeMap<i64, MonthRow> = BTreeMap::new();
     let touch = |t: Timestamp, rows: &mut BTreeMap<i64, MonthRow>| -> Option<i64> {
         if t >= observation_end {
@@ -73,10 +84,10 @@ pub fn fig2_timeline(domains: &[DomainRecord], observation_end: Timestamp) -> Fi
                 }
             }
         }
-        for r in crate::registrations::detect_reregistrations(d) {
-            if let Some(k) = touch(r.at, &mut rows) {
-                rows.get_mut(&k).expect("touched").reregistrations += 1;
-            }
+    }
+    for r in rereg {
+        if let Some(k) = touch(r.at, &mut rows) {
+            rows.get_mut(&k).expect("touched").reregistrations += 1;
         }
     }
 
@@ -210,11 +221,22 @@ pub struct OverviewReport {
     pub reregistrations: Vec<ReRegistration>,
 }
 
-/// Runs §4.1 end to end.
+/// Runs §4.1 end to end, detecting re-registrations itself. The study
+/// pipeline detects once per study and calls [`overview_from`] instead.
 pub fn overview(domains: &[DomainRecord], observation_end: Timestamp) -> OverviewReport {
-    let rereg = detect_all(domains);
+    overview_from(domains, observation_end, detect_all(domains))
+}
+
+/// Runs §4.1 from an already-detected re-registration list (the seed
+/// recomputed [`detect_all`] here, in the loss pass, and in the feature
+/// split — now it is computed once per study and shared).
+pub fn overview_from(
+    domains: &[DomainRecord],
+    observation_end: Timestamp,
+    rereg: Vec<ReRegistration>,
+) -> OverviewReport {
     OverviewReport {
-        timeline: fig2_timeline(domains, observation_end),
+        timeline: fig2_timeline_from(domains, observation_end, &rereg),
         delays: fig3_delays(&rereg),
         domain_frequency: fig4_domain_frequency(&rereg),
         catchers: fig5_catcher_concentration(&rereg),

@@ -4,12 +4,17 @@
 use ens_types::Duration;
 use serde::{Deserialize, Serialize};
 
-use crate::countermeasures::{evaluate_countermeasure, CountermeasureReport};
+use crate::countermeasures::{
+    evaluate_countermeasure, evaluate_countermeasure_with, CountermeasureReport,
+};
 use crate::crawl::CrawlReport;
 use crate::dataset::{CollectError, DataSources, Dataset};
-use crate::features::{compare_features, FeatureComparison, FeatureRow};
-use crate::losses::{analyze_losses, LossReport};
-use crate::overview::{overview, OverviewReport};
+use crate::features::{
+    compare_features_naive, compare_features_with, FeatureComparison, FeatureRow,
+};
+use crate::index::AnalysisIndex;
+use crate::losses::{analyze_losses_naive, analyze_losses_with, LossReport};
+use crate::overview::{overview, overview_from, OverviewReport};
 use crate::resale::{analyze_resales, ResaleReport};
 
 /// Study knobs.
@@ -19,9 +24,11 @@ pub struct StudyConfig {
     pub control_seed: u64,
     /// The "recently registered" warning window for §6.
     pub warning_window: Duration,
-    /// Worker threads for the independent analysis passes (`1` =
-    /// sequential). Every analysis is a pure function of the dataset, so
-    /// the report is identical for any value.
+    /// Worker threads for the analysis side (`1` = sequential): the
+    /// [`AnalysisIndex`] build, the per-re-registration loss search and
+    /// the per-domain feature extraction all shard across this many
+    /// scoped workers with deterministic ordered merges, so the report
+    /// is byte-identical for any value.
     pub threads: usize,
 }
 
@@ -98,34 +105,60 @@ pub fn try_run_study(
 
 /// Runs the full study on an already-collected dataset.
 ///
-/// The feature, loss and resale analyses are independent of each other, so
-/// with [`StudyConfig::threads`] > 1 they run on scoped threads; the report
-/// is identical either way.
+/// Builds the [`AnalysisIndex`] once (re-registration detection, per-address
+/// incoming slices, memoized USD valuations) and threads it through every
+/// pass. The loss and feature passes shard *internally* across
+/// [`StudyConfig::threads`] workers with ordered merges, so the report is
+/// byte-identical at any thread count — and to [`run_study_on_naive`].
 pub fn run_study_on(
     dataset: &Dataset,
     sources: &DataSources<'_>,
     config: &StudyConfig,
 ) -> StudyReport {
+    let index = AnalysisIndex::build_with_threads(dataset, sources.oracle, config.threads);
+    run_study_with_index(dataset, sources, config, &index)
+}
+
+/// [`run_study_on`] against an index the caller already built (the bench
+/// harness builds one index and times the passes separately).
+pub fn run_study_with_index(
+    dataset: &Dataset,
+    sources: &DataSources<'_>,
+    config: &StudyConfig,
+    index: &AnalysisIndex,
+) -> StudyReport {
+    let overview = overview_from(
+        &dataset.domains,
+        dataset.observation_end,
+        index.reregistrations().to_vec(),
+    );
+    let features = compare_features_with(dataset, config.control_seed, index, config.threads);
+    let losses = analyze_losses_with(dataset, sources.oracle, index, config.threads);
+    let resale = analyze_resales(&overview.reregistrations, &dataset.market);
+    let countermeasures =
+        evaluate_countermeasure_with(&losses, dataset, index, config.warning_window);
+    StudyReport {
+        crawl: dataset.crawl_report.clone(),
+        overview,
+        features,
+        losses,
+        resale,
+        countermeasures,
+    }
+}
+
+/// The pre-index study path, kept as the equivalence baseline: every pass
+/// re-detects re-registrations and re-scans the raw transaction vectors.
+/// Produces a report byte-identical to [`run_study_on`].
+pub fn run_study_on_naive(
+    dataset: &Dataset,
+    sources: &DataSources<'_>,
+    config: &StudyConfig,
+) -> StudyReport {
     let overview = overview(&dataset.domains, dataset.observation_end);
-    let (features, losses, resale) = if config.threads > 1 {
-        std::thread::scope(|s| {
-            let features =
-                s.spawn(|| compare_features(dataset, sources.oracle, config.control_seed));
-            let losses = s.spawn(|| analyze_losses(dataset, sources.oracle));
-            let resale = s.spawn(|| analyze_resales(&overview.reregistrations, &dataset.market));
-            (
-                features.join().expect("feature analysis panicked"),
-                losses.join().expect("loss analysis panicked"),
-                resale.join().expect("resale analysis panicked"),
-            )
-        })
-    } else {
-        (
-            compare_features(dataset, sources.oracle, config.control_seed),
-            analyze_losses(dataset, sources.oracle),
-            analyze_resales(&overview.reregistrations, &dataset.market),
-        )
-    };
+    let features = compare_features_naive(dataset, sources.oracle, config.control_seed);
+    let losses = analyze_losses_naive(dataset, sources.oracle);
+    let resale = analyze_resales(&overview.reregistrations, &dataset.market);
     let countermeasures = evaluate_countermeasure(&losses, dataset, config.warning_window);
     StudyReport {
         crawl: dataset.crawl_report.clone(),

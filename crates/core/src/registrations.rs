@@ -186,9 +186,25 @@ pub enum DomainOutcome {
     ReRegistered,
 }
 
-/// Classifies one domain.
+/// Classifies one domain, re-running detection on the record.
 pub fn classify(record: &DomainRecord, observation_end: Timestamp) -> DomainOutcome {
-    if !detect_reregistrations(record).is_empty() {
+    classify_with_detected(
+        record,
+        observation_end,
+        !detect_reregistrations(record).is_empty(),
+    )
+}
+
+/// [`classify`] with the re-registration verdict already known — lets a
+/// caller holding a [`detect_all`] result (e.g. via an
+/// [`AnalysisIndex`](crate::index::AnalysisIndex)) classify every domain
+/// without re-running detection per record.
+pub fn classify_with_detected(
+    record: &DomainRecord,
+    observation_end: Timestamp,
+    was_reregistered: bool,
+) -> DomainOutcome {
+    if was_reregistered {
         return DomainOutcome::ReRegistered;
     }
     let ever_expired = (0..record.registrations.len()).any(|i| {

@@ -11,8 +11,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::sync::OnceLock;
+
+pub mod matcher;
 pub mod words;
 
+pub use matcher::WordMatcher;
 pub use words::{ADULT, BRANDS, CRYPTO_SUFFIXES, DICTIONARY, FIRST_NAMES};
 
 /// True if `list` (sorted, lowercase) contains `word` exactly.
@@ -20,11 +24,12 @@ fn list_contains(list: &[&str], word: &str) -> bool {
     list.binary_search(&word).is_ok()
 }
 
-/// True if any word from `list` occurs as a substring of `label`.
-/// Only words of 3+ characters are considered, to avoid trivially matching
-/// every label (as the paper's features would otherwise).
-fn contains_any(list: &[&str], label: &str) -> bool {
-    list.iter().any(|w| w.len() >= 3 && label.contains(w))
+/// The compiled matcher for `list`, built once per process. The three
+/// Table 1 substring features each probe their list thousands of times per
+/// study; compiling the list into a [`WordMatcher`] makes each probe one
+/// pass over the label instead of one pass per word.
+fn compiled<'a>(cell: &'a OnceLock<WordMatcher>, list: &'static [&'static str]) -> &'a WordMatcher {
+    cell.get_or_init(|| WordMatcher::new(list.iter().copied()))
 }
 
 /// True if the label is exactly a dictionary word.
@@ -34,17 +39,20 @@ pub fn is_dictionary_word(label: &str) -> bool {
 
 /// True if the label contains a dictionary word (3+ chars) as a substring.
 pub fn contains_dictionary_word(label: &str) -> bool {
-    contains_any(DICTIONARY, label)
+    static M: OnceLock<WordMatcher> = OnceLock::new();
+    compiled(&M, DICTIONARY).matches(label)
 }
 
 /// True if the label contains a known brand name.
 pub fn contains_brand_name(label: &str) -> bool {
-    contains_any(BRANDS, label)
+    static M: OnceLock<WordMatcher> = OnceLock::new();
+    compiled(&M, BRANDS).matches(label)
 }
 
 /// True if the label contains an adult-content word.
 pub fn contains_adult_word(label: &str) -> bool {
-    contains_any(ADULT, label)
+    static M: OnceLock<WordMatcher> = OnceLock::new();
+    compiled(&M, ADULT).matches(label)
 }
 
 /// True if the label contains at least one ASCII digit.

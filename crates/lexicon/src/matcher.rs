@@ -1,0 +1,203 @@
+//! A dense Aho–Corasick automaton over a word list.
+//!
+//! The Table 1 lexical features ask "does this label contain any word from
+//! this list as a substring" thousands of times per study. The direct
+//! implementation — `list.iter().any(|w| label.contains(w))` — rescans the
+//! label once per word, which for the ~1K-word dictionary made the lexical
+//! columns the dominant cost of the whole feature pass. The automaton
+//! answers the same question in a single pass over the label's bytes.
+//!
+//! Word lists here are lowercase `a-z` only, so the automaton uses a
+//! 27-symbol alphabet: the 26 letters plus one class for every other byte,
+//! which can never be part of a match and so always transitions back to
+//! the root. Matching is byte-level, exactly like `str::contains`, so the
+//! results are identical to the scan it replaces (a property the tests
+//! check exhaustively against the real lists).
+
+/// Letters `a-z` plus the "anything else" class.
+const ALPHABET: usize = 27;
+
+/// The catch-all class for bytes outside `a-z`.
+const OTHER: usize = 26;
+
+fn class(b: u8) -> usize {
+    if b.is_ascii_lowercase() {
+        (b - b'a') as usize
+    } else {
+        OTHER
+    }
+}
+
+/// A compiled matcher for "label contains any listed word (3+ chars)".
+///
+/// ```
+/// use ens_lexicon::WordMatcher;
+/// let m = WordMatcher::new(["gold", "eth", "an"]);
+/// assert!(m.matches("panning-for-gold"));  // "gold"
+/// assert!(m.matches("goethite"));          // "eth"
+/// assert!(!m.matches("pan"));              // "an" is under 3 chars
+/// ```
+#[derive(Clone, Debug)]
+pub struct WordMatcher {
+    /// `next[state * ALPHABET + class]`: the DFA transition table, failure
+    /// links already resolved.
+    next: Vec<u32>,
+    /// Whether some listed word ends at this state (or at a state on its
+    /// suffix chain).
+    terminal: Vec<bool>,
+}
+
+impl WordMatcher {
+    /// Compiles a matcher. Words shorter than 3 characters are dropped, to
+    /// match the feature definition (they would otherwise trivially match
+    /// nearly every label).
+    pub fn new<'a>(words: impl IntoIterator<Item = &'a str>) -> WordMatcher {
+        // Phase 1: the trie, with 0 as the root and u32::MAX for "absent".
+        const ABSENT: u32 = u32::MAX;
+        let mut goto = vec![[ABSENT; ALPHABET]];
+        let mut terminal = vec![false];
+        for word in words {
+            if word.len() < 3 {
+                continue;
+            }
+            let mut state = 0usize;
+            for b in word.bytes() {
+                let c = class(b);
+                debug_assert_ne!(c, OTHER, "word lists are lowercase a-z");
+                if goto[state][c] == ABSENT {
+                    goto[state][c] = goto.len() as u32;
+                    goto.push([ABSENT; ALPHABET]);
+                    terminal.push(false);
+                }
+                state = goto[state][c] as usize;
+            }
+            terminal[state] = true;
+        }
+
+        // Phase 2: breadth-first failure links, folded directly into a DFA
+        // (`next[s][c]` = child if present, else `next[fail(s)][c]`), with
+        // terminal states propagated along the suffix chain.
+        let n = goto.len();
+        let mut next = vec![0u32; n * ALPHABET];
+        let mut fail = vec![0u32; n];
+        let mut queue = std::collections::VecDeque::new();
+        for c in 0..ALPHABET {
+            match goto[0][c] {
+                ABSENT => next[c] = 0,
+                child => {
+                    next[c] = child;
+                    queue.push_back(child as usize);
+                }
+            }
+        }
+        while let Some(state) = queue.pop_front() {
+            let f = fail[state] as usize;
+            terminal[state] = terminal[state] || terminal[f];
+            for c in 0..ALPHABET {
+                match goto[state][c] {
+                    ABSENT => next[state * ALPHABET + c] = next[f * ALPHABET + c],
+                    child => {
+                        next[state * ALPHABET + c] = child;
+                        fail[child as usize] = next[f * ALPHABET + c];
+                        queue.push_back(child as usize);
+                    }
+                }
+            }
+        }
+
+        WordMatcher { next, terminal }
+    }
+
+    /// True if `label` contains any compiled word as a substring — one pass
+    /// over the label's bytes.
+    pub fn matches(&self, label: &str) -> bool {
+        let mut state = 0usize;
+        for b in label.bytes() {
+            state = self.next[state * ALPHABET + class(b)] as usize;
+            if self.terminal[state] {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Number of automaton states (root included).
+    pub fn states(&self) -> usize {
+        self.terminal.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::words::{ADULT, BRANDS, DICTIONARY};
+
+    /// The scan the automaton replaces.
+    fn naive(list: &[&str], label: &str) -> bool {
+        list.iter().any(|w| w.len() >= 3 && label.contains(w))
+    }
+
+    #[test]
+    fn matches_equal_naive_scan_on_every_list_word_and_mutation() {
+        for list in [DICTIONARY, BRANDS, ADULT] {
+            let m = WordMatcher::new(list.iter().copied());
+            for w in list {
+                // The word itself, embedded, prefixed, and broken.
+                for label in [
+                    (*w).to_string(),
+                    format!("xx{w}zz"),
+                    format!("{w}123"),
+                    format!("{}-{}", &w[..w.len() / 2], &w[w.len() / 2..]),
+                    w.chars().rev().collect::<String>(),
+                ] {
+                    assert_eq!(
+                        m.matches(&label),
+                        naive(list, &label),
+                        "list disagrees on {label:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matches_equal_naive_scan_on_pseudorandom_labels() {
+        let m = WordMatcher::new(DICTIONARY.iter().copied());
+        // Deterministic xorshift label soup over a digit-and-letter soup.
+        let mut x = 0x243F_6A88_85A3_08D3u64;
+        let chars: Vec<char> = "abcdefghijklmnopqrstuvwxyz0123456789-_".chars().collect();
+        for _ in 0..2_000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let len = 1 + (x % 24) as usize;
+            let label: String = (0..len)
+                .map(|i| chars[((x >> (i % 32)) as usize + i * 7) % chars.len()])
+                .collect();
+            assert_eq!(
+                m.matches(&label),
+                naive(DICTIONARY, &label),
+                "disagrees on {label:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn short_words_are_dropped_and_unicode_cannot_match() {
+        let m = WordMatcher::new(["ab", "abc"]);
+        assert!(!m.matches("ab"));
+        assert!(m.matches("abc"));
+        assert!(m.matches("xxabcyy"));
+        // Multi-byte UTF-8 is class OTHER and resets the chain.
+        assert!(!m.matches("aébc"));
+        assert!(m.matches("é-abc-é"));
+    }
+
+    #[test]
+    fn automaton_is_compact() {
+        let m = WordMatcher::new(DICTIONARY.iter().copied());
+        // States are bounded by total word bytes.
+        let bytes: usize = DICTIONARY.iter().map(|w| w.len()).sum();
+        assert!(m.states() <= bytes + 1, "{} states", m.states());
+    }
+}

@@ -189,6 +189,23 @@ impl PriceOracle {
         amount.to_usd_cents(self.cents_per_eth(t))
     }
 
+    /// Materializes one close per day for `[from, to]` (by day index) into
+    /// a [`PriceTable`], so bulk valuation pays the per-day work (noise
+    /// hash, interpolation, missing-day walk-back) once per *day* instead
+    /// of once per *transaction*.
+    pub fn day_table(&self, from: Timestamp, to: Timestamp) -> PriceTable {
+        let base_day = from.day_index();
+        let last_day = to.day_index().max(base_day);
+        let cents = (base_day..=last_day)
+            .map(|d| self.cents_per_eth(Timestamp(d * ens_types::time::SECONDS_PER_DAY)))
+            .collect();
+        PriceTable {
+            base_day,
+            cents,
+            oracle: self.clone(),
+        }
+    }
+
     fn raw_close(&self, day: u64) -> u64 {
         let base = self.interpolate(day);
         if !self.noise {
@@ -220,6 +237,59 @@ impl PriceOracle {
         let t = (day - d0) as f64 / (d1 - d0) as f64;
         let log_p = (p0 as f64).ln() * (1.0 - t) + (p1 as f64).ln() * t;
         log_p.exp() as u64
+    }
+}
+
+/// A day-indexed cache of oracle closes over a fixed range.
+///
+/// Built once by [`PriceOracle::day_table`]; every lookup inside the range
+/// is an array read returning exactly the oracle's value for that day.
+/// Days outside the materialized range fall back to the oracle itself, so
+/// a table is *always* equivalent to its oracle, just faster where it
+/// matters.
+///
+/// ```
+/// use ens_types::{Timestamp, Wei};
+/// use price_oracle::PriceOracle;
+///
+/// let oracle = PriceOracle::new();
+/// let t0 = Timestamp::from_ymd(2020, 1, 1);
+/// let t1 = Timestamp::from_ymd(2023, 12, 31);
+/// let table = oracle.day_table(t0, t1);
+/// let day = Timestamp::from_ymd(2021, 11, 8);
+/// assert_eq!(table.cents_per_eth(day), oracle.cents_per_eth(day));
+/// assert_eq!(table.to_usd(Wei::from_eth(3), day), oracle.to_usd(Wei::from_eth(3), day));
+/// ```
+#[derive(Clone, Debug)]
+pub struct PriceTable {
+    base_day: u64,
+    cents: Vec<u64>,
+    oracle: PriceOracle,
+}
+
+impl PriceTable {
+    /// Close for the day of `t` — an array read inside the materialized
+    /// range, the oracle's own computation outside it.
+    pub fn cents_per_eth(&self, t: Timestamp) -> u64 {
+        let day = t.day_index();
+        match day
+            .checked_sub(self.base_day)
+            .and_then(|i| self.cents.get(i as usize))
+        {
+            Some(&c) => c,
+            None => self.oracle.cents_per_eth(t),
+        }
+    }
+
+    /// Converts a wei amount to USD cents at the close of the day of `t` —
+    /// identical to [`PriceOracle::to_usd`].
+    pub fn to_usd(&self, amount: Wei, t: Timestamp) -> UsdCents {
+        amount.to_usd_cents(self.cents_per_eth(t))
+    }
+
+    /// Number of materialized days.
+    pub fn days(&self) -> usize {
+        self.cents.len()
     }
 }
 
@@ -267,6 +337,23 @@ mod tests {
             let n = noisy.cents_per_eth(t) as f64;
             let c = clean.cents_per_eth(t) as f64;
             assert!((n / c - 1.0).abs() <= NOISE_AMPLITUDE + 1e-9, "day {d}");
+        }
+    }
+
+    #[test]
+    fn day_table_is_equivalent_to_the_oracle() {
+        let start = Timestamp::from_ymd(2020, 1, 1);
+        let missing: Vec<u64> = (0..40).map(|i| start.day_index() + 90 + i * 7).collect();
+        let oracle = PriceOracle::new().with_missing_days(missing);
+        let table = oracle.day_table(start, Timestamp::from_ymd(2023, 9, 30));
+        assert!(table.days() > 1300);
+        // Inside the range (including carried-forward missing days), and a
+        // year beyond either end.
+        for d in 0..1720u64 {
+            let t = Timestamp::from_ymd(2019, 6, 1) + Duration::from_days(d);
+            assert_eq!(table.cents_per_eth(t), oracle.cents_per_eth(t), "day {d}");
+            let w = Wei::from_eth(1) + Wei(d as u128 * 1_000_000_007);
+            assert_eq!(table.to_usd(w, t), oracle.to_usd(w, t), "usd day {d}");
         }
     }
 
