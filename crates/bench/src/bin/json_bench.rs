@@ -1,0 +1,173 @@
+//! Times JSON dataset ingest (streaming vs buffered vs legacy) across
+//! input scales and writes `BENCH_json.json`.
+//!
+//! ```sh
+//! cargo run --release -p ens-bench --bin json_bench -- \
+//!     --names 300 --scales 1,4,16 --legacy --out BENCH_json.json
+//! ```
+//!
+//! Exits non-zero if any decode path fails to re-serialize byte-identically
+//! to the export, if the base-scale streaming ingest exceeds
+//! `--max-ingest-ms` (the CI regression ceiling), or if the legacy speedup
+//! falls below `--min-speedup` (when both are given).
+
+use ens_bench::run_ingest_bench;
+
+struct Args {
+    names: usize,
+    seed: u64,
+    scales: Vec<usize>,
+    repeats: usize,
+    out: Option<String>,
+    legacy_max_scale: usize,
+    max_ingest_ms: Option<f64>,
+    min_speedup: Option<f64>,
+}
+
+fn parse_args() -> Args {
+    let mut parsed = Args {
+        names: 300,
+        seed: 0xBEEF,
+        scales: vec![1, 4, 16],
+        repeats: 3,
+        out: None,
+        legacy_max_scale: 0,
+        max_ingest_ms: None,
+        min_speedup: None,
+    };
+    let mut args = std::env::args().skip(1);
+    let next = |args: &mut dyn Iterator<Item = String>, flag: &str| {
+        args.next()
+            .unwrap_or_else(|| panic!("{flag} needs a value"))
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--names" => parsed.names = next(&mut args, "--names").parse().expect("--names"),
+            "--seed" => parsed.seed = next(&mut args, "--seed").parse().expect("--seed"),
+            "--out" => parsed.out = Some(next(&mut args, "--out")),
+            "--repeats" => {
+                parsed.repeats = next(&mut args, "--repeats").parse().expect("--repeats")
+            }
+            "--scales" => {
+                parsed.scales = next(&mut args, "--scales")
+                    .split(',')
+                    .map(|s| s.parse().expect("--scales takes e.g. 1,4,16"))
+                    .collect()
+            }
+            // The quadratic parser needs ~70 s per repeat on the 2.3 MB
+            // base export, so legacy timing is opt-in and capped at the
+            // base scale by default.
+            "--legacy" => parsed.legacy_max_scale = 1,
+            "--legacy-max-scale" => {
+                parsed.legacy_max_scale = next(&mut args, "--legacy-max-scale")
+                    .parse()
+                    .expect("--legacy-max-scale")
+            }
+            "--max-ingest-ms" => {
+                parsed.max_ingest_ms = Some(
+                    next(&mut args, "--max-ingest-ms")
+                        .parse()
+                        .expect("--max-ingest-ms"),
+                )
+            }
+            "--min-speedup" => {
+                parsed.min_speedup = Some(
+                    next(&mut args, "--min-speedup")
+                        .parse()
+                        .expect("--min-speedup"),
+                )
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: json_bench [--names N] [--seed S] [--scales 1,4,16] \
+                     [--repeats R] [--out PATH] [--legacy] [--legacy-max-scale K] \
+                     [--max-ingest-ms MS] [--min-speedup X]"
+                );
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown argument {other}; try --help");
+                std::process::exit(2);
+            }
+        }
+    }
+    parsed
+}
+
+fn main() {
+    let args = parse_args();
+
+    if let Some(path) = std::env::var_os("JSON_BENCH_FILE") {
+        // Debug/ops hatch: ingest one existing export instead of building
+        // synthetic worlds (`JSON_BENCH_FILE=export.json json_bench`).
+        let text = std::fs::read_to_string(&path).expect("read export");
+        let t0 = std::time::Instant::now();
+        let ds = ens_dropcatch::Dataset::from_json(&text).expect("streaming decode");
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        let identical = ds.to_json().expect("re-serialize") == text;
+        eprintln!(
+            "{}: {:.2} MB in {ms:.1} ms ({:.1} MB/s), round-trip identical: {identical}",
+            path.to_string_lossy(),
+            text.len() as f64 / 1e6,
+            text.len() as f64 / 1e6 / (ms / 1e3),
+        );
+        std::process::exit(if identical { 0 } else { 1 });
+    }
+
+    eprintln!(
+        "json ingest bench: base {} names, scales {:?}, seed {} ({} repeats, min reported)",
+        args.names, args.scales, args.seed, args.repeats
+    );
+    let report = run_ingest_bench(
+        args.names,
+        args.seed,
+        &args.scales,
+        args.repeats,
+        args.legacy_max_scale,
+    );
+
+    let json = report.to_json();
+    match &args.out {
+        Some(path) => {
+            std::fs::write(path, &json).expect("write bench json");
+            eprintln!("wrote {path}");
+        }
+        None => println!("{json}"),
+    }
+
+    eprintln!(
+        "scaling exponent {:.2} (1.0 = linear), {:.1}x vs buffered at the largest scale{}",
+        report.scaling_exponent,
+        report.speedup_vs_buffered,
+        match report.speedup_vs_legacy {
+            Some(s) => format!(", {s:.0}x vs the legacy parser"),
+            None => String::new(),
+        }
+    );
+
+    if !report.outputs_identical {
+        eprintln!("FAIL: a decode path did not re-serialize byte-identically");
+        std::process::exit(1);
+    }
+    if let Some(max_ms) = args.max_ingest_ms {
+        let base_ms = report.runs[0].streaming_ms;
+        if base_ms > max_ms {
+            eprintln!("FAIL: base-scale ingest took {base_ms:.1} ms > ceiling {max_ms:.1} ms");
+            std::process::exit(1);
+        }
+        eprintln!("base-scale ingest {base_ms:.1} ms <= ceiling {max_ms:.1} ms");
+    }
+    if let Some(min) = args.min_speedup {
+        match report.speedup_vs_legacy {
+            Some(s) if s >= min => eprintln!("legacy speedup {s:.1}x >= required {min:.1}x"),
+            Some(s) => {
+                eprintln!("FAIL: legacy speedup {s:.1}x is below the required {min:.1}x");
+                std::process::exit(1);
+            }
+            None => {
+                eprintln!("FAIL: --min-speedup requires --legacy timing");
+                std::process::exit(1);
+            }
+        }
+    }
+}

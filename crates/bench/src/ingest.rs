@@ -1,0 +1,170 @@
+//! JSON ingest benchmark: streaming vs buffered vs legacy `from_json`.
+//!
+//! Builds worlds at several scales, exports each dataset with
+//! [`Dataset::to_json`], and times three decode paths over the same text:
+//!
+//! - **streaming** — [`Dataset::from_json`], the event-driven linear path;
+//! - **buffered** — `serde_json::from_str_buffered`, the same parser but
+//!   materializing the full `Value` tree first;
+//! - **legacy** — `serde_json::legacy::from_str`, the original quadratic
+//!   parser (opt-in: at 2.3 MB it takes ~70 s per repeat).
+//!
+//! Every decode is verified by re-serializing and comparing byte-for-byte
+//! against the original export, so the bench doubles as an old-vs-new
+//! equivalence gate on realistic datasets.
+
+use std::time::Instant;
+
+use ens_dropcatch::Dataset;
+use serde::Serialize;
+
+/// One scale point of the ingest bench.
+#[derive(Serialize)]
+pub struct IngestScaleRun {
+    /// Input-size multiplier relative to the base world.
+    pub scale: usize,
+    /// Names in this world (`base_names * scale`).
+    pub names: usize,
+    /// Export size in bytes.
+    pub bytes: usize,
+    /// Export size in MB (for the README throughput row).
+    pub megabytes: f64,
+    /// Best-of-repeats wall time for the streaming `Dataset::from_json`.
+    pub streaming_ms: f64,
+    /// Best-of-repeats wall time for the full-`Value`-tree decode.
+    pub buffered_ms: f64,
+    /// Best-of-repeats wall time for the original quadratic parser
+    /// (only measured when legacy timing is enabled for this scale).
+    pub legacy_ms: Option<f64>,
+    /// Streaming ingest throughput.
+    pub streaming_mb_per_s: f64,
+    /// Whether every decode path re-serialized byte-identically to the
+    /// original export.
+    pub roundtrip_identical: bool,
+}
+
+/// The full ingest bench report written to `BENCH_json.json`.
+#[derive(Serialize)]
+pub struct IngestBenchReport {
+    /// Names in the 1× world.
+    pub base_names: usize,
+    /// World seed.
+    pub seed: u64,
+    /// Timing repeats per path (minimum reported).
+    pub repeats: usize,
+    /// One entry per scale, ascending.
+    pub runs: Vec<IngestScaleRun>,
+    /// Empirical exponent of streaming time vs input size across the
+    /// smallest and largest scales (1.0 = linear, 2.0 = quadratic).
+    pub scaling_exponent: f64,
+    /// Streaming speedup over the buffered path at the largest scale.
+    pub speedup_vs_buffered: f64,
+    /// Streaming speedup over the legacy parser at the base scale, when
+    /// legacy timing ran.
+    pub speedup_vs_legacy: Option<f64>,
+    /// AND of every run's `roundtrip_identical`.
+    pub outputs_identical: bool,
+}
+
+impl IngestBenchReport {
+    /// Renders the report as JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("report serializes")
+    }
+}
+
+fn best_of<R>(repeats: usize, mut f: impl FnMut() -> R) -> (f64, R) {
+    let mut best_ms = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..repeats.max(1) {
+        let t0 = Instant::now();
+        let out = f();
+        best_ms = best_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+        last = Some(out);
+    }
+    (best_ms, last.expect("at least one repeat"))
+}
+
+/// Runs the ingest bench across `scales`, timing the legacy parser only
+/// for scales `<= legacy_max_scale` (0 disables legacy entirely).
+pub fn run_ingest_bench(
+    base_names: usize,
+    seed: u64,
+    scales: &[usize],
+    repeats: usize,
+    legacy_max_scale: usize,
+) -> IngestBenchReport {
+    let mut runs = Vec::new();
+    for &scale in scales {
+        let names = base_names * scale;
+        eprintln!("  scale {scale}x: building the {names}-name world...");
+        let fixture = crate::Fixture::build(names, seed);
+        let export = fixture.dataset.to_json().expect("export serializes");
+        let bytes = export.len();
+        let megabytes = bytes as f64 / 1e6;
+
+        let (streaming_ms, decoded) = best_of(repeats, || {
+            Dataset::from_json(&export).expect("streaming decode")
+        });
+        let streaming_ok = decoded.to_json().expect("re-serialize") == export;
+
+        let (buffered_ms, buffered) = best_of(repeats, || {
+            serde_json::from_str_buffered::<Dataset>(&export).expect("buffered decode")
+        });
+        let buffered_ok = buffered.to_json().expect("re-serialize") == export;
+
+        let (legacy_ms, legacy_ok) = if scale <= legacy_max_scale {
+            eprintln!("    timing the legacy quadratic parser ({megabytes:.1} MB)...");
+            let (ms, legacy) = best_of(repeats, || {
+                serde_json::legacy::from_str::<Dataset>(&export).expect("legacy decode")
+            });
+            (Some(ms), legacy.to_json().expect("re-serialize") == export)
+        } else {
+            (None, true)
+        };
+
+        let run = IngestScaleRun {
+            scale,
+            names,
+            bytes,
+            megabytes,
+            streaming_ms,
+            buffered_ms,
+            legacy_ms,
+            streaming_mb_per_s: megabytes / (streaming_ms / 1e3),
+            roundtrip_identical: streaming_ok && buffered_ok && legacy_ok,
+        };
+        eprintln!(
+            "    {megabytes:.2} MB: streaming {streaming_ms:.1} ms \
+             ({:.1} MB/s), buffered {buffered_ms:.1} ms{}",
+            run.streaming_mb_per_s,
+            match legacy_ms {
+                Some(ms) => format!(", legacy {ms:.0} ms"),
+                None => String::new(),
+            }
+        );
+        runs.push(run);
+    }
+
+    let (first, last) = (&runs[0], &runs[runs.len() - 1]);
+    let scaling_exponent = if runs.len() > 1 && last.bytes > first.bytes {
+        (last.streaming_ms / first.streaming_ms).ln()
+            / (last.bytes as f64 / first.bytes as f64).ln()
+    } else {
+        1.0
+    };
+    let speedup_vs_buffered = last.buffered_ms / last.streaming_ms;
+    let speedup_vs_legacy = first.legacy_ms.map(|l| l / first.streaming_ms);
+    let outputs_identical = runs.iter().all(|r| r.roundtrip_identical);
+
+    IngestBenchReport {
+        base_names,
+        seed,
+        repeats,
+        runs,
+        scaling_exponent,
+        speedup_vs_buffered,
+        speedup_vs_legacy,
+        outputs_identical,
+    }
+}

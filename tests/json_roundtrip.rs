@@ -1,0 +1,251 @@
+//! Round-trip guarantees of the vendored JSON stack, pinned across all
+//! three decode paths (streaming `from_str`, `from_str_buffered`, and the
+//! original quadratic `legacy::from_str`):
+//!
+//! - property: serializing any `Value` tree reaches a fixed point in one
+//!   step — `to_string(from_str(s))` is byte-identical to `s` — and every
+//!   decode path produces the same tree;
+//! - `\u` escapes: surrogate pairs decode to astral-plane scalars, lone
+//!   surrogates to U+FFFD;
+//! - malformed numbers are rejected with byte-positioned errors;
+//! - duplicate object keys are last-wins (JSON convention);
+//! - a chaos-degraded `Dataset` export round-trips byte-identically.
+
+use ens_dropcatch_suite::analysis::{CrawlConfig, Dataset, FailurePolicy};
+use ens_dropcatch_suite::subgraph::SubgraphConfig;
+use ens_dropcatch_suite::types::FaultProfile;
+use ens_dropcatch_suite::workload::WorldConfig;
+use proptest::prelude::*;
+use proptest::strategy::{BoxedStrategy, Just};
+use serde::value::Value;
+
+// ---------------------------------------------------------------------------
+// Value-tree strategy
+// ---------------------------------------------------------------------------
+
+fn string_strategy() -> BoxedStrategy<String> {
+    prop_oneof![
+        proptest::string::string_regex("[a-z0-9._-]{0,12}").expect("valid regex"),
+        // Arbitrary BMP chars (the vendored `any::<char>` stays below
+        // surrogates and above controls).
+        proptest::collection::vec(any::<char>(), 0..8)
+            .prop_map(|cs| cs.into_iter().collect::<String>()),
+        // Escapes, controls, and astral-plane chars the generator misses.
+        Just("tab\t\"quote\" back\\slash\nnew/line".to_string()),
+        Just("\u{0001}\u{001f} bell\u{0008}feed\u{000c}".to_string()),
+        Just("emoji 😀 label 🦀 gold\u{1d53c}".to_string()),
+    ]
+    .boxed()
+}
+
+fn float_strategy() -> BoxedStrategy<Value> {
+    prop_oneof![
+        // Arbitrary bit patterns: subnormals, NaNs (serialize as null),
+        // infinities, and everything in between. Half-open — the vendored
+        // inclusive-range sampler overflows on a full u64 span.
+        (0u64..u64::MAX).prop_map(|bits| Value::Float(f64::from_bits(bits))),
+        Just(Value::Float(-0.0)),
+        Just(Value::Float(f64::NAN)),
+        Just(Value::Float(f64::INFINITY)),
+        Just(Value::Float(1e300)),
+        Just(Value::Float(0.1 + 0.2)),
+    ]
+    .boxed()
+}
+
+fn value_strategy(depth: u32) -> BoxedStrategy<Value> {
+    let leaf = prop_oneof![
+        Just(Value::Null),
+        (0u8..2).prop_map(|b| Value::Bool(b == 1)),
+        (0u64..u64::MAX).prop_map(|u| Value::Uint(u as u128)),
+        Just(Value::Uint(u64::MAX as u128)),
+        Just(Value::Uint(u128::MAX)),
+        (0i64..i64::MAX).prop_map(|i| Value::Int(-(i as i128) - 1)),
+        Just(Value::Int(i128::MIN)),
+        float_strategy(),
+        string_strategy().prop_map(Value::Str),
+    ];
+    if depth == 0 {
+        return leaf.boxed();
+    }
+    prop_oneof![
+        leaf,
+        proptest::collection::vec(value_strategy(depth - 1), 0..4).prop_map(Value::Seq),
+        proptest::collection::vec((string_strategy(), value_strategy(depth - 1)), 0..4)
+            .prop_map(Value::Map),
+    ]
+    .boxed()
+}
+
+proptest! {
+    /// One serialize/deserialize step reaches a fixed point: the writer
+    /// normalizes (`NaN` → `null`, integral floats → integers), and from
+    /// then on text and tree are stable — with all three decode paths in
+    /// agreement on every tree the generator can produce.
+    #[test]
+    fn value_trees_reach_a_serialization_fixed_point(v in value_strategy(3)) {
+        let s1 = serde_json::to_string(&v).expect("serialize");
+        let v1: Value = serde_json::from_str(&s1).expect("streaming decode");
+        let s2 = serde_json::to_string(&v1).expect("re-serialize");
+        prop_assert_eq!(&s1, &s2, "not a fixed point");
+        let v2: Value = serde_json::from_str(&s2).expect("streaming re-decode");
+        prop_assert_eq!(&v1, &v2, "decode of the fixed point drifted");
+
+        let buffered: Value = serde_json::from_str_buffered(&s1).expect("buffered decode");
+        prop_assert_eq!(&v1, &buffered, "buffered path diverged");
+        let legacy: Value = serde_json::legacy::from_str(&s1).expect("legacy decode");
+        prop_assert_eq!(&v1, &legacy, "legacy path diverged");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Escapes and numbers
+// ---------------------------------------------------------------------------
+
+#[test]
+fn surrogate_pairs_decode_to_astral_scalars() {
+    // An externally-produced export of an emoji ENS label.
+    let decoded: String = serde_json::from_str(r#""😀.eth""#).unwrap();
+    assert_eq!(decoded, "😀.eth");
+    // Lone surrogates (either half) become U+FFFD, never a panic.
+    assert_eq!(
+        serde_json::from_str::<String>(r#""\ud800""#).unwrap(),
+        "\u{fffd}"
+    );
+    assert_eq!(
+        serde_json::from_str::<String>(r#""\udc00""#).unwrap(),
+        "\u{fffd}"
+    );
+    // A high surrogate followed by an ordinary escape keeps the escape.
+    assert_eq!(
+        serde_json::from_str::<String>(r#""\ud800A""#).unwrap(),
+        "\u{fffd}A"
+    );
+}
+
+#[test]
+fn standard_escapes_round_trip() {
+    let original = "he\"llo\\wor/ld\n\r\t\u{0008}\u{000c}\u{0000}";
+    let json = serde_json::to_string(original).unwrap();
+    assert_eq!(serde_json::from_str::<String>(&json).unwrap(), original);
+}
+
+#[test]
+fn malformed_numbers_are_rejected_with_positions() {
+    for bad in ["1-2", "1e", "--3", "1.2.3", "01", "1.", "+1", "-", "1e+"] {
+        let err = serde_json::from_str::<f64>(bad)
+            .expect_err(&format!("`{bad}` should not parse"))
+            .to_string();
+        assert!(
+            err.contains("at byte"),
+            "`{bad}` error lacks a position: {err}"
+        );
+    }
+}
+
+#[test]
+fn integers_wider_than_u128_fall_back_to_float() {
+    // 2^128 does not fit u128 or i128; the parser degrades to f64.
+    let v: Value = serde_json::from_str("340282366920938463463374607431768211456").unwrap();
+    assert_eq!(v, Value::Float(2f64.powi(128)));
+}
+
+// ---------------------------------------------------------------------------
+// Duplicate keys and struct dispatch
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+struct Probe {
+    a: u32,
+    b: Option<String>,
+}
+
+#[test]
+fn duplicate_object_keys_are_last_wins() {
+    // JSON convention (and real-serde behavior): the last occurrence wins.
+    let probe: Probe = serde_json::from_str(r#"{"a":1,"b":"x","a":2,"b":"y"}"#).unwrap();
+    assert_eq!(
+        probe,
+        Probe {
+            a: 2,
+            b: Some("y".into())
+        }
+    );
+    let map: std::collections::HashMap<String, u32> =
+        serde_json::from_str(r#"{"k":1,"k":2}"#).unwrap();
+    assert_eq!(map["k"], 2);
+    // The raw Value model preserves duplicates in document order.
+    let v: Value = serde_json::from_str(r#"{"k":1,"k":2}"#).unwrap();
+    assert_eq!(
+        v,
+        Value::Map(vec![
+            ("k".into(), Value::Uint(1)),
+            ("k".into(), Value::Uint(2))
+        ])
+    );
+}
+
+#[test]
+fn unknown_keys_are_skipped_and_missing_fields_default() {
+    // Unknown keys — including nested containers — are consumed without
+    // disturbing the fields around them.
+    let probe: Probe =
+        serde_json::from_str(r#"{"zz":[1,{"deep":["x"]}],"a":7,"ww":null}"#).unwrap();
+    assert_eq!(probe, Probe { a: 7, b: None });
+    // A missing non-optional field reports its name.
+    let err = serde_json::from_str::<Probe>(r#"{"b":"x"}"#)
+        .unwrap_err()
+        .to_string();
+    assert!(
+        err.contains('a'),
+        "missing-field error lacks the name: {err}"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Dataset export round-trip (chaos-degraded)
+// ---------------------------------------------------------------------------
+
+/// A degraded dataset: a permanent subgraph hole ridden over by the
+/// degrade policy, so the export carries gaps, partial recovery stats and
+/// every optional-field shape the crawl can produce.
+fn degraded_export() -> String {
+    let world = WorldConfig::small().with_names(150).with_seed(77).build();
+    let sg = world.subgraph(SubgraphConfig::default());
+    let scan = world.etherscan();
+    let (ds, _) = Dataset::try_collect_with(
+        &sg,
+        &scan,
+        world.opensea(),
+        world.observation_end(),
+        &CrawlConfig {
+            chaos: Some(FaultProfile::new(77).with_hole(16, 48)),
+            failure: FailurePolicy::degrade(),
+            subgraph_page_size: 16,
+            ..CrawlConfig::default()
+        },
+    )
+    .expect("degrade policy completes under chaos");
+    assert!(ds.crawl_report.degraded, "the hole must degrade the crawl");
+    ds.to_json().expect("dataset serializes")
+}
+
+#[test]
+fn chaos_dataset_round_trips_byte_identically_on_every_path() {
+    let export = degraded_export();
+
+    let streamed = Dataset::from_json(&export).expect("streaming decode");
+    assert_eq!(streamed.to_json().unwrap(), export, "streaming round-trip");
+
+    let buffered: Dataset = serde_json::from_str_buffered(&export).expect("buffered decode");
+    assert_eq!(buffered.to_json().unwrap(), export, "buffered round-trip");
+
+    let legacy: Dataset = serde_json::legacy::from_str(&export).expect("legacy decode");
+    assert_eq!(legacy.to_json().unwrap(), export, "legacy round-trip");
+
+    // Field-level agreement between the streaming and legacy decodes.
+    assert_eq!(streamed.domains, legacy.domains);
+    assert_eq!(streamed.crawl_report, legacy.crawl_report);
+    assert_eq!(streamed.observation_end, legacy.observation_end);
+    assert_eq!(streamed.transactions, legacy.transactions);
+}

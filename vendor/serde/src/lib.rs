@@ -3,11 +3,35 @@
 //! `de::Error::custom`, and the `#[derive(Serialize, Deserialize)]` macros.
 //!
 //! Instead of serde's visitor machinery, everything funnels through one
-//! owned [`value::Value`] tree: a `Serializer` is "anything that can accept
-//! a `Value`", a `Deserializer` is "anything that can produce one". Formats
-//! (see the sibling `serde_json` stub) convert between `Value` and text.
-//! Map contents are emitted in sorted key order so serialized output is
-//! deterministic regardless of hash-map iteration order.
+//! owned [`value::Value`] data model: a `Serializer` is "anything that can
+//! accept a `Value`", a `Deserializer` is "anything that can produce one".
+//! Formats (see the sibling `serde_json` stub) convert between `Value` and
+//! text. Map contents are emitted in sorted key order so serialized output
+//! is deterministic regardless of hash-map iteration order.
+//!
+//! # Streaming deserialization
+//!
+//! Materializing a whole `Value` tree before decoding is wasteful for the
+//! multi-megabyte dataset exports this workspace ingests, so the
+//! [`de::Deserializer`] trait carries *streaming* entry points next to the
+//! always-available [`de::Deserializer::take_value`]:
+//!
+//! - [`take_seq_of`](de::Deserializer::take_seq_of) /
+//!   [`take_map_of`](de::Deserializer::take_map_of) decode sequence
+//!   elements / map entries one at a time,
+//! - [`take_struct`](de::Deserializer::take_struct) feeds each struct field
+//!   to a dispatch closure as it is produced (the derive generates a
+//!   `match` on the key — single pass, unknown keys skipped, duplicate
+//!   keys last-wins),
+//! - [`take_option_of`](de::Deserializer::take_option_of) peeks for `null`
+//!   without materializing the payload.
+//!
+//! All of them have `take_value`-based defaults, so a `Deserializer` over
+//! an already-built tree behaves exactly as before. A format that can pull
+//! values incrementally implements [`__private::Source`] (an object-safe
+//! pull API) and hands out [`__private::FieldDe`] deserializers, which
+//! override the streaming methods to decode element-by-element without
+//! ever holding more than one scalar / one in-flight subtree.
 
 pub mod value {
     /// The owned data model every serializer/deserializer speaks.
@@ -101,6 +125,7 @@ pub mod ser {
 }
 
 pub mod de {
+    use crate::__private::{from_value, FieldDe, StubError};
     use crate::value::Value;
 
     /// Error raised while deserializing.
@@ -111,12 +136,75 @@ pub mod de {
         }
     }
 
-    /// Anything that can produce one [`Value`].
+    /// Anything that can produce one [`Value`] — and, optionally, produce
+    /// it *incrementally* through the streaming methods (see the crate
+    /// docs). The defaults materialize via [`Deserializer::take_value`],
+    /// so only `take_value` is required.
     pub trait Deserializer<'de>: Sized {
         type Error: Error;
 
         /// The single required method: yield the parsed value tree.
         fn take_value(self) -> Result<Value, Self::Error>;
+
+        /// Decodes a sequence element-by-element. Streaming impls convert
+        /// (and drop) each element's subtree before parsing the next.
+        fn take_seq_of<T: crate::de::DeserializeOwned>(self) -> Result<Vec<T>, Self::Error> {
+            match self.take_value()? {
+                Value::Seq(items) => items
+                    .into_iter()
+                    .map(|v| from_value(v).map_err(Self::Error::custom))
+                    .collect(),
+                other => Err(Self::Error::custom(format!(
+                    "expected sequence, got {other:?}"
+                ))),
+            }
+        }
+
+        /// Decodes a string-keyed map entry-by-entry. Duplicate keys are
+        /// all yielded (collectors make the last one win).
+        fn take_map_of<V: crate::de::DeserializeOwned>(
+            self,
+        ) -> Result<Vec<(String, V)>, Self::Error> {
+            match self.take_value()? {
+                Value::Map(entries) => entries
+                    .into_iter()
+                    .map(|(k, v)| Ok((k, from_value(v).map_err(Self::Error::custom)?)))
+                    .collect(),
+                other => Err(Self::Error::custom(format!("expected map, got {other:?}"))),
+            }
+        }
+
+        /// Decodes `null` → `None` without materializing a present payload
+        /// in streaming impls.
+        fn take_option_of<T: crate::de::DeserializeOwned>(self) -> Result<Option<T>, Self::Error> {
+            match self.take_value()? {
+                Value::Null => Ok(None),
+                other => from_value(other).map(Some).map_err(Self::Error::custom),
+            }
+        }
+
+        /// Struct decode: feeds each `(key, value-deserializer)` pair to
+        /// `each` in input order, exactly once per entry. The derive
+        /// generates a `match` on the key dispatching into typed field
+        /// slots — a single pass with no per-field scans; later duplicate
+        /// keys overwrite earlier ones (last-wins), unknown keys must be
+        /// skipped (consumed) by the callback.
+        fn take_struct(
+            self,
+            each: &mut dyn FnMut(&str, FieldDe<'_>) -> Result<(), StubError>,
+        ) -> Result<(), Self::Error> {
+            match self.take_value()? {
+                Value::Map(entries) => {
+                    for (k, v) in entries {
+                        each(&k, FieldDe::from_value(v)).map_err(Self::Error::custom)?;
+                    }
+                    Ok(())
+                }
+                other => Err(Self::Error::custom(format!(
+                    "expected map for struct, got {other:?}"
+                ))),
+            }
+        }
     }
 
     /// A value that can read itself from any [`Deserializer`].
@@ -190,18 +278,183 @@ pub mod __private {
         T::deserialize(ValueDeserializer(value))
     }
 
-    /// Removes and deserializes one named field from a decoded struct map.
-    /// Missing fields deserialize from `Null` so `Option` fields default to
-    /// `None`, matching serde's `missing_field` behavior.
-    pub fn take_field<T: DeserializeOwned>(
-        map: &mut Vec<(String, Value)>,
+    /// Object-safe pull source over the data model: what a streaming
+    /// format (the `serde_json` stub's parser) implements so that
+    /// [`FieldDe`] can drive deserialization from parser events instead of
+    /// a materialized [`Value`] tree.
+    ///
+    /// Composite access is bracketed: `begin_seq` + repeated `seq_more`,
+    /// or `begin_map` + repeated `map_key`; between two `seq_more` /
+    /// `map_key` calls the caller must consume exactly one value (via
+    /// `next_value`, `skip_value`, or a nested bracket).
+    pub trait Source {
+        /// Parses the next complete value into an owned tree.
+        fn next_value(&mut self) -> Result<Value, StubError>;
+        /// Consumes (and discards) the next complete value.
+        fn skip_value(&mut self) -> Result<(), StubError>;
+        /// Whether the next value is `null` (must not consume anything).
+        fn peek_null(&mut self) -> Result<bool, StubError>;
+        /// Consumes the opening delimiter of a sequence.
+        fn begin_seq(&mut self) -> Result<(), StubError>;
+        /// Consumes the separator/terminator after the previous element
+        /// (`first` selects the just-after-`begin_seq` grammar) and
+        /// reports whether another element follows.
+        fn seq_more(&mut self, first: bool) -> Result<bool, StubError>;
+        /// Consumes the opening delimiter of a map.
+        fn begin_map(&mut self) -> Result<(), StubError>;
+        /// Yields the next key (consuming the key/value separator), or
+        /// `None` once the map's terminator has been consumed.
+        fn map_key(&mut self, first: bool) -> Result<Option<String>, StubError>;
+    }
+
+    enum FieldInner<'a> {
+        Owned(Value),
+        Stream(&'a mut dyn Source),
+    }
+
+    /// The concrete deserializer handed to per-entry callbacks (and to
+    /// format front doors): either an owned subtree or a borrowed
+    /// streaming [`Source`] positioned just before one value. Its
+    /// streaming-method overrides are what make whole-file decodes
+    /// linear-memory: elements and fields are converted one at a time and
+    /// dropped.
+    pub struct FieldDe<'a>(FieldInner<'a>);
+
+    impl<'a> FieldDe<'a> {
+        /// A deserializer over an owned, already-parsed value.
+        pub fn from_value(value: Value) -> FieldDe<'static> {
+            FieldDe(FieldInner::Owned(value))
+        }
+
+        /// A deserializer that pulls one value from a streaming source.
+        pub fn from_source(source: &'a mut dyn Source) -> FieldDe<'a> {
+            FieldDe(FieldInner::Stream(source))
+        }
+    }
+
+    impl<'de, 'a> Deserializer<'de> for FieldDe<'a> {
+        type Error = StubError;
+
+        fn take_value(self) -> Result<Value, StubError> {
+            match self.0 {
+                FieldInner::Owned(v) => Ok(v),
+                FieldInner::Stream(src) => src.next_value(),
+            }
+        }
+
+        fn take_seq_of<T: DeserializeOwned>(self) -> Result<Vec<T>, StubError> {
+            let src = match self.0 {
+                FieldInner::Owned(Value::Seq(items)) => {
+                    return items.into_iter().map(from_value).collect()
+                }
+                FieldInner::Owned(other) => {
+                    return Err(StubError(format!("expected sequence, got {other:?}")))
+                }
+                FieldInner::Stream(src) => src,
+            };
+            src.begin_seq()?;
+            let mut out = Vec::new();
+            let mut first = true;
+            while src.seq_more(first)? {
+                first = false;
+                out.push(T::deserialize(FieldDe(FieldInner::Stream(&mut *src)))?);
+            }
+            Ok(out)
+        }
+
+        fn take_map_of<V: DeserializeOwned>(self) -> Result<Vec<(String, V)>, StubError> {
+            let src = match self.0 {
+                FieldInner::Owned(Value::Map(entries)) => {
+                    return entries
+                        .into_iter()
+                        .map(|(k, v)| Ok((k, from_value(v)?)))
+                        .collect()
+                }
+                FieldInner::Owned(other) => {
+                    return Err(StubError(format!("expected map, got {other:?}")))
+                }
+                FieldInner::Stream(src) => src,
+            };
+            src.begin_map()?;
+            let mut out = Vec::new();
+            let mut first = true;
+            while let Some(key) = src.map_key(first)? {
+                first = false;
+                let value = V::deserialize(FieldDe(FieldInner::Stream(&mut *src)))?;
+                out.push((key, value));
+            }
+            Ok(out)
+        }
+
+        fn take_option_of<T: DeserializeOwned>(self) -> Result<Option<T>, StubError> {
+            match self.0 {
+                FieldInner::Owned(Value::Null) => Ok(None),
+                FieldInner::Owned(other) => from_value(other).map(Some),
+                FieldInner::Stream(src) => {
+                    if src.peek_null()? {
+                        src.skip_value()?;
+                        Ok(None)
+                    } else {
+                        T::deserialize(FieldDe(FieldInner::Stream(src))).map(Some)
+                    }
+                }
+            }
+        }
+
+        fn take_struct(
+            self,
+            each: &mut dyn FnMut(&str, FieldDe<'_>) -> Result<(), StubError>,
+        ) -> Result<(), StubError> {
+            let src = match self.0 {
+                FieldInner::Owned(Value::Map(entries)) => {
+                    for (k, v) in entries {
+                        each(&k, FieldDe(FieldInner::Owned(v)))?;
+                    }
+                    return Ok(());
+                }
+                FieldInner::Owned(other) => {
+                    return Err(StubError(format!("expected map for struct, got {other:?}")))
+                }
+                FieldInner::Stream(src) => src,
+            };
+            src.begin_map()?;
+            let mut first = true;
+            while let Some(key) = src.map_key(first)? {
+                first = false;
+                each(&key, FieldDe(FieldInner::Stream(&mut *src)))?;
+            }
+            Ok(())
+        }
+    }
+
+    /// Deserializes one struct field, wrapping errors with the field name
+    /// (the context the old per-field scan used to add).
+    pub fn de_field<T: DeserializeOwned>(
+        d: FieldDe<'_>,
         field: &'static str,
     ) -> Result<T, StubError> {
-        let value = match map.iter().position(|(k, _)| k == field) {
-            Some(i) => map.swap_remove(i).1,
-            None => Value::Null,
-        };
-        from_value(value).map_err(|e| StubError(format!("field `{field}`: {e}")))
+        T::deserialize(d).map_err(|e| StubError(format!("field `{field}`: {e}")))
+    }
+
+    /// Consumes and discards one field value (unknown keys).
+    pub fn skip_field(d: FieldDe<'_>) -> Result<(), StubError> {
+        match d.0 {
+            FieldInner::Owned(_) => Ok(()),
+            FieldInner::Stream(src) => src.skip_value(),
+        }
+    }
+
+    /// Resolves a field slot after the single dispatch pass: present
+    /// fields unwrap, missing fields deserialize from `Null` so `Option`
+    /// fields default to `None` — serde's `missing_field` behavior.
+    pub fn unwrap_field<T: DeserializeOwned>(
+        slot: Option<T>,
+        field: &'static str,
+    ) -> Result<T, StubError> {
+        match slot {
+            Some(v) => Ok(v),
+            None => from_value(Value::Null).map_err(|e| StubError(format!("field `{field}`: {e}"))),
+        }
     }
 
     /// Builds a map value with entries sorted by key (determinism for
@@ -459,10 +712,7 @@ mod std_impls {
     }
     impl<'de, T: DeserializeOwned> Deserialize<'de> for Option<T> {
         fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
-            match d.take_value()? {
-                Value::Null => Ok(None),
-                other => from_value(other).map(Some).map_err(D::Error::custom),
-            }
+            d.take_option_of::<T>()
         }
     }
 
@@ -497,11 +747,7 @@ mod std_impls {
     }
     impl<'de, T: DeserializeOwned> Deserialize<'de> for Vec<T> {
         fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
-            let items = value_to_seq(d.take_value()?, "sequence").map_err(D::Error::custom)?;
-            items
-                .into_iter()
-                .map(|v| from_value(v).map_err(D::Error::custom))
-                .collect()
+            d.take_seq_of::<T>()
         }
     }
 
@@ -572,13 +818,6 @@ mod std_impls {
         Ok(crate::__private::sorted_map(out))
     }
 
-    fn value_to_map(value: Value) -> Result<Vec<(String, Value)>, StubError> {
-        match value {
-            Value::Map(entries) => Ok(entries),
-            other => expected("map", &other),
-        }
-    }
-
     impl<K: Serialize, V: Serialize, H: BuildHasher> Serialize for HashMap<K, V, H> {
         fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
             let v = map_to_value(self.iter()).map_err(S::Error::custom)?;
@@ -592,15 +831,10 @@ mod std_impls {
         H: BuildHasher + Default,
     {
         fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
-            let entries = value_to_map(d.take_value()?).map_err(D::Error::custom)?;
+            let entries = d.take_map_of::<V>()?;
             entries
                 .into_iter()
-                .map(|(k, v)| {
-                    Ok((
-                        from_value::<K>(Value::Str(k)).map_err(D::Error::custom)?,
-                        from_value::<V>(v).map_err(D::Error::custom)?,
-                    ))
-                })
+                .map(|(k, v)| Ok((from_value::<K>(Value::Str(k)).map_err(D::Error::custom)?, v)))
                 .collect()
         }
     }
@@ -617,15 +851,10 @@ mod std_impls {
         V: DeserializeOwned,
     {
         fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
-            let entries = value_to_map(d.take_value()?).map_err(D::Error::custom)?;
+            let entries = d.take_map_of::<V>()?;
             entries
                 .into_iter()
-                .map(|(k, v)| {
-                    Ok((
-                        from_value::<K>(Value::Str(k)).map_err(D::Error::custom)?,
-                        from_value::<V>(v).map_err(D::Error::custom)?,
-                    ))
-                })
+                .map(|(k, v)| Ok((from_value::<K>(Value::Str(k)).map_err(D::Error::custom)?, v)))
                 .collect()
         }
     }
@@ -648,11 +877,8 @@ mod std_impls {
         H: BuildHasher + Default,
     {
         fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
-            let items = value_to_seq(d.take_value()?, "set").map_err(D::Error::custom)?;
-            items
-                .into_iter()
-                .map(|v| from_value(v).map_err(D::Error::custom))
-                .collect()
+            d.take_seq_of::<T>()
+                .map(|items| items.into_iter().collect())
         }
     }
 
@@ -664,11 +890,21 @@ mod std_impls {
     }
     impl<'de, T: DeserializeOwned + Ord> Deserialize<'de> for BTreeSet<T> {
         fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
-            let items = value_to_seq(d.take_value()?, "set").map_err(D::Error::custom)?;
-            items
-                .into_iter()
-                .map(|v| from_value(v).map_err(D::Error::custom))
-                .collect()
+            d.take_seq_of::<T>()
+                .map(|items| items.into_iter().collect())
+        }
+    }
+
+    // --- the data model itself ----------------------------------------------
+
+    impl Serialize for Value {
+        fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+            s.serialize_value(self.clone())
+        }
+    }
+    impl<'de> Deserialize<'de> for Value {
+        fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+            d.take_value()
         }
     }
 }

@@ -96,9 +96,7 @@ fn strip_attributes(toks: Vec<Tok>) -> Vec<Tok> {
     let mut out = Vec::new();
     let mut i = 0;
     while i < toks.len() {
-        if toks[i] == Tok::Punct('#')
-            && matches!(toks.get(i + 1), Some(Tok::Punct('[')))
-        {
+        if toks[i] == Tok::Punct('#') && matches!(toks.get(i + 1), Some(Tok::Punct('['))) {
             let mut depth = 0usize;
             i += 1; // at '['
             loop {
@@ -215,8 +213,7 @@ impl Parser {
                 None => return,
                 Some(Tok::Punct(c)) => {
                     let c = *c;
-                    if angle == 0 && paren == 0 && bracket == 0 && (c == ',' || stop.contains(&c))
-                    {
+                    if angle == 0 && paren == 0 && bracket == 0 && (c == ',' || stop.contains(&c)) {
                         return;
                     }
                     match c {
@@ -272,7 +269,10 @@ impl Parser {
             }
             self.skip_visibility();
             let name = self.expect_word("field name");
-            assert!(self.eat_punct(':'), "serde stub derive: expected ':' after field");
+            assert!(
+                self.eat_punct(':'),
+                "serde stub derive: expected ':' after field"
+            );
             fields.push(name);
             self.skip_type(&['}']);
             self.eat_punct(',');
@@ -385,9 +385,7 @@ const SER_ERR: &str = "<__S::Error as serde::ser::Error>::custom";
 const DE_ERR: &str = "<__D::Error as serde::de::Error>::custom";
 
 fn push_named_fields_ser(out: &mut String, fields: &[String], access_prefix: &str) {
-    out.push_str(
-        "let mut __fields: Vec<(String, serde::value::Value)> = Vec::new();\n",
-    );
+    out.push_str("let mut __fields: Vec<(String, serde::value::Value)> = Vec::new();\n");
     for f in fields {
         out.push_str(&format!(
             "__fields.push((\"{f}\".to_string(), \
@@ -456,9 +454,7 @@ fn gen_serialize(item: &Item) -> String {
                         let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
                         let pat = binds.join(", ");
                         body.push_str(&format!("{name}::{vname}({pat}) => {{\n"));
-                        body.push_str(
-                            "let mut __items: Vec<serde::value::Value> = Vec::new();\n",
-                        );
+                        body.push_str("let mut __items: Vec<serde::value::Value> = Vec::new();\n");
                         for b in &binds {
                             body.push_str(&format!(
                                 "__items.push(serde::__private::to_value({b})\
@@ -485,25 +481,58 @@ fn gen_serialize(item: &Item) -> String {
     )
 }
 
-fn gen_named_fields_de(fields: &[String]) -> String {
+/// Single-pass struct decode: typed field slots, one `match` on the key
+/// per entry (no per-field scans over the map), unknown keys skipped,
+/// duplicate keys last-wins, missing fields resolved from `Null` by
+/// `unwrap_field` (so `Option` fields default to `None`).
+///
+/// `de_expr` is the deserializer driving the pass: the derive's own `__d`
+/// for top-level structs (streaming straight from parser events when the
+/// format supports it), or a `ValueDeserializer` over an already-decoded
+/// variant payload for enums. `map_err` selects whether `take_struct`'s
+/// error needs converting into `__D::Error`.
+fn gen_named_dispatch(fields: &[String], de_expr: &str, map_err: bool) -> String {
+    let mut out = String::new();
+    for f in fields {
+        out.push_str(&format!(
+            "let mut __f_{f}: ::std::option::Option<_> = ::std::option::Option::None;\n"
+        ));
+    }
+    out.push_str(&format!(
+        "serde::Deserializer::take_struct({de_expr}, \
+         &mut |__key: &str, __fd: serde::__private::FieldDe<'_>| \
+         -> ::std::result::Result<(), serde::__private::StubError> {{\n\
+         match __key {{\n"
+    ));
+    for f in fields {
+        out.push_str(&format!(
+            "\"{f}\" => {{ __f_{f} = ::std::option::Option::Some(\
+             serde::__private::de_field(__fd, \"{f}\")?); }}\n"
+        ));
+    }
+    out.push_str(
+        "_ => { serde::__private::skip_field(__fd)?; }\n\
+         }\n::std::result::Result::Ok(())\n})",
+    );
+    if map_err {
+        out.push_str(&format!(".map_err({DE_ERR})"));
+    }
+    out.push_str("?;\n");
+    out
+}
+
+/// The field initializers consuming the slots filled by
+/// [`gen_named_dispatch`].
+fn gen_named_ctor_fields(fields: &[String]) -> String {
     fields
         .iter()
         .map(|f| {
             format!(
-                "{f}: serde::__private::take_field(&mut __map, \"{f}\")\
+                "{f}: serde::__private::unwrap_field(__f_{f}, \"{f}\")\
                  .map_err({DE_ERR})?,\n"
             )
         })
         .collect()
-}
-
-fn expect_map(context: &str) -> String {
-    format!(
-        "let mut __map = match __v {{\n\
-         serde::value::Value::Map(__m) => __m,\n\
-         __other => return Err({DE_ERR}(format!(\
-         \"expected map for {context}, got {{:?}}\", __other))),\n}};\n"
-    )
 }
 
 fn expect_seq(context: &str, n: usize) -> String {
@@ -519,9 +548,7 @@ fn expect_seq(context: &str, n: usize) -> String {
 fn tuple_ctor_args(n: usize) -> String {
     (0..n)
         .map(|_| {
-            format!(
-                "serde::__private::from_value(__it.next().unwrap()).map_err({DE_ERR})?,\n"
-            )
+            format!("serde::__private::from_value(__it.next().unwrap()).map_err({DE_ERR})?,\n")
         })
         .collect()
 }
@@ -530,25 +557,32 @@ fn gen_deserialize(item: &Item) -> String {
     let (impl_generics, ty_generics) =
         generics_for(item, "serde::de::DeserializeOwned", Some("'de"));
     let name = &item.name;
-    let mut body = String::from("let __v = serde::Deserializer::take_value(__d)?;\n");
+    let mut body = String::new();
     match &item.kind {
         Kind::Struct(Shape::Named(fields)) => {
-            body.push_str(&expect_map(name));
+            // Streaming single-pass decode driven by `__d` itself: a
+            // format-backed deserializer feeds fields straight from parser
+            // events, no intermediate `Value` tree for this struct.
+            body.push_str(&gen_named_dispatch(fields, "__d", false));
             body.push_str(&format!(
                 "Ok({name} {{\n{}}})\n",
-                gen_named_fields_de(fields)
+                gen_named_ctor_fields(fields)
             ));
         }
         Kind::Struct(Shape::Tuple(1)) => {
+            // Newtype-transparent: forward the deserializer so the inner
+            // type keeps streaming.
             body.push_str(&format!(
-                "Ok({name}(serde::__private::from_value(__v).map_err({DE_ERR})?))\n"
+                "Ok({name}(serde::de::Deserialize::deserialize(__d)?))\n"
             ));
         }
         Kind::Struct(Shape::Tuple(n)) => {
+            body.push_str("let __v = serde::Deserializer::take_value(__d)?;\n");
             body.push_str(&expect_seq(name, *n));
             body.push_str(&format!("Ok({name}(\n{}))\n", tuple_ctor_args(*n)));
         }
         Kind::Struct(Shape::Unit) => {
+            body.push_str("let __v = serde::Deserializer::take_value(__d)?;\n");
             body.push_str(&format!(
                 "match __v {{\n\
                  serde::value::Value::Null => Ok({name}),\n\
@@ -557,6 +591,10 @@ fn gen_deserialize(item: &Item) -> String {
             ));
         }
         Kind::Enum(variants) => {
+            // Enums are small tagged payloads; decode through the owned
+            // value model (the payload map still uses the same last-wins
+            // single-pass field dispatch as structs).
+            body.push_str("let __v = serde::Deserializer::take_value(__d)?;\n");
             body.push_str("match __v {\n");
             // Unit variants arrive as plain strings.
             body.push_str("serde::value::Value::Str(__s) => match __s.as_str() {\n");
@@ -582,10 +620,14 @@ fn gen_deserialize(item: &Item) -> String {
                     Shape::Unit => {}
                     Shape::Named(fields) => {
                         body.push_str(&format!("\"{vname}\" => {{\n"));
-                        body.push_str(&expect_map(&format!("{name}::{vname}")));
+                        body.push_str(&gen_named_dispatch(
+                            fields,
+                            "serde::__private::ValueDeserializer(__v)",
+                            true,
+                        ));
                         body.push_str(&format!(
                             "Ok({name}::{vname} {{\n{}}})\n}}\n",
-                            gen_named_fields_de(fields)
+                            gen_named_ctor_fields(fields)
                         ));
                     }
                     Shape::Tuple(1) => body.push_str(&format!(

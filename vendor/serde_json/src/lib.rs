@@ -4,6 +4,26 @@
 //! Output is compact JSON. Struct fields keep declaration order and
 //! hash-backed maps are key-sorted by the serde stub, so serialization is
 //! byte-deterministic — which the crawl-engine determinism tests rely on.
+//!
+//! # Linear-time ingest
+//!
+//! [`from_str`] is **streaming**: the parser implements the serde stub's
+//! [`Source`](serde::__private::Source) pull API and deserialization is
+//! driven directly from parser events — sequence elements, map entries and
+//! struct fields are decoded one at a time and dropped, so a whole-file
+//! decode is linear in input size and never materializes the full `Value`
+//! tree. String parsing is span-based over the already-UTF-8-validated
+//! input (one validation for the whole document, not one per character),
+//! `\u` escapes decode surrogate pairs, and numbers are validated against
+//! the JSON grammar with byte-positioned errors.
+//!
+//! Two slower decode paths are kept for differential testing:
+//! [`from_str_buffered`] (same parser, but materializes the full `Value`
+//! tree before decoding) and [`legacy::from_str`] (the original quadratic
+//! parser) — the round-trip equivalence suite and `json_bench` prove the
+//! streaming path decodes identically and measure the speedup.
+
+pub mod legacy;
 
 use serde::de::DeserializeOwned;
 use serde::value::Value;
@@ -62,11 +82,15 @@ fn write_value(out: &mut String, value: &Value) {
         Value::Int(i) => out.push_str(&i.to_string()),
         Value::Float(f) => {
             // Rust's `{}` for f64 prints the shortest representation that
-            // round-trips, which is valid JSON for finite values.
-            if f.is_finite() {
-                out.push_str(&f.to_string());
-            } else {
+            // round-trips, which is valid JSON for finite values. `-0.0`
+            // would print as `-0` and re-parse as the integer 0, so it is
+            // written with an explicit fraction to round-trip as a float.
+            if !f.is_finite() {
                 out.push_str("null");
+            } else if *f == 0.0 && f.is_sign_negative() {
+                out.push_str("-0.0");
+            } else {
+                out.push_str(&f.to_string());
             }
         }
         Value::Str(s) => write_escaped(out, s),
@@ -113,11 +137,22 @@ pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>> {
 // ---------------------------------------------------------------------------
 
 struct JsonParser<'a> {
+    /// The input, UTF-8-validated once up front (it arrives as `&str`).
+    /// String parsing borrows spans of it instead of re-validating.
+    text: &'a str,
     bytes: &'a [u8],
     pos: usize,
 }
 
 impl<'a> JsonParser<'a> {
+    fn new(text: &'a str) -> JsonParser<'a> {
+        JsonParser {
+            text,
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
     fn err<T>(&self, msg: &str) -> Result<T> {
         Err(Error(format!("{msg} at byte {}", self.pos)))
     }
@@ -169,76 +204,180 @@ impl<'a> JsonParser<'a> {
         }
     }
 
+    /// Span-walking string parse: scans for the closing quote or an
+    /// escape byte (both ASCII, so they can never appear inside a UTF-8
+    /// continuation sequence) and copies whole unescaped spans at once.
+    /// Escape-free strings cost exactly one sub-slice copy; the old parser
+    /// re-validated the entire remaining input for every character, which
+    /// made ingest quadratic in file size.
     fn parse_string(&mut self) -> Result<String> {
         self.expect(b'"')?;
-        let mut out = String::new();
+        // Allocated lazily — only when the string contains an escape.
+        let mut out: Option<String> = None;
+        let mut span_start = self.pos;
         loop {
             match self.peek() {
                 None => return self.err("unterminated string"),
                 Some(b'"') => {
+                    let span = &self.text[span_start..self.pos];
                     self.pos += 1;
-                    return Ok(out);
+                    return Ok(match out {
+                        None => span.to_owned(),
+                        Some(mut s) => {
+                            s.push_str(span);
+                            s
+                        }
+                    });
                 }
                 Some(b'\\') => {
+                    let buf = out.get_or_insert_with(String::new);
+                    buf.push_str(&self.text[span_start..self.pos]);
                     self.pos += 1;
                     match self.peek() {
-                        Some(b'"') => out.push('"'),
-                        Some(b'\\') => out.push('\\'),
-                        Some(b'/') => out.push('/'),
-                        Some(b'n') => out.push('\n'),
-                        Some(b'r') => out.push('\r'),
-                        Some(b't') => out.push('\t'),
-                        Some(b'b') => out.push('\u{0008}'),
-                        Some(b'f') => out.push('\u{000c}'),
+                        Some(b'"') => {
+                            buf.push('"');
+                            self.pos += 1;
+                        }
+                        Some(b'\\') => {
+                            buf.push('\\');
+                            self.pos += 1;
+                        }
+                        Some(b'/') => {
+                            buf.push('/');
+                            self.pos += 1;
+                        }
+                        Some(b'n') => {
+                            buf.push('\n');
+                            self.pos += 1;
+                        }
+                        Some(b'r') => {
+                            buf.push('\r');
+                            self.pos += 1;
+                        }
+                        Some(b't') => {
+                            buf.push('\t');
+                            self.pos += 1;
+                        }
+                        Some(b'b') => {
+                            buf.push('\u{0008}');
+                            self.pos += 1;
+                        }
+                        Some(b'f') => {
+                            buf.push('\u{000c}');
+                            self.pos += 1;
+                        }
                         Some(b'u') => {
-                            if self.pos + 4 >= self.bytes.len() {
-                                return self.err("truncated \\u escape");
-                            }
-                            let hex =
-                                std::str::from_utf8(&self.bytes[self.pos + 1..self.pos + 5])
-                                    .map_err(|_| Error("bad \\u escape".into()))?;
-                            let code = u32::from_str_radix(hex, 16)
-                                .map_err(|_| Error("bad \\u escape".into()))?;
-                            // Surrogate pairs are not produced by our writer;
-                            // map lone surrogates to the replacement char.
-                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
-                            self.pos += 4;
+                            self.pos += 1;
+                            let c = self.parse_unicode_escape()?;
+                            buf.push(c);
                         }
                         _ => return self.err("bad escape"),
                     }
-                    self.pos += 1;
+                    span_start = self.pos;
                 }
-                Some(_) => {
-                    // Consume one UTF-8 scalar.
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
-                        .map_err(|_| Error("invalid utf-8".into()))?;
-                    let c = rest.chars().next().unwrap();
-                    out.push(c);
-                    self.pos += c.len_utf8();
-                }
+                Some(_) => self.pos += 1,
             }
         }
     }
 
+    /// Four hex digits of a `\u` escape (positioned at the first digit).
+    fn hex4(&mut self) -> Result<u32> {
+        if self.pos + 4 > self.bytes.len() {
+            return self.err("truncated \\u escape");
+        }
+        let mut code = 0u32;
+        for i in 0..4 {
+            match (self.bytes[self.pos + i] as char).to_digit(16) {
+                Some(d) => code = code * 16 + d,
+                None => return self.err("bad \\u escape"),
+            }
+        }
+        self.pos += 4;
+        Ok(code)
+    }
+
+    /// Decodes one `\uXXXX` escape, pairing UTF-16 surrogates: a high
+    /// surrogate followed by `\uDC00..DFFF` combines into the astral-plane
+    /// scalar (so externally-produced exports with emoji labels survive),
+    /// while lone surrogates decode to U+FFFD.
+    fn parse_unicode_escape(&mut self) -> Result<char> {
+        let hi = self.hex4()?;
+        if (0xD800..=0xDBFF).contains(&hi) {
+            // High surrogate: pair it with an immediately following
+            // `\uXXXX` low surrogate if there is one.
+            if self.bytes.get(self.pos) == Some(&b'\\')
+                && self.bytes.get(self.pos + 1) == Some(&b'u')
+            {
+                let save = self.pos;
+                self.pos += 2;
+                let lo = self.hex4()?;
+                if (0xDC00..=0xDFFF).contains(&lo) {
+                    let scalar = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                    return Ok(char::from_u32(scalar).expect("paired surrogates are valid"));
+                }
+                // Next escape is not a low surrogate: leave it for the
+                // string loop and replace the lone high surrogate.
+                self.pos = save;
+            }
+            return Ok('\u{fffd}');
+        }
+        if (0xDC00..=0xDFFF).contains(&hi) {
+            return Ok('\u{fffd}'); // lone low surrogate
+        }
+        Ok(char::from_u32(hi).expect("non-surrogate u16 values are valid chars"))
+    }
+
+    /// Parses a number, validating the JSON grammar (`-? int frac? exp?`)
+    /// instead of greedily collecting sign/dot/exponent bytes — `1-2`,
+    /// `1e`, `--3`, `1.2.3` and `01` are rejected with byte-positioned
+    /// errors rather than reaching `f64::parse` (or silently succeeding on
+    /// a partial parse).
     fn parse_number(&mut self) -> Result<Value> {
         let start = self.pos;
         if self.peek() == Some(b'-') {
             self.pos += 1;
         }
-        let mut is_float = false;
-        while let Some(b) = self.peek() {
-            match b {
-                b'0'..=b'9' => self.pos += 1,
-                b'.' | b'e' | b'E' | b'+' | b'-' => {
-                    is_float = true;
+        match self.peek() {
+            Some(b'0') => {
+                self.pos += 1;
+                if matches!(self.peek(), Some(b'0'..=b'9')) {
+                    return self.err("leading zero in number");
+                }
+            }
+            Some(b'1'..=b'9') => {
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
                     self.pos += 1;
                 }
-                _ => break,
+            }
+            _ => return self.err("expected digit"),
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return self.err("expected digit after decimal point");
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos])
-            .map_err(|_| Error("invalid number".into()))?;
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return self.err("expected digit in exponent");
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = &self.text[start..self.pos];
         if !is_float {
+            // Integers wider than u128 fall through to f64 (as before).
             if let Ok(u) = text.parse::<u128>() {
                 return Ok(Value::Uint(u));
             }
@@ -248,7 +387,7 @@ impl<'a> JsonParser<'a> {
         }
         text.parse::<f64>()
             .map(Value::Float)
-            .map_err(|_| Error(format!("invalid number `{text}`")))
+            .map_err(|_| Error(format!("invalid number `{text}` at byte {start}")))
     }
 
     fn parse_array(&mut self) -> Result<Value> {
@@ -299,23 +438,185 @@ impl<'a> JsonParser<'a> {
             }
         }
     }
+
+    /// Consumes one complete value without building it.
+    fn skip_tree(&mut self) -> Result<()> {
+        self.skip_ws();
+        match self.peek() {
+            None => self.err("unexpected end of input"),
+            Some(b'n') => self.keyword("null", Value::Null).map(drop),
+            Some(b't') => self.keyword("true", Value::Null).map(drop),
+            Some(b'f') => self.keyword("false", Value::Null).map(drop),
+            Some(b'"') => self.parse_string().map(drop),
+            Some(b'-') | Some(b'0'..=b'9') => self.parse_number().map(drop),
+            Some(b'[') => {
+                self.pos += 1;
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                loop {
+                    self.skip_tree()?;
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(());
+                        }
+                        _ => return self.err("expected `,` or `]`"),
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                loop {
+                    self.skip_ws();
+                    self.parse_string()?;
+                    self.skip_ws();
+                    self.expect(b':')?;
+                    self.skip_tree()?;
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(());
+                        }
+                        _ => return self.err("expected `,` or `}`"),
+                    }
+                }
+            }
+            Some(c) => self.err(&format!("unexpected character `{}`", c as char)),
+        }
+    }
 }
 
-/// Parses a value from JSON text.
-pub fn from_str<T: DeserializeOwned>(text: &str) -> Result<T> {
-    let mut parser = JsonParser {
-        bytes: text.as_bytes(),
-        pos: 0,
-    };
-    let value = parser.parse_value()?;
+fn stub_err(e: Error) -> serde::__private::StubError {
+    serde::__private::StubError(e.0)
+}
+
+/// The streaming bridge: the parser *is* a serde-stub [`Source`], so
+/// [`FieldDe`](serde::__private::FieldDe) can drive any `Deserialize` impl
+/// straight from parser events.
+impl serde::__private::Source for JsonParser<'_> {
+    fn next_value(&mut self) -> std::result::Result<Value, serde::__private::StubError> {
+        self.parse_value().map_err(stub_err)
+    }
+
+    fn skip_value(&mut self) -> std::result::Result<(), serde::__private::StubError> {
+        self.skip_tree().map_err(stub_err)
+    }
+
+    fn peek_null(&mut self) -> std::result::Result<bool, serde::__private::StubError> {
+        self.skip_ws();
+        Ok(self.bytes[self.pos..].starts_with(b"null"))
+    }
+
+    fn begin_seq(&mut self) -> std::result::Result<(), serde::__private::StubError> {
+        self.skip_ws();
+        self.expect(b'[').map_err(stub_err)
+    }
+
+    fn seq_more(&mut self, first: bool) -> std::result::Result<bool, serde::__private::StubError> {
+        self.skip_ws();
+        if first {
+            if self.peek() == Some(b']') {
+                self.pos += 1;
+                return Ok(false);
+            }
+            return Ok(true);
+        }
+        match self.peek() {
+            Some(b',') => {
+                self.pos += 1;
+                Ok(true)
+            }
+            Some(b']') => {
+                self.pos += 1;
+                Ok(false)
+            }
+            _ => self.err("expected `,` or `]`").map_err(stub_err),
+        }
+    }
+
+    fn begin_map(&mut self) -> std::result::Result<(), serde::__private::StubError> {
+        self.skip_ws();
+        self.expect(b'{').map_err(stub_err)
+    }
+
+    fn map_key(
+        &mut self,
+        first: bool,
+    ) -> std::result::Result<Option<String>, serde::__private::StubError> {
+        self.skip_ws();
+        if first {
+            if self.peek() == Some(b'}') {
+                self.pos += 1;
+                return Ok(None);
+            }
+        } else {
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(None);
+                }
+                _ => return self.err("expected `,` or `}`").map_err(stub_err),
+            }
+            self.skip_ws();
+        }
+        let key = self.parse_string().map_err(stub_err)?;
+        self.skip_ws();
+        self.expect(b':').map_err(stub_err)?;
+        Ok(Some(key))
+    }
+}
+
+fn check_trailing(parser: &mut JsonParser<'_>) -> Result<()> {
     parser.skip_ws();
     if parser.pos != parser.bytes.len() {
         return parser.err("trailing characters");
     }
+    Ok(())
+}
+
+/// Parses a value from JSON text, streaming: deserialization is driven
+/// from parser events, so decode time and peak memory are linear in input
+/// size (no full intermediate `Value` tree).
+pub fn from_str<T: DeserializeOwned>(text: &str) -> Result<T> {
+    let mut parser = JsonParser::new(text);
+    let value = T::deserialize(serde::__private::FieldDe::from_source(&mut parser))
+        .map_err(|e| Error(e.to_string()))?;
+    check_trailing(&mut parser)?;
+    Ok(value)
+}
+
+/// Parses a value from JSON text through a fully materialized `Value`
+/// tree — the non-streaming semantics. Kept as the differential-testing
+/// baseline for [`from_str`]; prefer `from_str`.
+pub fn from_str_buffered<T: DeserializeOwned>(text: &str) -> Result<T> {
+    let mut parser = JsonParser::new(text);
+    let value = parser.parse_value()?;
+    check_trailing(&mut parser)?;
     serde::__private::from_value(value).map_err(|e| Error(e.to_string()))
 }
 
-/// Parses a value from JSON bytes.
+/// Parses JSON text into the owned [`Value`] model (whole tree).
+pub fn parse_value(text: &str) -> Result<Value> {
+    let mut parser = JsonParser::new(text);
+    let value = parser.parse_value()?;
+    check_trailing(&mut parser)?;
+    Ok(value)
+}
+
+/// Parses a value from JSON bytes (one up-front UTF-8 validation).
 pub fn from_slice<T: DeserializeOwned>(bytes: &[u8]) -> Result<T> {
     from_str(std::str::from_utf8(bytes).map_err(|e| Error(e.to_string()))?)
 }
@@ -349,5 +650,41 @@ mod tests {
         m.insert("b".to_string(), 2u32);
         m.insert("a".to_string(), 1u32);
         assert_eq!(to_string(&m).unwrap(), "{\"a\":1,\"b\":2}");
+    }
+
+    #[test]
+    fn surrogate_pairs_decode_to_astral_chars() {
+        assert_eq!(from_str::<String>(r#""😀""#).unwrap(), "😀");
+        // Lone surrogates (either half) become U+FFFD.
+        assert_eq!(from_str::<String>(r#""\ud800""#).unwrap(), "\u{fffd}");
+        assert_eq!(from_str::<String>(r#""\udc00""#).unwrap(), "\u{fffd}");
+        // A high surrogate followed by a non-surrogate escape keeps both.
+        assert_eq!(from_str::<String>(r#""\ud800A""#).unwrap(), "\u{fffd}A");
+    }
+
+    #[test]
+    fn malformed_numbers_are_rejected_with_positions() {
+        for bad in ["1-2", "1e", "--3", "1.2.3", "01", "1.", "+1", "-"] {
+            let err = from_str::<f64>(bad).unwrap_err().to_string();
+            assert!(
+                err.contains("at byte"),
+                "`{bad}` error lacks position: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn duplicate_object_keys_are_last_wins() {
+        let m: std::collections::HashMap<String, u32> = from_str(r#"{"a":1,"a":2,"b":3}"#).unwrap();
+        assert_eq!(m["a"], 2);
+        assert_eq!(m["b"], 3);
+    }
+
+    #[test]
+    fn negative_zero_round_trips_as_float() {
+        let s = to_string(&-0.0f64).unwrap();
+        assert_eq!(s, "-0.0");
+        let back: f64 = from_str(&s).unwrap();
+        assert!(back == 0.0 && back.is_sign_negative());
     }
 }
