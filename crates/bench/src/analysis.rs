@@ -7,7 +7,8 @@ use std::time::Instant;
 
 use ens_dropcatch::{
     analyze_losses_naive, analyze_losses_with, compare_features_naive, compare_features_with,
-    run_study_on_naive, run_study_with_index, AnalysisIndex, StudyConfig,
+    run_study_on_naive, run_study_with_index, run_study_with_index_metered, AnalysisIndex, Metrics,
+    StudyConfig,
 };
 use serde::Serialize;
 
@@ -43,6 +44,25 @@ pub struct ThreadedRun {
     pub report_identical_to_naive: bool,
 }
 
+/// The instrumentation-overhead measurement: the full study timed with a
+/// disabled metrics handle vs a live one, plus the deterministic section
+/// of the live run's snapshot (embedded so `BENCH_analysis.json` carries
+/// the per-pass counters alongside the timings).
+#[derive(Clone, Debug, Serialize)]
+pub struct MetricsOverhead {
+    /// Full `run_study_with_index` wall time, disabled handle, ms (min
+    /// over repeats).
+    pub unmetered_study_ms: f64,
+    /// Same study with a live handle, ms (min over repeats).
+    pub metered_study_ms: f64,
+    /// `(metered - unmetered) / unmetered`, percent — the acceptance gate
+    /// requires this to stay under 5%.
+    pub overhead_pct: f64,
+    /// The deterministic metrics snapshot (counters, histograms, spans)
+    /// from the metered run, as a parsed JSON value.
+    pub metrics: serde::value::Value,
+}
+
 /// The `BENCH_analysis.json` document.
 #[derive(Clone, Debug, Serialize)]
 pub struct AnalysisBenchReport {
@@ -63,6 +83,8 @@ pub struct AnalysisBenchReport {
     pub runs: Vec<ThreadedRun>,
     /// True iff every indexed run's report matched the naive one.
     pub outputs_identical: bool,
+    /// Metered-vs-unmetered study timing and the embedded snapshot.
+    pub metrics_overhead: MetricsOverhead,
 }
 
 impl AnalysisBenchReport {
@@ -210,6 +232,43 @@ pub fn run_analysis_bench(
     }
 
     let outputs_identical = runs.iter().all(|r| r.report_identical_to_naive);
+
+    // Instrumentation overhead: the same full study (sequential, against a
+    // fresh sequential index) with the disabled handle vs a live one. The
+    // acceptance gate is < 5% — in practice the cost is a handful of mutex
+    // locks per pass plus relaxed atomic increments per window query.
+    // Min-of-repeats on a ~100 ms study is noisy at roughly the same
+    // magnitude as the overhead itself, so floor the repeat count and
+    // interleave the two variants pairwise — back-to-back blocks would
+    // fold clock/cache drift between the blocks into the delta.
+    let overhead_repeats = repeats.max(5);
+    let overhead_index = AnalysisIndex::build_with_threads(dataset, oracle, 1);
+    let mut unmetered_study_ms = f64::INFINITY;
+    let mut metered_study_ms = f64::INFINITY;
+    let mut metrics = Metrics::disabled();
+    for _ in 0..overhead_repeats {
+        let (off_ms, _) = time_ms(1, || {
+            run_study_with_index(dataset, &sources, &config, &overhead_index)
+        });
+        unmetered_study_ms = unmetered_study_ms.min(off_ms);
+        // A fresh handle per repeat so the embedded snapshot reflects
+        // exactly one study, not `overhead_repeats` of them.
+        let (on_ms, handle) = time_ms(1, || {
+            let metrics = Metrics::new();
+            run_study_with_index_metered(dataset, &sources, &config, &overhead_index, &metrics);
+            metrics
+        });
+        metered_study_ms = metered_study_ms.min(on_ms);
+        metrics = handle;
+    }
+    let snapshot_json = metrics.snapshot().deterministic_json();
+    let metrics_overhead = MetricsOverhead {
+        unmetered_study_ms,
+        metered_study_ms,
+        overhead_pct: (metered_study_ms - unmetered_study_ms) / unmetered_study_ms * 100.0,
+        metrics: serde_json::from_str(&snapshot_json).expect("snapshot is valid JSON"),
+    };
+
     AnalysisBenchReport {
         names: fixture.world.config.n_names,
         seed: fixture.world.config.seed,
@@ -219,5 +278,6 @@ pub fn run_analysis_bench(
         naive,
         runs,
         outputs_identical,
+        metrics_overhead,
     }
 }

@@ -120,6 +120,12 @@ fn main() {
         );
     }
 
+    let oh = &report.metrics_overhead;
+    eprintln!(
+        "metrics overhead: study {:.1} ms unmetered vs {:.1} ms metered ({:+.2}%)",
+        oh.unmetered_study_ms, oh.metered_study_ms, oh.overhead_pct
+    );
+
     if !report.outputs_identical {
         eprintln!("FAIL: an indexed report diverged from the naive baseline");
         std::process::exit(1);

@@ -85,6 +85,12 @@ fn main() {
             bench.best_speedup(),
             bench.outputs_identical
         );
+        eprintln!(
+            "  metrics overhead: study {:.1} ms unmetered vs {:.1} ms metered ({:+.2}%)",
+            bench.metrics_overhead.unmetered_study_ms,
+            bench.metrics_overhead.metered_study_ms,
+            bench.metrics_overhead.overhead_pct
+        );
         if !bench.outputs_identical {
             eprintln!("FAIL: an indexed report diverged from the naive baseline");
             std::process::exit(1);

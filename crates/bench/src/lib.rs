@@ -6,7 +6,9 @@
 pub mod analysis;
 pub mod ingest;
 
-pub use analysis::{run_analysis_bench, AnalysisBenchReport, PassTimings, ThreadedRun};
+pub use analysis::{
+    run_analysis_bench, AnalysisBenchReport, MetricsOverhead, PassTimings, ThreadedRun,
+};
 pub use ingest::{run_ingest_bench, IngestBenchReport, IngestScaleRun};
 
 use std::sync::OnceLock;
@@ -300,8 +302,8 @@ pub fn compare_to_paper(world: &World, report: &StudyReport) -> Vec<Comparison> 
         "clear preference for higher-income domains".into(),
         format!(
             "median ${:.0} vs ${:.0}",
-            report.features.income_rereg.quantile(0.5),
-            report.features.income_control.quantile(0.5)
+            report.features.income_rereg.quantile(0.5).unwrap_or(0.0),
+            report.features.income_control.quantile(0.5).unwrap_or(0.0)
         ),
         dom,
     );
@@ -314,7 +316,7 @@ pub fn compare_to_paper(world: &World, report: &StudyReport) -> Vec<Comparison> 
         format!(
             "{} domains, median ${:.0}, total ${:.0}",
             report.losses.hijackable.usd_per_domain.len(),
-            report.losses.hijackable.ecdf().quantile(0.5),
+            report.losses.hijackable.ecdf().quantile(0.5).unwrap_or(0.0),
             report.losses.hijackable.total_usd()
         ),
         report.losses.hijackable.total_usd() > 0.0,

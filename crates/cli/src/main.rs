@@ -38,8 +38,8 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use ens_dropcatch::{
-    run_study_on, CollectError, CrawlConfig, DataSources, Dataset, FailurePolicy, RetryPolicy,
-    StudyConfig,
+    run_study_on_metered, CollectError, CrawlConfig, DataSources, Dataset, FailurePolicy, Metrics,
+    RetryPolicy, StudyConfig,
 };
 use ens_subgraph::SubgraphConfig;
 use ens_types::FaultProfile;
@@ -54,6 +54,7 @@ struct Args {
     threads: usize,
     dataset: Option<PathBuf>,
     csv: Option<PathBuf>,
+    metrics_json: Option<PathBuf>,
     chaos: Option<FaultProfile>,
     failure: FailurePolicy,
     max_retries: usize,
@@ -63,9 +64,11 @@ struct Args {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  ens-dropcatch run      [--names N] [--seed S] [--threads N] [--csv DIR] [--dataset FILE] [FAULT OPTS]\n  \
-         ens-dropcatch simulate [--names N] [--seed S] [--threads N] --dataset FILE [FAULT OPTS]\n  \
-         ens-dropcatch analyze  --dataset FILE [--threads N] [--csv DIR]\n\
+        "usage:\n  ens-dropcatch run      [--names N] [--seed S] [--threads N] [--csv DIR] [--dataset FILE] [--metrics-json FILE] [FAULT OPTS]\n  \
+         ens-dropcatch simulate [--names N] [--seed S] [--threads N] --dataset FILE [--metrics-json FILE] [FAULT OPTS]\n  \
+         ens-dropcatch analyze  --dataset FILE [--threads N] [--csv DIR] [--metrics-json FILE]\n\
+         common options:\n  \
+         --metrics-json FILE      write the instrumentation snapshot (spans, counters,\n                           histograms; deterministic + wall-clock sections) as JSON\n\
          fault options:\n  \
          --chaos PROFILE[:SEED]   inject deterministic faults (none|flaky|rate-limit-storm|timeouts|holes|mixed)\n  \
          --fail-policy POLICY     fail-fast (default) or degrade\n  \
@@ -93,6 +96,7 @@ fn parse(mut args: impl Iterator<Item = String>) -> Option<Args> {
         threads: 1,
         dataset: None,
         csv: None,
+        metrics_json: None,
         chaos: None,
         failure: FailurePolicy::FailFast,
         max_retries: RetryPolicy::default().max_retries,
@@ -104,9 +108,18 @@ fn parse(mut args: impl Iterator<Item = String>) -> Option<Args> {
         match arg.as_str() {
             "--names" => out.names = args.next()?.parse().ok()?,
             "--seed" => out.seed = args.next()?.parse().ok()?,
-            "--threads" => out.threads = args.next()?.parse::<usize>().ok()?.max(1),
+            "--threads" => {
+                out.threads = args.next()?.parse::<usize>().ok()?;
+                if out.threads == 0 {
+                    // `0` used to be silently promoted to 1; reject it so a
+                    // typo'd thread count cannot masquerade as sequential.
+                    eprintln!("error: --threads must be >= 1 (got 0)");
+                    return None;
+                }
+            }
             "--dataset" => out.dataset = Some(PathBuf::from(args.next()?)),
             "--csv" => out.csv = Some(PathBuf::from(args.next()?)),
+            "--metrics-json" => out.metrics_json = Some(PathBuf::from(args.next()?)),
             "--chaos" => out.chaos = Some(parse_chaos(&args.next()?)?),
             "--fail-policy" => {
                 out.failure = match args.next()?.as_str() {
@@ -160,6 +173,16 @@ fn main() -> ExitCode {
 }
 
 impl Args {
+    /// A live [`Metrics`] handle when `--metrics-json` was given, the
+    /// zero-cost disabled handle otherwise.
+    fn metrics(&self) -> Metrics {
+        if self.metrics_json.is_some() {
+            Metrics::new()
+        } else {
+            Metrics::disabled()
+        }
+    }
+
     fn crawl_config(&self) -> CrawlConfig {
         let defaults = CrawlConfig::default();
         CrawlConfig {
@@ -171,6 +194,22 @@ impl Args {
             subgraph_page_size: self.page_size.unwrap_or(defaults.subgraph_page_size),
             txlist_page_size: self.page_size.unwrap_or(defaults.txlist_page_size),
             market_page_size: self.page_size.unwrap_or(defaults.market_page_size),
+        }
+    }
+}
+
+/// Writes the metrics snapshot if `--metrics-json` was given. Returns an
+/// exit code only on a write failure.
+fn write_metrics(args: &Args, metrics: &Metrics) -> Option<ExitCode> {
+    let path = args.metrics_json.as_ref()?;
+    match std::fs::write(path, metrics.snapshot().to_json()) {
+        Ok(()) => {
+            eprintln!("metrics written to {}", path.display());
+            None
+        }
+        Err(e) => {
+            eprintln!("cannot write {}: {e}", path.display());
+            Some(ExitCode::FAILURE)
         }
     }
 }
@@ -197,12 +236,14 @@ fn run(args: Args, full_study: bool) -> ExitCode {
         }
     );
     let crawl_config = args.crawl_config();
-    let (dataset, timings) = match Dataset::try_collect_with(
+    let metrics = args.metrics();
+    let (dataset, timings) = match Dataset::try_collect_metered(
         &subgraph,
         &etherscan,
         world.opensea(),
         world.observation_end(),
         &crawl_config,
+        &metrics,
     ) {
         Ok(out) => out,
         Err(CollectError::Crawl(e)) => {
@@ -211,10 +252,13 @@ fn run(args: Args, full_study: bool) -> ExitCode {
                 "partial accounting: {} pages, {} items, {} retries before the failure",
                 e.stats.pages, e.stats.items, e.stats.retries
             );
+            // The snapshot still carries the partial crawl accounting.
+            write_metrics(&args, &metrics);
             return ExitCode::FAILURE;
         }
         Err(e @ CollectError::RecoveryBelowMinimum { .. }) => {
             eprintln!("{e}");
+            write_metrics(&args, &metrics);
             return ExitCode::FAILURE;
         }
     };
@@ -288,11 +332,16 @@ fn run(args: Args, full_study: bool) -> ExitCode {
             threads: args.threads,
             ..StudyConfig::default()
         };
-        let report = run_study_on(&dataset, &sources, &config);
+        let report = run_study_on_metered(&dataset, &sources, &config, &metrics);
         println!("{}", report.render());
+        if let Some(code) = write_metrics(&args, &metrics) {
+            return code;
+        }
         if let Some(dir) = &args.csv {
             return write_csv(&report, dir);
         }
+    } else if let Some(code) = write_metrics(&args, &metrics) {
+        return code;
     }
     ExitCode::SUCCESS
 }
@@ -349,8 +398,12 @@ fn analyze(args: Args) -> ExitCode {
         threads: args.threads,
         ..StudyConfig::default()
     };
-    let report = run_study_on(&dataset, &sources, &config);
+    let metrics = args.metrics();
+    let report = run_study_on_metered(&dataset, &sources, &config, &metrics);
     println!("{}", report.render());
+    if let Some(code) = write_metrics(&args, &metrics) {
+        return code;
+    }
     if let Some(dir) = &args.csv {
         return write_csv(&report, dir);
     }

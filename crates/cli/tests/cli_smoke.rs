@@ -76,3 +76,90 @@ fn bad_arguments_exit_nonzero_with_usage() {
         "simulate without --dataset must fail"
     );
 }
+
+#[test]
+fn threads_zero_is_rejected_with_a_clear_message() {
+    let output = bin()
+        .args(["run", "--names", "50", "--threads", "0"])
+        .output()
+        .expect("binary runs");
+    assert!(!output.status.success(), "--threads 0 must be rejected");
+    assert_eq!(output.status.code(), Some(2), "argument errors exit 2");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("--threads must be >= 1"),
+        "missing clear message, got: {stderr}"
+    );
+    assert!(stderr.contains("usage"), "usage follows the error");
+    assert!(output.stdout.is_empty(), "no report on stdout");
+}
+
+#[test]
+fn metrics_json_writes_a_snapshot_with_both_sections() {
+    let dir = std::env::temp_dir().join(format!("ens-cli-metrics-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("metrics.json");
+
+    let output = bin()
+        .args([
+            "run",
+            "--names",
+            "200",
+            "--seed",
+            "5",
+            "--metrics-json",
+            path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        output.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let snapshot = std::fs::read_to_string(&path).expect("snapshot written");
+    for key in [
+        "\"deterministic\"",
+        "\"counters\"",
+        "\"histograms\"",
+        "\"spans\"",
+        "\"wall_clock_ms\"",
+        "\"collect\"",
+        "\"study\"",
+        "\"crawl/subgraph/pages\"",
+    ] {
+        assert!(snapshot.contains(key), "snapshot missing {key}");
+    }
+
+    // The deterministic section is identical across thread counts; only
+    // the wall-clock section may move.
+    let p2 = dir.join("metrics-t2.json");
+    let output = bin()
+        .args([
+            "run",
+            "--names",
+            "200",
+            "--seed",
+            "5",
+            "--threads",
+            "2",
+            "--metrics-json",
+            p2.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(output.status.success());
+    let deterministic = |s: &str| {
+        let start = s.find("\"deterministic\"").unwrap();
+        let end = s.find("\"wall_clock_ms\"").unwrap();
+        s[start..end].to_string()
+    };
+    let t2 = std::fs::read_to_string(&p2).unwrap();
+    assert_eq!(
+        deterministic(&snapshot),
+        deterministic(&t2),
+        "deterministic metrics diverge across thread counts"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}

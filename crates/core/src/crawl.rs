@@ -38,6 +38,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
+use ens_obs::Metrics;
 use ens_subgraph::DomainRecord;
 use ens_types::paged::{FaultKind, PageError, PagedSource, ShardKey};
 use ens_types::Address;
@@ -874,6 +875,95 @@ impl Crawler {
             gaps: agg.gaps,
             elapsed: started.elapsed(),
         })
+    }
+
+    /// [`Crawler::crawl`] under a `crawl/<source>` span, recording the
+    /// merged deterministic accounting (pages, items, retries by kind,
+    /// virtual backoff, gaps, lost-item estimates) into `metrics`. The
+    /// recording happens once, from the post-merge totals, so the recorded
+    /// values inherit the crawl's thread-count independence.
+    pub fn crawl_metered<S>(
+        &self,
+        source: &S,
+        metrics: &Metrics,
+    ) -> Result<Crawled<S::Item>, CrawlError>
+    where
+        S: PagedSource + Sync,
+        S::Item: Send + Sync,
+    {
+        let span = metrics.span(&format!("crawl/{}", source.source_name()));
+        let result = self.crawl(source);
+        match &result {
+            Ok(crawled) => {
+                span.add_virtual_ms(crawled.stats.backoff_virtual_ms);
+                record_source_metrics(metrics, source.source_name(), &crawled.stats, &crawled.gaps);
+            }
+            // A failed crawl still reports every page and retry it spent
+            // (`attach_partials` folded the partial accounting in).
+            Err(e) => {
+                span.add_virtual_ms(e.stats.backoff_virtual_ms);
+                record_source_metrics(metrics, source.source_name(), &e.stats, &e.gaps);
+            }
+        }
+        result
+    }
+
+    /// [`Crawler::crawl_keyed`] with the same instrumentation as
+    /// [`Crawler::crawl_metered`], recorded from the canonical-order merge.
+    pub fn crawl_keyed_metered<K, S>(
+        &self,
+        sources: &[(K, S)],
+        metrics: &Metrics,
+    ) -> Result<KeyedCrawl<K, S::Item>, CrawlError>
+    where
+        K: ShardKey + Ord + Clone + Sync + fmt::Display,
+        S: PagedSource + Sync,
+        S::Item: Send + Sync,
+    {
+        let name = sources.first().map_or("keyed", |(_, s)| s.source_name());
+        let span = metrics.span(&format!("crawl/{name}"));
+        let result = self.crawl_keyed(sources);
+        match &result {
+            Ok(crawl) => {
+                span.add_virtual_ms(crawl.stats.backoff_virtual_ms);
+                record_source_metrics(metrics, name, &crawl.stats, &crawl.gaps);
+                metrics.add(&format!("crawl/{name}/keys"), sources.len() as u64);
+            }
+            Err(e) => {
+                span.add_virtual_ms(e.stats.backoff_virtual_ms);
+                record_source_metrics(metrics, name, &e.stats, &e.gaps);
+            }
+        }
+        result
+    }
+}
+
+/// Folds one source's merged accounting into the metrics registry — the
+/// single post-merge recording point shared by both metered crawl paths.
+fn record_source_metrics(metrics: &Metrics, source: &str, stats: &SourceStats, gaps: &[CrawlGap]) {
+    if !metrics.is_enabled() {
+        return;
+    }
+    let key = |suffix: &str| format!("crawl/{source}/{suffix}");
+    metrics.add(&key("pages"), stats.pages as u64);
+    metrics.add(&key("items"), stats.items as u64);
+    metrics.add(&key("backoff_virtual_ms"), stats.backoff_virtual_ms);
+    let by_kind = [
+        ("retries/rate_limited", stats.retries_by_kind.rate_limited),
+        ("retries/timeout", stats.retries_by_kind.timeout),
+        ("retries/server_error", stats.retries_by_kind.server_error),
+        ("retries/malformed", stats.retries_by_kind.malformed),
+    ];
+    for (suffix, count) in by_kind {
+        if count > 0 {
+            metrics.add(&key(suffix), count as u64);
+        }
+    }
+    metrics.add(&key("gaps"), gaps.len() as u64);
+    let lost: usize = gaps.iter().map(|g| g.lost_estimate).sum();
+    metrics.add(&key("lost_items_estimate"), lost as u64);
+    for gap in gaps {
+        metrics.incr(&key(&format!("gaps_by_kind/{}", gap.kind.metric_key())));
     }
 }
 

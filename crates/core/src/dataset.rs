@@ -26,6 +26,7 @@ use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::sync::Arc;
 
+use ens_obs::Metrics;
 use ens_subgraph::{DomainRecord, Subgraph, SubgraphConfig};
 use ens_types::paged::{ChaosSource, FaultProfile, ShardKey};
 use ens_types::{Address, Timestamp, UsdCents};
@@ -233,14 +234,40 @@ impl Dataset {
         observation_end: Timestamp,
         config: &CrawlConfig,
     ) -> Result<(Dataset, CrawlTimings), CollectError> {
+        Dataset::try_collect_metered(
+            subgraph,
+            etherscan,
+            opensea,
+            observation_end,
+            config,
+            &Metrics::disabled(),
+        )
+    }
+
+    /// [`Dataset::try_collect_with`] under a `collect` span, recording
+    /// per-source crawl accounting and collection totals into `metrics`.
+    /// Instrumentation never changes the dataset: the serialized JSON is
+    /// byte-identical with or without a live metrics handle, and the
+    /// recorded deterministic section is identical at any thread count.
+    pub fn try_collect_metered(
+        subgraph: &Subgraph,
+        etherscan: &Etherscan,
+        opensea: &OpenSea,
+        observation_end: Timestamp,
+        config: &CrawlConfig,
+        metrics: &Metrics,
+    ) -> Result<(Dataset, CrawlTimings), CollectError> {
+        let span = metrics.span("collect");
         // Each endpoint gets its own derived chaos profile (and each
         // address its own, for the keyed txlist crawl) so injected faults
         // never land in lockstep across sources.
         let crawled = match &config.chaos {
-            None => config.crawler(config.subgraph_page_size).crawl(subgraph)?,
+            None => config
+                .crawler(config.subgraph_page_size)
+                .crawl_metered(subgraph, metrics)?,
             Some(p) => config
                 .crawler(config.subgraph_page_size)
-                .crawl(&ChaosSource::new(subgraph, p.derive("subgraph")))?,
+                .crawl_metered(&ChaosSource::new(subgraph, p.derive("subgraph")), metrics)?,
         };
         let domains = crawled.items;
 
@@ -253,7 +280,7 @@ impl Dataset {
                     .collect();
                 config
                     .crawler(config.txlist_page_size)
-                    .crawl_keyed(&tx_sources)?
+                    .crawl_keyed_metered(&tx_sources, metrics)?
             }
             Some(p) => {
                 let tx_sources: Vec<_> = addresses
@@ -270,16 +297,18 @@ impl Dataset {
                     .collect();
                 config
                     .crawler(config.txlist_page_size)
-                    .crawl_keyed(&tx_sources)?
+                    .crawl_keyed_metered(&tx_sources, metrics)?
             }
         };
         let transactions = tx_crawl.map;
 
         let market_crawl = match &config.chaos {
-            None => config.crawler(config.market_page_size).crawl(opensea)?,
+            None => config
+                .crawler(config.market_page_size)
+                .crawl_metered(opensea, metrics)?,
             Some(p) => config
                 .crawler(config.market_page_size)
-                .crawl(&ChaosSource::new(opensea, p.derive("market")))?,
+                .crawl_metered(&ChaosSource::new(opensea, p.derive("market")), metrics)?,
         };
         let market = OpenSea::from_events(market_crawl.items);
 
@@ -305,6 +334,23 @@ impl Dataset {
             gaps,
             lost_items_estimate,
         };
+        if metrics.is_enabled() {
+            metrics.add("collect/domains", crawl_report.domains as u64);
+            metrics.add(
+                "collect/unrecoverable_names",
+                crawl_report.unrecoverable_names as u64,
+            );
+            metrics.add(
+                "collect/addresses_crawled",
+                crawl_report.addresses_crawled as u64,
+            );
+            metrics.add("collect/transactions", crawl_report.transactions as u64);
+            metrics.add("collect/gaps", crawl_report.gaps.len() as u64);
+            metrics.add(
+                "collect/lost_items_estimate",
+                crawl_report.lost_items_estimate as u64,
+            );
+        }
         if crawl_report.item_recovery_rate() < config.min_recovery {
             return Err(CollectError::RecoveryBelowMinimum {
                 achieved: crawl_report.item_recovery_rate(),
@@ -317,6 +363,7 @@ impl Dataset {
             txlist: tx_crawl.elapsed,
             market: market_crawl.elapsed,
         };
+        drop(span);
         let dataset = Dataset {
             domains,
             transactions,
@@ -428,12 +475,22 @@ impl DataSources<'_> {
 
     /// Fallible collection from these sources.
     pub fn try_collect(&self) -> Result<(Dataset, CrawlTimings), CollectError> {
-        Dataset::try_collect_with(
+        self.try_collect_metered(&Metrics::disabled())
+    }
+
+    /// [`DataSources::try_collect`] recording into `metrics` — see
+    /// [`Dataset::try_collect_metered`].
+    pub fn try_collect_metered(
+        &self,
+        metrics: &Metrics,
+    ) -> Result<(Dataset, CrawlTimings), CollectError> {
+        Dataset::try_collect_metered(
             self.subgraph,
             self.etherscan,
             self.opensea,
             self.observation_end,
             &self.crawl,
+            metrics,
         )
     }
 }

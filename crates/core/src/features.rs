@@ -9,6 +9,7 @@
 
 use std::collections::HashSet;
 
+use ens_obs::Metrics;
 use ens_subgraph::DomainRecord;
 use ens_types::{keccak256, LabelHash, Timestamp};
 use price_oracle::PriceOracle;
@@ -317,6 +318,20 @@ pub fn compare_features_with(
     index: &AnalysisIndex,
     threads: usize,
 ) -> FeatureComparison {
+    compare_features_metered(dataset, control_seed, index, threads, &Metrics::disabled())
+}
+
+/// [`compare_features_with`] under a `features` span, recording group
+/// sizes and extraction counts. Per-shard feature vectors merge in input
+/// order, so the recorded metrics are byte-identical at any thread count.
+pub fn compare_features_metered(
+    dataset: &Dataset,
+    control_seed: u64,
+    index: &AnalysisIndex,
+    threads: usize,
+    metrics: &Metrics,
+) -> FeatureComparison {
+    let span = metrics.span("features");
     let caught: HashSet<LabelHash> = index
         .reregistrations()
         .iter()
@@ -331,7 +346,14 @@ pub fn compare_features_with(
             DomainOutcome::ActiveOriginal => {}
         }
     }
+    if metrics.is_enabled() {
+        metrics.add("features/rereg_domains", rereg.len() as u64);
+        metrics.add("features/expired_pool", expired_pool.len() as u64);
+    }
     let control = sample_control(expired_pool, rereg.len(), control_seed);
+    if metrics.is_enabled() {
+        metrics.add("features/control_domains", control.len() as u64);
+    }
 
     let f_rereg: Vec<DomainFeatures> =
         shard_map(&rereg, threads, |d| extract_features_with(index, d))
@@ -343,7 +365,18 @@ pub fn compare_features_with(
             .into_iter()
             .flatten()
             .collect();
-    build_comparison(f_rereg, f_control)
+    if metrics.is_enabled() {
+        metrics.add(
+            "features/vectors_extracted",
+            (f_rereg.len() + f_control.len()) as u64,
+        );
+    }
+    let comparison = build_comparison(f_rereg, f_control);
+    if metrics.is_enabled() {
+        metrics.add("features/rows", comparison.rows.len() as u64);
+    }
+    drop(span);
+    comparison
 }
 
 /// Builds Table 1 and the Fig 6 distributions from the two groups'

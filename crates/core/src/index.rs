@@ -37,7 +37,10 @@
 //! concatenated in input order.
 
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
+use ens_obs::Metrics;
 use ens_types::{Address, Timestamp, UsdCents, Wei};
 use price_oracle::{PriceOracle, PriceTable};
 use sim_chain::{Transaction, TxKind};
@@ -111,12 +114,25 @@ impl AddressIncoming {
     }
 }
 
+/// Raw window-query tallies, shared by all clones of an index. Relaxed
+/// atomic adds commute, so the totals are deterministic for any thread
+/// count even though queries run inside sharded workers;
+/// [`AnalysisIndex::flush_query_counters`] drains them into a [`Metrics`]
+/// registry at a single deterministic point.
+#[derive(Debug, Default)]
+struct QueryCounters {
+    incoming: AtomicU64,
+    income: AtomicU64,
+    unique_senders: AtomicU64,
+}
+
 /// The analysis substrate. See the module docs.
 #[derive(Clone, Debug)]
 pub struct AnalysisIndex {
     incoming: BTreeMap<Address, AddressIncoming>,
     reregistrations: Vec<ReRegistration>,
     transfers_indexed: usize,
+    queries: Arc<QueryCounters>,
 }
 
 static EMPTY: AddressIncoming = AddressIncoming {
@@ -138,32 +154,105 @@ impl AnalysisIndex {
         oracle: &PriceOracle,
         threads: usize,
     ) -> AnalysisIndex {
+        AnalysisIndex::build_metered(dataset, oracle, threads, &Metrics::disabled())
+    }
+
+    /// [`AnalysisIndex::build_with_threads`] under an `index` span with one
+    /// child span per build phase (price-table materialization, sharded
+    /// per-address build, re-registration detection), recording size and
+    /// price-memoization counters. The index itself is identical to the
+    /// unmetered build.
+    pub fn build_metered(
+        dataset: &Dataset,
+        oracle: &PriceOracle,
+        threads: usize,
+        metrics: &Metrics,
+    ) -> AnalysisIndex {
+        let build_span = metrics.span("index");
         let entries: Vec<(&Address, &Vec<Transaction>)> = dataset.transactions.iter().collect();
         // One oracle close per day of the dataset's span, instead of one
         // oracle evaluation (noise hash + interpolation) per transfer.
-        let span = entries
-            .iter()
-            .flat_map(|(_, txs)| txs.iter().map(|tx| tx.timestamp))
-            .fold(None::<(Timestamp, Timestamp)>, |acc, t| match acc {
-                None => Some((t, t)),
-                Some((lo, hi)) => Some((lo.min(t), hi.max(t))),
-            });
-        let prices = match span {
-            Some((lo, hi)) => oracle.day_table(lo, hi),
-            None => oracle.day_table(Timestamp(0), Timestamp(0)),
+        let prices = {
+            let _phase = metrics.span("price_table");
+            let span = entries
+                .iter()
+                .flat_map(|(_, txs)| txs.iter().map(|tx| tx.timestamp))
+                .fold(None::<(Timestamp, Timestamp)>, |acc, t| match acc {
+                    None => Some((t, t)),
+                    Some((lo, hi)) => Some((lo.min(t), hi.max(t))),
+                });
+            match span {
+                Some((lo, hi)) => oracle.day_table(lo, hi),
+                None => oracle.day_table(Timestamp(0), Timestamp(0)),
+            }
         };
         let prices = &prices;
-        let built = shard_map(&entries, threads, |(addr, txs)| {
-            AddressIncoming::build(**addr, txs, prices)
-        });
+        let built = {
+            let _phase = metrics.span("shard_build");
+            shard_map(&entries, threads, |(addr, txs)| {
+                AddressIncoming::build(**addr, txs, prices)
+            })
+        };
         let transfers_indexed = built.iter().map(|a| a.txs.len()).sum();
+        if metrics.is_enabled() {
+            metrics.add("index/price_table_days", prices.days() as u64);
+            // Every indexed transfer was priced exactly once at build time;
+            // split those lookups into materialized-table hits and oracle
+            // fallbacks (the table spans all tx timestamps, so fallbacks
+            // flag a span-computation regression).
+            let (mut hits, mut misses) = (0u64, 0u64);
+            for entry in &built {
+                for t in &entry.txs {
+                    if prices.is_materialized(t.timestamp) {
+                        hits += 1;
+                    } else {
+                        misses += 1;
+                    }
+                }
+            }
+            metrics.add("index/price_lookups/memoized_hit", hits);
+            metrics.add("index/price_lookups/oracle_fallback", misses);
+        }
         let incoming: BTreeMap<Address, AddressIncoming> =
             entries.iter().map(|(addr, _)| **addr).zip(built).collect();
+        let reregistrations = {
+            let _phase = metrics.span("detect");
+            detect_all(&dataset.domains)
+        };
+        if metrics.is_enabled() {
+            metrics.add("index/addresses", incoming.len() as u64);
+            metrics.add("index/transfers", transfers_indexed as u64);
+            metrics.add("index/reregistrations", reregistrations.len() as u64);
+        }
+        drop(build_span);
         AnalysisIndex {
             incoming,
-            reregistrations: detect_all(&dataset.domains),
+            reregistrations,
             transfers_indexed,
+            queries: Arc::new(QueryCounters::default()),
         }
+    }
+
+    /// Drains the raw window-query tallies accumulated since the last
+    /// flush into `metrics` (`index/queries/...` counters). Call from one
+    /// thread at a deterministic point — the metered study pipeline
+    /// flushes once after its last pass.
+    pub fn flush_query_counters(&self, metrics: &Metrics) {
+        if !metrics.is_enabled() {
+            return;
+        }
+        metrics.add(
+            "index/queries/incoming",
+            self.queries.incoming.swap(0, Ordering::Relaxed),
+        );
+        metrics.add(
+            "index/queries/income",
+            self.queries.income.swap(0, Ordering::Relaxed),
+        );
+        metrics.add(
+            "index/queries/unique_senders",
+            self.queries.unique_senders.swap(0, Ordering::Relaxed),
+        );
     }
 
     fn entry(&self, address: Address) -> &AddressIncoming {
@@ -178,6 +267,7 @@ impl AnalysisIndex {
         address: Address,
         window: Option<(Timestamp, Timestamp)>,
     ) -> &[IndexedTransfer] {
+        self.queries.incoming.fetch_add(1, Ordering::Relaxed);
         let e = self.entry(address);
         let (lo, hi) = e.range(window);
         &e.txs[lo..hi]
@@ -196,6 +286,7 @@ impl AnalysisIndex {
         address: Address,
         window: Option<(Timestamp, Timestamp)>,
     ) -> (UsdCents, usize) {
+        self.queries.income.fetch_add(1, Ordering::Relaxed);
         let e = self.entry(address);
         if e.txs.is_empty() {
             return (UsdCents::ZERO, 0);
@@ -210,6 +301,7 @@ impl AnalysisIndex {
         address: Address,
         window: Option<(Timestamp, Timestamp)>,
     ) -> usize {
+        self.queries.unique_senders.fetch_add(1, Ordering::Relaxed);
         let mut senders: Vec<Address> = self
             .incoming(address, window)
             .iter()

@@ -60,24 +60,26 @@ pub use crawl::{
     FailurePolicy, KeyedCrawl, RetryCounts, RetryPolicy, SourceStats,
 };
 pub use dataset::{CollectError, CrawlConfig, DataSources, Dataset};
+pub use ens_obs::{Metrics, MetricsSnapshot};
 pub use export::CsvArtifact;
 pub use features::{
-    compare_features, compare_features_naive, compare_features_with, extract_features,
-    extract_features_with, DomainFeatures, FeatureComparison, FeatureRow,
+    compare_features, compare_features_metered, compare_features_naive, compare_features_with,
+    extract_features, extract_features_with, DomainFeatures, FeatureComparison, FeatureRow,
 };
 pub use index::{shard_map, AnalysisIndex, IndexedTransfer};
 pub use losses::{
-    analyze_losses, analyze_losses_naive, analyze_losses_with, upper_bound_losses,
-    upper_bound_losses_with, DomainLoss, LossReport, SenderKind, UpperBoundLoss,
+    analyze_losses, analyze_losses_metered, analyze_losses_naive, analyze_losses_with,
+    upper_bound_losses, upper_bound_losses_with, DomainLoss, LossReport, SenderKind,
+    UpperBoundLoss,
 };
-pub use overview::{overview, overview_from, OverviewReport};
+pub use overview::{overview, overview_from, overview_from_metered, OverviewReport};
 pub use pipeline::{
-    run_study, run_study_on, run_study_on_naive, run_study_with_index, try_run_study, StudyConfig,
-    StudyReport,
+    run_study, run_study_on, run_study_on_metered, run_study_on_naive, run_study_with_index,
+    run_study_with_index_metered, try_run_study, try_run_study_metered, StudyConfig, StudyReport,
 };
 pub use registrations::{
     classify, classify_with_detected, detect_all, detect_reregistrations,
-    detect_reregistrations_ignoring_transfers, DomainOutcome, ReRegistration,
+    detect_reregistrations_ignoring_transfers, window_contains, DomainOutcome, ReRegistration,
 };
 pub use resale::{analyze_resales, ResaleReport};
 

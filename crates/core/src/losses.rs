@@ -14,9 +14,11 @@ use etherscan_sim::LabelService;
 use price_oracle::PriceOracle;
 use serde::{Deserialize, Serialize};
 
+use ens_obs::Metrics;
+
 use crate::dataset::Dataset;
 use crate::index::{shard_map, AnalysisIndex};
-use crate::registrations::{detect_all, ReRegistration};
+use crate::registrations::{detect_all, window_contains, ReRegistration};
 use crate::stats::Ecdf;
 
 /// How a common sender is custodied — the filter dimension of §4.4.
@@ -246,11 +248,11 @@ pub fn upper_bound_losses(dataset: &Dataset, oracle: &PriceOracle) -> UpperBound
         let a2 = r.new_owner;
         // Senders a2 already knew before this catch.
         let known: std::collections::HashSet<Address> = dataset
-            .incoming(a2, Some((Timestamp(0), r.at)))
+            .incoming(a2, Some(r.prev_window()))
             .map(|tx| tx.from)
             .collect();
         let mut domain_usd = 0.0;
-        for tx in dataset.incoming(a2, Some((r.at, r.new_expiry))) {
+        for tx in dataset.incoming(a2, Some(r.new_window())) {
             if known.contains(&tx.from)
                 || tx.from == r.prev_wallet
                 || dataset.labels.is_non_coinbase_custodial(tx.from)
@@ -282,12 +284,12 @@ pub fn upper_bound_losses_with(dataset: &Dataset, index: &AnalysisIndex) -> Uppe
     for r in index.reregistrations() {
         let a2 = r.new_owner;
         let known: std::collections::HashSet<Address> = index
-            .incoming(a2, Some((Timestamp(0), r.at)))
+            .incoming(a2, Some(r.prev_window()))
             .iter()
             .map(|tx| tx.from)
             .collect();
         let mut domain_usd = 0.0;
-        for tx in index.incoming(a2, Some((r.at, r.new_expiry))) {
+        for tx in index.incoming(a2, Some(r.new_window())) {
             if known.contains(&tx.from)
                 || tx.from == r.prev_wallet
                 || dataset.labels.is_non_coinbase_custodial(tx.from)
@@ -391,15 +393,16 @@ fn common_senders_for(
         return Vec::new();
     }
 
-    // Senders to a1 strictly before the catch, and whether they ever sent
-    // to a1 afterwards (which disqualifies them).
+    // Senders to a1 inside the half-open `[0, at)` window, and whether
+    // they ever sent to a1 afterwards (which disqualifies them). A tx at
+    // exactly `r.at` is outside `prev_window` — new-owner side only.
     let mut to_prev: HashMap<Address, usize> = HashMap::new();
     let mut disqualified: Vec<Address> = Vec::new();
     for tx in dataset.incoming(a1, None) {
         if tx.from == a2 {
             continue;
         }
-        if tx.timestamp < r.at {
+        if window_contains(r.prev_window(), tx.timestamp) {
             *to_prev.entry(tx.from).or_default() += 1;
         } else {
             disqualified.push(tx.from);
@@ -412,17 +415,17 @@ fn common_senders_for(
         return Vec::new();
     }
 
-    // Senders to a2: count only txs while a2 held the domain; any earlier
-    // tx to a2 means c already knew a2 — not a misdirection.
+    // Senders to a2: count only txs inside the `[at, new_expiry)` tenure;
+    // any earlier tx to a2 means c already knew a2 — not a misdirection.
     let mut to_new: HashMap<Address, Vec<(Timestamp, f64)>> = HashMap::new();
     let mut knew_a2: Vec<Address> = Vec::new();
     for tx in dataset.incoming(a2, None) {
         if tx.from == a1 {
             continue;
         }
-        if tx.timestamp < r.at {
+        if window_contains(r.prev_window(), tx.timestamp) {
             knew_a2.push(tx.from);
-        } else if tx.timestamp < r.new_expiry {
+        } else if window_contains(r.new_window(), tx.timestamp) {
             to_new.entry(tx.from).or_default().push((
                 tx.timestamp,
                 oracle.to_usd(tx.value, tx.timestamp).as_dollars_f64(),
@@ -456,7 +459,7 @@ fn common_senders_with(
         if tx.from == a2 {
             continue;
         }
-        if tx.timestamp < r.at {
+        if window_contains(r.prev_window(), tx.timestamp) {
             *to_prev.entry(tx.from).or_default() += 1;
         } else {
             disqualified.push(tx.from);
@@ -469,18 +472,20 @@ fn common_senders_with(
         return Vec::new();
     }
 
-    // Any tx to a2 before the catch means c already knew a2; txs at or
+    // Any tx to a2 inside `prev_window` means c already knew a2; txs at or
     // after the new expiry are outside the tenure. Walk the slice covering
-    // everything before `new_expiry` and split at `r.at`.
+    // everything before `new_expiry` and split it at the shared half-open
+    // boundary — a tx at exactly `r.at` lands in `new_window` only.
     let mut to_new: HashMap<Address, Vec<(Timestamp, f64)>> = HashMap::new();
     let mut knew_a2: Vec<Address> = Vec::new();
     for tx in index.incoming(a2, Some((Timestamp(0), r.new_expiry))) {
         if tx.from == a1 {
             continue;
         }
-        if tx.timestamp < r.at {
+        if window_contains(r.prev_window(), tx.timestamp) {
             knew_a2.push(tx.from);
         } else {
+            debug_assert!(window_contains(r.new_window(), tx.timestamp));
             to_new
                 .entry(tx.from)
                 .or_default()
@@ -555,14 +560,55 @@ pub fn analyze_losses_with(
     index: &AnalysisIndex,
     threads: usize,
 ) -> LossReport {
+    analyze_losses_metered(dataset, oracle, index, threads, &Metrics::disabled())
+}
+
+/// [`analyze_losses_with`] under a `losses` span, recording pass-level
+/// counters and the per-re-registration common-sender histogram. The
+/// per-shard outputs come back from [`shard_map`] in input order, so they
+/// are observed in a sequence independent of the thread count — the
+/// recorded metrics (like the report itself) are byte-identical at any
+/// `threads` value.
+pub fn analyze_losses_metered(
+    dataset: &Dataset,
+    oracle: &PriceOracle,
+    index: &AnalysisIndex,
+    threads: usize,
+    metrics: &Metrics,
+) -> LossReport {
+    let span = metrics.span("losses");
     let rereg = index.reregistrations();
     let senders_per = shard_map(rereg, threads, |r| common_senders_with(dataset, index, r));
-    assemble_loss_report(
+    if metrics.is_enabled() {
+        metrics.add("losses/reregistrations_scanned", rereg.len() as u64);
+        metrics.add(
+            "losses/common_senders",
+            senders_per.iter().map(|s| s.len() as u64).sum(),
+        );
+        metrics.register_histogram("losses/senders_per_rereg", &[0, 1, 2, 3, 4, 8, 16, 64]);
+        for senders in &senders_per {
+            metrics.observe("losses/senders_per_rereg", senders.len() as u64);
+        }
+    }
+    let report = assemble_loss_report(
         rereg,
         senders_per,
         oracle,
         hijackable_funds_with(dataset, oracle, index),
-    )
+    );
+    if metrics.is_enabled() {
+        metrics.add("losses/findings", report.findings.len() as u64);
+        metrics.add(
+            "losses/flagged_txs_incl_coinbase",
+            report.txs_incl_coinbase as u64,
+        );
+        metrics.add(
+            "losses/hijackable_domains",
+            report.hijackable.usd_per_domain.len() as u64,
+        );
+    }
+    drop(span);
+    report
 }
 
 /// Folds the per-re-registration findings (in detection order) into the

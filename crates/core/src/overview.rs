@@ -5,6 +5,7 @@
 
 use std::collections::{BTreeMap, HashMap};
 
+use ens_obs::Metrics;
 use ens_subgraph::DomainRecord;
 use ens_types::{Address, Duration, Timestamp};
 use serde::{Deserialize, Serialize};
@@ -235,13 +236,38 @@ pub fn overview_from(
     observation_end: Timestamp,
     rereg: Vec<ReRegistration>,
 ) -> OverviewReport {
-    OverviewReport {
+    overview_from_metered(domains, observation_end, rereg, &Metrics::disabled())
+}
+
+/// [`overview_from`] under an `overview` span, recording timeline and
+/// catcher-concentration counters.
+pub fn overview_from_metered(
+    domains: &[DomainRecord],
+    observation_end: Timestamp,
+    rereg: Vec<ReRegistration>,
+    metrics: &Metrics,
+) -> OverviewReport {
+    let span = metrics.span("overview");
+    let report = OverviewReport {
         timeline: fig2_timeline_from(domains, observation_end, &rereg),
         delays: fig3_delays(&rereg),
         domain_frequency: fig4_domain_frequency(&rereg),
         catchers: fig5_catcher_concentration(&rereg),
         reregistrations: rereg,
+    };
+    if metrics.is_enabled() {
+        metrics.add("overview/months", report.timeline.months.len() as u64);
+        metrics.add(
+            "overview/reregistrations",
+            report.reregistrations.len() as u64,
+        );
+        metrics.add(
+            "overview/multi_catchers",
+            report.catchers.multi_catchers() as u64,
+        );
     }
+    drop(span);
+    report
 }
 
 #[cfg(test)]

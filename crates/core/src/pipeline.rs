@@ -1,6 +1,7 @@
 //! The one-call study pipeline: crawl → detect → analyze every section of
 //! the paper, and render the whole report as text.
 
+use ens_obs::Metrics;
 use ens_types::Duration;
 use serde::{Deserialize, Serialize};
 
@@ -10,11 +11,11 @@ use crate::countermeasures::{
 use crate::crawl::CrawlReport;
 use crate::dataset::{CollectError, DataSources, Dataset};
 use crate::features::{
-    compare_features_naive, compare_features_with, FeatureComparison, FeatureRow,
+    compare_features_metered, compare_features_naive, FeatureComparison, FeatureRow,
 };
 use crate::index::AnalysisIndex;
-use crate::losses::{analyze_losses_naive, analyze_losses_with, LossReport};
-use crate::overview::{overview, overview_from, OverviewReport};
+use crate::losses::{analyze_losses_metered, analyze_losses_naive, LossReport};
+use crate::overview::{overview, overview_from_metered, OverviewReport};
 use crate::resale::{analyze_resales, ResaleReport};
 
 /// Study knobs.
@@ -99,8 +100,20 @@ pub fn try_run_study(
     sources: &DataSources<'_>,
     config: &StudyConfig,
 ) -> Result<StudyReport, CollectError> {
-    let (dataset, _) = sources.try_collect()?;
-    Ok(run_study_on(&dataset, sources, config))
+    try_run_study_metered(sources, config, &Metrics::disabled())
+}
+
+/// [`try_run_study`] with instrumentation: collection and every analysis
+/// pass record spans and counters into `metrics`. The deterministic part
+/// of the resulting snapshot is byte-identical at any thread count; the
+/// study report itself is unchanged by instrumentation.
+pub fn try_run_study_metered(
+    sources: &DataSources<'_>,
+    config: &StudyConfig,
+    metrics: &Metrics,
+) -> Result<StudyReport, CollectError> {
+    let (dataset, _) = sources.try_collect_metered(metrics)?;
+    Ok(run_study_on_metered(&dataset, sources, config, metrics))
 }
 
 /// Runs the full study on an already-collected dataset.
@@ -115,8 +128,22 @@ pub fn run_study_on(
     sources: &DataSources<'_>,
     config: &StudyConfig,
 ) -> StudyReport {
-    let index = AnalysisIndex::build_with_threads(dataset, sources.oracle, config.threads);
-    run_study_with_index(dataset, sources, config, &index)
+    run_study_on_metered(dataset, sources, config, &Metrics::disabled())
+}
+
+/// [`run_study_on`] with instrumentation: index build and analysis passes
+/// run under a `study` span.
+pub fn run_study_on_metered(
+    dataset: &Dataset,
+    sources: &DataSources<'_>,
+    config: &StudyConfig,
+    metrics: &Metrics,
+) -> StudyReport {
+    let span = metrics.span("study");
+    let index = AnalysisIndex::build_metered(dataset, sources.oracle, config.threads, metrics);
+    let report = run_study_with_index_metered(dataset, sources, config, &index, metrics);
+    drop(span);
+    report
 }
 
 /// [`run_study_on`] against an index the caller already built (the bench
@@ -127,16 +154,45 @@ pub fn run_study_with_index(
     config: &StudyConfig,
     index: &AnalysisIndex,
 ) -> StudyReport {
-    let overview = overview_from(
+    run_study_with_index_metered(dataset, sources, config, index, &Metrics::disabled())
+}
+
+/// [`run_study_with_index`] with instrumentation: every §4 pass plus the
+/// resale and countermeasure passes record spans and counters, and the
+/// index's query counters are flushed into the snapshot at the end.
+pub fn run_study_with_index_metered(
+    dataset: &Dataset,
+    sources: &DataSources<'_>,
+    config: &StudyConfig,
+    index: &AnalysisIndex,
+    metrics: &Metrics,
+) -> StudyReport {
+    let overview = overview_from_metered(
         &dataset.domains,
         dataset.observation_end,
         index.reregistrations().to_vec(),
+        metrics,
     );
-    let features = compare_features_with(dataset, config.control_seed, index, config.threads);
-    let losses = analyze_losses_with(dataset, sources.oracle, index, config.threads);
-    let resale = analyze_resales(&overview.reregistrations, &dataset.market);
-    let countermeasures =
-        evaluate_countermeasure_with(&losses, dataset, index, config.warning_window);
+    let features =
+        compare_features_metered(dataset, config.control_seed, index, config.threads, metrics);
+    let losses = analyze_losses_metered(dataset, sources.oracle, index, config.threads, metrics);
+    let resale = {
+        let _span = metrics.span("resale");
+        analyze_resales(&overview.reregistrations, &dataset.market)
+    };
+    let countermeasures = {
+        let _span = metrics.span("countermeasures");
+        evaluate_countermeasure_with(&losses, dataset, index, config.warning_window)
+    };
+    if metrics.is_enabled() {
+        metrics.add("resale/listed", resale.listed as u64);
+        metrics.add("resale/sold", resale.sold as u64);
+        metrics.add(
+            "countermeasures/table2_rows",
+            countermeasures.table2.len() as u64,
+        );
+    }
+    index.flush_query_counters(metrics);
     StudyReport {
         crawl: dataset.crawl_report.clone(),
         overview,

@@ -55,12 +55,39 @@ impl ReRegistration {
         !self.premium.is_zero()
     }
 
+    /// The previous owner's attribution window, half-open `[0, at)`.
+    ///
+    /// Together with [`new_window`](Self::new_window) this pins the §4.4
+    /// ownership-boundary contract: a transfer timestamped *exactly* at the
+    /// re-registration instant `at` falls outside this window and inside the
+    /// new owner's — it is attributed to `a2` only, never double-counted.
+    pub fn prev_window(&self) -> (Timestamp, Timestamp) {
+        (Timestamp(0), self.at)
+    }
+
+    /// The new owner's tenure window, half-open `[at, new_expiry)`.
+    ///
+    /// Complements [`prev_window`](Self::prev_window) with no overlap and
+    /// no gap: every timestamp before `new_expiry` belongs to exactly one
+    /// of the two windows.
+    pub fn new_window(&self) -> (Timestamp, Timestamp) {
+        (self.at, self.new_expiry)
+    }
+
     /// True if the catch landed within `window` of the premium's end —
     /// "re-registered shortly after their temporary premium periods
     /// concluded".
     pub fn near_premium_end(&self, window: Duration) -> bool {
         self.at >= self.premium_end && self.at < self.premium_end + window
     }
+}
+
+/// True iff `t` lies in the half-open window `[w.0, w.1)` — the single
+/// definition of window membership the loss passes share, matching
+/// [`Dataset::incoming`](crate::dataset::Dataset::incoming) and the
+/// indexed slice queries.
+pub fn window_contains(w: (Timestamp, Timestamp), t: Timestamp) -> bool {
+    t >= w.0 && t < w.1
 }
 
 /// The wallet that effectively held the name at the end of registration

@@ -61,7 +61,8 @@ pub fn quantile_table(ecdf: &crate::stats::Ecdf, unit: &str) -> String {
         .map(|&q| {
             vec![
                 format!("p{:02.0}", q * 100.0),
-                format!("{:.2} {unit}", ecdf.quantile(q)),
+                // Guarded non-empty above, so every quantile is Some.
+                format!("{:.2} {unit}", ecdf.quantile(q).unwrap_or(f64::NAN)),
             ]
         })
         .collect();

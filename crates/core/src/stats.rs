@@ -106,7 +106,11 @@ pub fn two_proportion_z_test(k1: usize, n1: usize, k2: usize, n2: usize) -> Opti
         });
     }
     let z = (p1 - p2) / se;
-    let p = 2.0 * (1.0 - normal_cdf(z.abs()));
+    // The survival function keeps full relative accuracy in the far tail;
+    // `1 - normal_cdf(z)` would saturate to 0 below p ≈ 1e-7 (the absolute
+    // error floor of the old A&S 7.1.26 approximation) and Table 1's extreme
+    // contrasts would all report p = 0 exactly.
+    let p = 2.0 * normal_sf(z.abs());
     Some(TestResult {
         statistic: z,
         p_value: p.clamp(0.0, 1.0),
@@ -117,22 +121,98 @@ pub fn two_proportion_z_test(k1: usize, n1: usize, k2: usize, n2: usize) -> Opti
 // Special functions
 // ----------------------------------------------------------------------
 
-/// The error function, via the Abramowitz–Stegun 7.1.26 rational
-/// approximation (|error| ≤ 1.5e-7 — ample for p-values).
+/// The error function, accurate to near machine precision everywhere.
+///
+/// For `|x| < 2` this is the confluent-hypergeometric series (all-positive
+/// terms, no cancellation); beyond that, `1 − erfc(x)` via the continued
+/// fraction — where `erf ≈ 1` anyway, so the subtraction is harmless.
 pub fn erf(x: f64) -> f64 {
-    let sign = if x < 0.0 { -1.0 } else { 1.0 };
-    let x = x.abs();
-    let t = 1.0 / (1.0 + 0.327_591_1 * x);
-    let poly = t
-        * (0.254_829_592
-            + t * (-0.284_496_736
-                + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
-    sign * (1.0 - poly * (-x * x).exp())
+    if x < 0.0 {
+        -erf(-x)
+    } else if x < ERF_SWITCH {
+        erf_series(x)
+    } else {
+        1.0 - erfc_cf(x)
+    }
 }
 
-/// Standard normal CDF.
+/// The complementary error function `erfc(x) = 1 − erf(x)` with full
+/// *relative* accuracy deep into the tail (`erfc(20) ≈ 5.4e-176` comes out
+/// to ~14 significant digits, where `1 − erf(x)` is exactly 0).
+pub fn erfc(x: f64) -> f64 {
+    if x < 0.0 {
+        2.0 - erfc(-x)
+    } else if x < ERF_SWITCH {
+        1.0 - erf_series(x)
+    } else {
+        erfc_cf(x)
+    }
+}
+
+/// Below this the series converges fast; above it the continued fraction
+/// does. Both are good to ~1e-14 relative at the boundary.
+const ERF_SWITCH: f64 = 2.0;
+
+/// `erf(x) = (2x/√π) e^{−x²} Σ_{n≥0} (2x²)^n / (1·3·5···(2n+1))` — every
+/// term positive, so no cancellation for small `x`.
+fn erf_series(x: f64) -> f64 {
+    const MAX_ITER: usize = 200;
+    const EPS: f64 = 1e-16;
+    let x2 = 2.0 * x * x;
+    let mut term = 1.0;
+    let mut sum = 1.0;
+    for n in 1..=MAX_ITER {
+        term *= x2 / (2 * n + 1) as f64;
+        sum += term;
+        if term < EPS * sum {
+            break;
+        }
+    }
+    2.0 * x * (-x * x).exp() / std::f64::consts::PI.sqrt() * sum
+}
+
+/// `erfc(x)` for `x ≥ 2` via the Legendre continued fraction
+/// `√π e^{x²} erfc(x) = 1/(x + (1/2)/(x + 1/(x + (3/2)/(x + ...))))` —
+/// the convergent resummation of the divergent large-`x` asymptotic
+/// expansion (A&S 7.1.14), evaluated by modified Lentz like [`beta_cf`].
+fn erfc_cf(x: f64) -> f64 {
+    const MAX_ITER: usize = 300;
+    const EPS: f64 = 1e-15;
+    const TINY: f64 = 1e-300;
+    let mut f = x;
+    let mut c = f;
+    let mut d = 0.0;
+    for n in 1..=MAX_ITER {
+        let a = n as f64 / 2.0;
+        d = x + a * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = x + a / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let del = c * d;
+        f *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    (-x * x).exp() / std::f64::consts::PI.sqrt() / f
+}
+
+/// Standard normal CDF `P(Z ≤ x)`, expressed through [`erfc`] so *both*
+/// tails keep relative accuracy.
 pub fn normal_cdf(x: f64) -> f64 {
-    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+    0.5 * erfc(-x / std::f64::consts::SQRT_2)
+}
+
+/// Standard normal survival function `P(Z > x)`. This is the tail the
+/// z-test needs: `2·normal_sf(|z|)` stays meaningful down to the smallest
+/// representable doubles instead of flushing to 0 below ~1e-7.
+pub fn normal_sf(x: f64) -> f64 {
+    0.5 * erfc(x / std::f64::consts::SQRT_2)
 }
 
 /// Student-t survival function `P(T > t)` for `t ≥ 0` with `df` degrees of
@@ -268,13 +348,21 @@ impl Ecdf {
         idx as f64 / self.sorted.len() as f64
     }
 
-    /// The `q`-quantile, `q ∈ [0, 1]`.
-    pub fn quantile(&self, q: f64) -> f64 {
+    /// The `q`-quantile, `q ∈ [0, 1]`, by linear interpolation between
+    /// order statistics (type-7 / the numpy default).
+    ///
+    /// `None` on an empty sample — the old `f64::NAN` serialized as JSON
+    /// `null` and broke CSV re-ingest of report artifacts, and the old
+    /// `.round()` nearest-rank picked biased ranks at small `n`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
         if self.sorted.is_empty() {
-            return f64::NAN;
+            return None;
         }
-        let idx = ((q.clamp(0.0, 1.0)) * (self.sorted.len() - 1) as f64).round() as usize;
-        self.sorted[idx]
+        let pos = q.clamp(0.0, 1.0) * (self.sorted.len() - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = (lo + 1).min(self.sorted.len() - 1);
+        let frac = pos - lo as f64;
+        Some(self.sorted[lo] + frac * (self.sorted[hi] - self.sorted[lo]))
     }
 
     /// Sample size.
@@ -387,6 +475,50 @@ mod tests {
         assert!((normal_cdf(-1.96) - 0.025).abs() < 2e-4);
     }
 
+    /// Relative-error assertion for tail pins.
+    fn assert_rel(got: f64, want: f64, tol: f64) {
+        assert!(
+            ((got - want) / want).abs() < tol,
+            "got {got:e}, want {want:e}"
+        );
+    }
+
+    #[test]
+    fn erfc_known_values() {
+        assert_rel(erfc(1.0), 0.157_299_207_050_285_13, 1e-12);
+        assert_rel(erfc(3.0), 2.209_049_699_858_544e-5, 1e-12);
+        // Complement identity across the series/CF switch.
+        for &x in &[0.1, 0.5, 1.0, 1.9, 1.999, 2.0, 2.001, 2.5, 4.0] {
+            assert!((erf(x) + erfc(x) - 1.0).abs() < 1e-14, "x = {x}");
+            assert!((erfc(-x) - (2.0 - erfc(x))).abs() < 1e-14, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn normal_sf_tail_pins() {
+        // Reference values (Wolfram Alpha, Q(z) = erfc(z/√2)/2). The old
+        // `1 - normal_cdf` path flushed all of these below z ≈ 5 to 0.
+        assert_rel(normal_sf(5.0), 2.866_515_719_235_352e-7, 1e-9);
+        assert_rel(normal_sf(6.0), 9.865_876_450_376_946e-10, 1e-9);
+        assert_rel(normal_sf(8.0), 6.220_960_574_271_78e-16, 1e-9);
+        assert_rel(normal_sf(10.0), 7.619_853_024_160_527e-24, 1e-9);
+        assert_rel(normal_sf(20.0), 2.753_624_118_606_233_7e-89, 1e-9);
+        // sf + cdf = 1 where both are O(1).
+        for &z in &[-2.0, -0.5, 0.0, 0.5, 2.0] {
+            assert!((normal_sf(z) + normal_cdf(z) - 1.0).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn z_test_tail_p_values_do_not_saturate() {
+        // An extreme contrast like Table 1's contains_digit (2.3% vs
+        // 27.1% at large n) must yield a tiny but *non-zero* p-value.
+        let r = two_proportion_z_test(23, 1000, 271, 1000).unwrap();
+        assert!(r.statistic.abs() > 10.0, "z {}", r.statistic);
+        assert!(r.p_value > 0.0, "tail p flushed to zero");
+        assert!(r.p_value < 1e-20, "p {}", r.p_value);
+    }
+
     #[test]
     fn ln_gamma_known_values() {
         // Γ(5) = 24.
@@ -465,9 +597,14 @@ mod tests {
         assert_eq!(e.at(0.5), 0.0);
         assert_eq!(e.at(3.0), 0.6);
         assert_eq!(e.at(100.0), 1.0);
-        assert_eq!(e.quantile(0.0), 1.0);
-        assert_eq!(e.quantile(1.0), 5.0);
-        assert_eq!(e.quantile(0.5), 3.0);
+        assert_eq!(e.quantile(0.0), Some(1.0));
+        assert_eq!(e.quantile(1.0), Some(5.0));
+        assert_eq!(e.quantile(0.5), Some(3.0));
+        // Linear interpolation between ranks, not nearest-rank rounding.
+        assert_eq!(e.quantile(0.25), Some(2.0));
+        assert_eq!(e.quantile(0.1), Some(1.4));
+        assert_eq!(Ecdf::new(vec![]).quantile(0.5), None);
+        assert_eq!(Ecdf::new(vec![7.0]).quantile(0.9), Some(7.0));
         // Monotonicity over a sweep.
         let mut last = 0.0;
         for i in 0..60 {

@@ -1,0 +1,595 @@
+//! `ens-obs` — the deterministic instrumentation layer.
+//!
+//! The crawl engine already proves a strong property: its *results* are
+//! byte-identical at any thread count. This crate extends that guarantee to
+//! the pipeline's *telemetry*, so a metrics snapshot can be diffed across
+//! runs, thread counts and machines the same way a [`Dataset`]-style report
+//! can. Three primitives:
+//!
+//! - **monotonic counters** — named `u64` totals. Addition commutes, so
+//!   concurrent increments from sharded workers produce the same final
+//!   value regardless of interleaving.
+//! - **fixed-boundary histograms** — bucket edges are fixed at first
+//!   observation (or registered explicitly), so two runs that observe the
+//!   same multiset of values produce identical bucket vectors. Ordered
+//!   inputs should be observed in a deterministic order anyway (the
+//!   analysis passes observe per-shard outputs in input order).
+//! - **hierarchical spans** — nested named scopes recorded by the
+//!   orchestrator thread. Each span accumulates a *call count*, a
+//!   *virtual-clock duration* (milliseconds accounted by deterministic
+//!   simulation, e.g. retry backoff — never slept) and a *wall-clock
+//!   duration*.
+//!
+//! # The deterministic / wall-clock split
+//!
+//! A snapshot has two sections. The `deterministic` section (counters,
+//! histograms, span call counts and virtual durations) must be
+//! byte-identical for any `threads` value — the same rule `CrawlTimings`
+//! vs. `CrawlReport` established for the crawl. Wall-clock durations are
+//! real time and therefore nondeterministic; they live in a separate
+//! `wall_clock_ms` section that is never diffed and never serialized into
+//! datasets. [`MetricsSnapshot::deterministic_json`] renders only the
+//! diffable section; [`MetricsSnapshot::to_json`] appends the wall section.
+//!
+//! Spans must be opened and closed by one thread at a time (in practice:
+//! the pipeline orchestrator); counters and histograms may be touched from
+//! anywhere.
+//!
+//! [`Dataset`]: https://example.invalid/ens-dropcatch
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// A shared, cheaply clonable handle to a metrics registry — or a no-op
+/// shell (see [`Metrics::disabled`]) so uninstrumented call paths pay one
+/// branch and no allocation.
+#[derive(Clone, Debug, Default)]
+pub struct Metrics {
+    inner: Option<Arc<Mutex<Inner>>>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histo>,
+    spans: BTreeMap<String, SpanStat>,
+    /// The open-span stack of the orchestrator thread; `a/b/c` paths.
+    stack: Vec<String>,
+}
+
+#[derive(Debug)]
+struct Histo {
+    edges: Vec<u64>,
+    counts: Vec<u64>,
+}
+
+#[derive(Debug, Default)]
+struct SpanStat {
+    calls: u64,
+    virtual_ms: u64,
+    wall: Duration,
+}
+
+/// Default histogram boundaries: 0, then powers of two up to 2^40 — wide
+/// enough for item counts and virtual milliseconds alike.
+fn default_edges() -> Vec<u64> {
+    let mut edges = vec![0u64];
+    edges.extend((0..=40).map(|p| 1u64 << p));
+    edges
+}
+
+impl Metrics {
+    /// A live registry.
+    pub fn new() -> Metrics {
+        Metrics {
+            inner: Some(Arc::new(Mutex::new(Inner::default()))),
+        }
+    }
+
+    /// A disabled handle: every operation is a no-op, snapshots are empty.
+    /// Existing entry points thread this through so uninstrumented callers
+    /// keep their exact behaviour (and allocation profile).
+    pub fn disabled() -> Metrics {
+        Metrics { inner: None }
+    }
+
+    /// Whether this handle records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    fn with_inner<R>(&self, f: impl FnOnce(&mut Inner) -> R) -> Option<R> {
+        self.inner
+            .as_ref()
+            .map(|m| f(&mut m.lock().expect("metrics poisoned")))
+    }
+
+    /// Adds `delta` to the named counter (creating it at zero).
+    pub fn add(&self, name: &str, delta: u64) {
+        self.with_inner(|i| *i.counters.entry(name.to_string()).or_default() += delta);
+    }
+
+    /// Increments the named counter by one.
+    pub fn incr(&self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Registers a histogram with explicit bucket boundaries (ascending;
+    /// bucket `i` counts values in `[edges[i], edges[i+1])`, the last
+    /// bucket is unbounded above, values below `edges[0]` clamp into
+    /// bucket 0). Re-registering an existing name is a no-op, so the first
+    /// registration fixes the boundaries for the run.
+    pub fn register_histogram(&self, name: &str, edges: &[u64]) {
+        assert!(
+            !edges.is_empty() && edges.windows(2).all(|w| w[0] < w[1]),
+            "histogram edges must be non-empty and strictly ascending"
+        );
+        self.with_inner(|i| {
+            i.histograms
+                .entry(name.to_string())
+                .or_insert_with(|| Histo {
+                    edges: edges.to_vec(),
+                    counts: vec![0; edges.len()],
+                });
+        });
+    }
+
+    /// Records one value into the named histogram, creating it with the
+    /// default power-of-two boundaries if it was never registered.
+    pub fn observe(&self, name: &str, value: u64) {
+        self.with_inner(|i| {
+            let h = i.histograms.entry(name.to_string()).or_insert_with(|| {
+                let edges = default_edges();
+                let counts = vec![0; edges.len()];
+                Histo { edges, counts }
+            });
+            // partition_point gives the first edge > value; the bucket
+            // holding `value` is the one before it (clamped at 0).
+            let bucket = h.edges.partition_point(|&e| e <= value).saturating_sub(1);
+            h.counts[bucket] += 1;
+        });
+    }
+
+    /// Opens a nested span. The returned guard closes it on drop,
+    /// accumulating one call, the wall-clock elapsed time and any
+    /// virtual-clock milliseconds attributed via
+    /// [`SpanGuard::add_virtual_ms`]. Spans nest by path: a span opened
+    /// while `study` is open records as `study/losses`.
+    pub fn span(&self, name: &str) -> SpanGuard {
+        let path = self.with_inner(|i| {
+            i.stack.push(name.to_string());
+            i.stack.join("/")
+        });
+        SpanGuard {
+            metrics: self.clone(),
+            path,
+            start: Instant::now(),
+        }
+    }
+
+    /// A point-in-time copy of everything recorded so far.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.with_inner(|i| MetricsSnapshot {
+            counters: i.counters.clone(),
+            histograms: i
+                .histograms
+                .iter()
+                .map(|(k, h)| {
+                    (
+                        k.clone(),
+                        HistogramSnapshot {
+                            edges: h.edges.clone(),
+                            counts: h.counts.clone(),
+                        },
+                    )
+                })
+                .collect(),
+            spans: i
+                .spans
+                .iter()
+                .map(|(path, s)| SpanSnapshot {
+                    path: path.clone(),
+                    calls: s.calls,
+                    virtual_ms: s.virtual_ms,
+                })
+                .collect(),
+            wall_ms: i
+                .spans
+                .iter()
+                .map(|(path, s)| (path.clone(), s.wall.as_secs_f64() * 1e3))
+                .collect(),
+        })
+        .unwrap_or_default()
+    }
+}
+
+/// RAII guard for an open span; see [`Metrics::span`].
+#[derive(Debug)]
+pub struct SpanGuard {
+    metrics: Metrics,
+    /// `None` when the handle is disabled.
+    path: Option<String>,
+    start: Instant,
+}
+
+impl SpanGuard {
+    /// Attributes deterministic virtual-clock milliseconds (e.g. accounted
+    /// retry backoff) to this span.
+    pub fn add_virtual_ms(&self, ms: u64) {
+        if let Some(path) = &self.path {
+            self.metrics.with_inner(|i| {
+                i.spans.entry(path.clone()).or_default().virtual_ms += ms;
+            });
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(path) = self.path.take() {
+            let elapsed = self.start.elapsed();
+            self.metrics.with_inner(|i| {
+                let s = i.spans.entry(path).or_default();
+                s.calls += 1;
+                s.wall += elapsed;
+                i.stack.pop();
+            });
+        }
+    }
+}
+
+/// A frozen copy of one histogram.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Bucket boundaries, ascending.
+    pub edges: Vec<u64>,
+    /// Per-bucket counts (`counts[i]` covers `[edges[i], edges[i+1])`).
+    pub counts: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+}
+
+/// A frozen copy of one span's deterministic fields.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanSnapshot {
+    /// Slash-joined nesting path, e.g. `study/losses`.
+    pub path: String,
+    /// Times the span was opened and closed.
+    pub calls: u64,
+    /// Accumulated virtual-clock milliseconds.
+    pub virtual_ms: u64,
+}
+
+/// A point-in-time copy of a registry; see the module docs for the
+/// deterministic / wall-clock split.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsSnapshot {
+    /// All counters, name-sorted.
+    pub counters: BTreeMap<String, u64>,
+    /// All histograms, name-sorted.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// All spans, path-sorted — deterministic fields only.
+    pub spans: Vec<SpanSnapshot>,
+    /// Wall-clock milliseconds per span path. Nondeterministic: never
+    /// diffed, never serialized into datasets, excluded from
+    /// [`deterministic_json`](MetricsSnapshot::deterministic_json).
+    pub wall_ms: Vec<(String, f64)>,
+}
+
+impl MetricsSnapshot {
+    /// Looks a counter up (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// The diffable section only: counters, histograms, spans without wall
+    /// clocks. Byte-identical across thread counts for an instrumented
+    /// pipeline run on identical inputs.
+    pub fn deterministic_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        self.write_deterministic(&mut w);
+        w.out
+    }
+
+    /// The full snapshot: the deterministic section plus `wall_clock_ms`.
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.out.push_str("{\n  \"deterministic\": ");
+        w.indent = 1;
+        self.write_deterministic(&mut w);
+        w.out.push_str(",\n  \"wall_clock_ms\": {");
+        for (i, (path, ms)) in self.wall_ms.iter().enumerate() {
+            if i > 0 {
+                w.out.push(',');
+            }
+            w.out.push_str("\n    ");
+            w.string(path);
+            // Fixed precision keeps the (never-diffed) section readable.
+            w.out.push_str(&format!(": {ms:.3}"));
+        }
+        if !self.wall_ms.is_empty() {
+            w.out.push_str("\n  ");
+        }
+        w.out.push_str("}\n}");
+        w.out
+    }
+
+    fn write_deterministic(&self, w: &mut JsonWriter) {
+        w.open('{');
+        w.key("counters");
+        w.open('{');
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            w.comma(i);
+            w.string(k);
+            w.out.push_str(&format!(": {v}"));
+        }
+        w.close('}', !self.counters.is_empty());
+        w.out.push(',');
+        w.key("histograms");
+        w.open('{');
+        for (i, (k, h)) in self.histograms.iter().enumerate() {
+            w.comma(i);
+            w.string(k);
+            w.out.push_str(": {\"edges\": ");
+            w.u64_array(&h.edges);
+            w.out.push_str(", \"counts\": ");
+            w.u64_array(&h.counts);
+            w.out.push('}');
+        }
+        w.close('}', !self.histograms.is_empty());
+        w.out.push(',');
+        w.key("spans");
+        w.open('[');
+        for (i, s) in self.spans.iter().enumerate() {
+            w.comma(i);
+            w.out.push_str("{\"path\": ");
+            w.string(&s.path);
+            w.out.push_str(&format!(
+                ", \"calls\": {}, \"virtual_ms\": {}}}",
+                s.calls, s.virtual_ms
+            ));
+        }
+        w.close(']', !self.spans.is_empty());
+        w.close_obj();
+    }
+}
+
+/// A minimal indenting JSON writer — this crate is zero-dependency by
+/// design, so the snapshot bytes are fully under its control.
+struct JsonWriter {
+    out: String,
+    indent: usize,
+}
+
+impl JsonWriter {
+    fn new() -> JsonWriter {
+        JsonWriter {
+            out: String::new(),
+            indent: 0,
+        }
+    }
+
+    fn pad(&mut self) {
+        for _ in 0..self.indent {
+            self.out.push_str("  ");
+        }
+    }
+
+    fn open(&mut self, c: char) {
+        self.out.push(c);
+        self.indent += 1;
+    }
+
+    fn close(&mut self, c: char, had_items: bool) {
+        self.indent -= 1;
+        if had_items {
+            self.out.push('\n');
+            self.pad();
+        }
+        self.out.push(c);
+    }
+
+    fn close_obj(&mut self) {
+        self.indent -= 1;
+        self.out.push('\n');
+        self.pad();
+        self.out.push('}');
+    }
+
+    fn key(&mut self, k: &str) {
+        self.out.push('\n');
+        self.pad();
+        self.string(k);
+        self.out.push_str(": ");
+    }
+
+    fn comma(&mut self, i: usize) {
+        if i > 0 {
+            self.out.push(',');
+        }
+        self.out.push('\n');
+        self.pad();
+    }
+
+    fn string(&mut self, s: &str) {
+        self.out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => self.out.push_str("\\\""),
+                '\\' => self.out.push_str("\\\\"),
+                '\n' => self.out.push_str("\\n"),
+                '\r' => self.out.push_str("\\r"),
+                '\t' => self.out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    self.out.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => self.out.push(c),
+            }
+        }
+        self.out.push('"');
+    }
+
+    fn u64_array(&mut self, vals: &[u64]) {
+        self.out.push('[');
+        for (i, v) in vals.iter().enumerate() {
+            if i > 0 {
+                self.out.push_str(", ");
+            }
+            self.out.push_str(&v.to_string());
+        }
+        self.out.push(']');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_records_nothing() {
+        let m = Metrics::disabled();
+        m.add("a", 5);
+        m.observe("h", 3);
+        let g = m.span("s");
+        g.add_virtual_ms(10);
+        drop(g);
+        let snap = m.snapshot();
+        assert!(!m.is_enabled());
+        assert!(snap.counters.is_empty());
+        assert!(snap.spans.is_empty());
+        assert_eq!(snap.counter("a"), 0);
+    }
+
+    #[test]
+    fn counters_accumulate_and_sort_by_name() {
+        let m = Metrics::new();
+        m.add("b", 2);
+        m.incr("a");
+        m.add("b", 3);
+        let snap = m.snapshot();
+        assert_eq!(snap.counter("a"), 1);
+        assert_eq!(snap.counter("b"), 5);
+        let names: Vec<&str> = snap.counters.keys().map(|s| s.as_str()).collect();
+        assert_eq!(names, ["a", "b"]);
+    }
+
+    #[test]
+    fn concurrent_counter_adds_are_deterministic() {
+        let m = Metrics::new();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let m = m.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        m.incr("hits");
+                    }
+                });
+            }
+        });
+        assert_eq!(m.snapshot().counter("hits"), 8000);
+    }
+
+    #[test]
+    fn histogram_buckets_follow_fixed_edges() {
+        let m = Metrics::new();
+        m.register_histogram("h", &[0, 10, 100]);
+        for v in [0, 5, 9, 10, 99, 100, 5000] {
+            m.observe("h", v);
+        }
+        let snap = m.snapshot();
+        let h = &snap.histograms["h"];
+        assert_eq!(h.edges, vec![0, 10, 100]);
+        assert_eq!(h.counts, vec![3, 2, 2]);
+        assert_eq!(h.total(), 7);
+    }
+
+    #[test]
+    fn unregistered_histogram_gets_default_edges() {
+        let m = Metrics::new();
+        m.observe("h", 3);
+        m.observe("h", 1 << 20);
+        let snap = m.snapshot();
+        assert_eq!(snap.histograms["h"].total(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn unsorted_edges_are_rejected() {
+        Metrics::new().register_histogram("h", &[5, 1]);
+    }
+
+    #[test]
+    fn spans_nest_by_path_and_accumulate_virtual_ms() {
+        let m = Metrics::new();
+        {
+            let outer = m.span("study");
+            outer.add_virtual_ms(7);
+            {
+                let inner = m.span("losses");
+                inner.add_virtual_ms(3);
+            }
+            let again = m.span("losses");
+            drop(again);
+        }
+        let snap = m.snapshot();
+        let by_path: BTreeMap<&str, (u64, u64)> = snap
+            .spans
+            .iter()
+            .map(|s| (s.path.as_str(), (s.calls, s.virtual_ms)))
+            .collect();
+        assert_eq!(by_path["study"], (1, 7));
+        assert_eq!(by_path["study/losses"], (2, 3));
+        // Wall section carries the same paths.
+        let wall_paths: Vec<&str> = snap.wall_ms.iter().map(|(p, _)| p.as_str()).collect();
+        assert_eq!(wall_paths, ["study", "study/losses"]);
+    }
+
+    #[test]
+    fn deterministic_json_is_stable_and_excludes_wall_clock() {
+        let build = || {
+            let m = Metrics::new();
+            let g = m.span("root");
+            g.add_virtual_ms(42);
+            m.add("z/count", 9);
+            m.add("a/count", 1);
+            m.register_histogram("sizes", &[0, 4, 16]);
+            m.observe("sizes", 5);
+            drop(g);
+            m.snapshot()
+        };
+        let a = build();
+        let b = build();
+        assert_eq!(a.deterministic_json(), b.deterministic_json());
+        assert!(!a.deterministic_json().contains("wall"));
+        let full = a.to_json();
+        assert!(full.contains("\"deterministic\""));
+        assert!(full.contains("\"wall_clock_ms\""));
+        assert!(full.contains("\"a/count\": 1"));
+        assert!(full.contains("\"virtual_ms\": 42"));
+    }
+
+    #[test]
+    fn json_strings_are_escaped() {
+        let m = Metrics::new();
+        m.incr("weird\"name\\with\ncontrol\u{1}");
+        let json = m.snapshot().deterministic_json();
+        assert!(json.contains("weird\\\"name\\\\with\\ncontrol\\u0001"));
+    }
+
+    #[test]
+    fn empty_snapshot_renders_valid_skeleton() {
+        let json = Metrics::new().snapshot().deterministic_json();
+        assert!(json.contains("\"counters\": {}"));
+        assert!(json.contains("\"histograms\": {}"));
+        assert!(json.contains("\"spans\": []"));
+    }
+}

@@ -291,6 +291,15 @@ impl PriceTable {
     pub fn days(&self) -> usize {
         self.cents.len()
     }
+
+    /// True if the day of `t` falls inside the materialized range (an
+    /// array-read hit); false when [`PriceTable::cents_per_eth`] falls back
+    /// to the oracle's own computation.
+    pub fn is_materialized(&self, t: Timestamp) -> bool {
+        t.day_index()
+            .checked_sub(self.base_day)
+            .is_some_and(|i| (i as usize) < self.cents.len())
+    }
 }
 
 #[cfg(test)]

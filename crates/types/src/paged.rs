@@ -79,6 +79,18 @@ impl FaultKind {
             FaultKind::Malformed => "malformed",
         }
     }
+
+    /// Stable snake_case key for metric names ("rate_limited", ...) — the
+    /// counter-name counterpart of [`FaultKind::label`].
+    pub fn metric_key(self) -> &'static str {
+        match self {
+            FaultKind::RateLimited { .. } => "rate_limited",
+            FaultKind::Timeout => "timeout",
+            FaultKind::ServerError => "server_error",
+            FaultKind::PermanentHole => "permanent_hole",
+            FaultKind::Malformed => "malformed",
+        }
+    }
 }
 
 /// A failure of one page request, classified by [`FaultKind`]. The crawler

@@ -13,6 +13,7 @@
 
 pub use ens_dropcatch as analysis;
 pub use ens_lexicon as lexicon;
+pub use ens_obs as obs;
 pub use ens_registry as ens;
 pub use ens_subgraph as subgraph;
 pub use ens_types as types;
