@@ -1,0 +1,159 @@
+//! Times columnar (`.ensc`) dataset encode/load against streaming JSON
+//! across input scales and writes `BENCH_columnar.json`.
+//!
+//! ```sh
+//! cargo run --release -p ens-bench --bin columnar_bench -- \
+//!     --names 300 --scales 1,4,16 --out BENCH_columnar.json
+//! ```
+//!
+//! The cross-format equivalence gate is always on: exits non-zero if any
+//! `JSON → columnar → JSON` round trip is not byte-identical to the direct
+//! JSON export. Optional regression gates: `--min-speedup` (columnar load
+//! vs streaming JSON at the largest scale) and `--max-footprint-ratio`
+//! (columnar bytes / JSON bytes at the largest scale).
+
+use ens_bench::run_columnar_bench;
+
+struct Args {
+    names: usize,
+    seed: u64,
+    scales: Vec<usize>,
+    repeats: usize,
+    out: Option<String>,
+    min_speedup: Option<f64>,
+    max_footprint_ratio: Option<f64>,
+}
+
+fn parse_args() -> Args {
+    let mut parsed = Args {
+        names: 300,
+        seed: 0xBEEF,
+        scales: vec![1, 4, 16],
+        repeats: 3,
+        out: None,
+        min_speedup: None,
+        max_footprint_ratio: None,
+    };
+    let mut args = std::env::args().skip(1);
+    let next = |args: &mut dyn Iterator<Item = String>, flag: &str| {
+        args.next()
+            .unwrap_or_else(|| panic!("{flag} needs a value"))
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--names" => parsed.names = next(&mut args, "--names").parse().expect("--names"),
+            "--seed" => parsed.seed = next(&mut args, "--seed").parse().expect("--seed"),
+            "--out" => parsed.out = Some(next(&mut args, "--out")),
+            "--repeats" => {
+                parsed.repeats = next(&mut args, "--repeats").parse().expect("--repeats")
+            }
+            "--scales" => {
+                parsed.scales = next(&mut args, "--scales")
+                    .split(',')
+                    .map(|s| s.parse().expect("--scales takes e.g. 1,4,16"))
+                    .collect()
+            }
+            "--min-speedup" => {
+                parsed.min_speedup = Some(
+                    next(&mut args, "--min-speedup")
+                        .parse()
+                        .expect("--min-speedup"),
+                )
+            }
+            "--max-footprint-ratio" => {
+                parsed.max_footprint_ratio = Some(
+                    next(&mut args, "--max-footprint-ratio")
+                        .parse()
+                        .expect("--max-footprint-ratio"),
+                )
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: columnar_bench [--names N] [--seed S] [--scales 1,4,16] \
+                     [--repeats R] [--out PATH] [--min-speedup X] \
+                     [--max-footprint-ratio R]"
+                );
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown argument {other}; try --help");
+                std::process::exit(2);
+            }
+        }
+    }
+    parsed
+}
+
+fn main() {
+    let args = parse_args();
+
+    if let Some(path) = std::env::var_os("COLUMNAR_BENCH_FILE") {
+        // Debug/ops hatch: load one existing dataset file of either format
+        // instead of building synthetic worlds.
+        let bytes = std::fs::read(&path).expect("read dataset");
+        let t0 = std::time::Instant::now();
+        let ds = ens_dropcatch::Dataset::from_bytes(&bytes).expect("decode");
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        eprintln!(
+            "{}: {} ({:.2} MB) in {ms:.1} ms ({:.1} MB/s)",
+            path.to_string_lossy(),
+            ens_dropcatch::Format::detect(&bytes),
+            bytes.len() as f64 / 1e6,
+            bytes.len() as f64 / 1e6 / (ms / 1e3),
+        );
+        drop(ds);
+        std::process::exit(0);
+    }
+
+    eprintln!(
+        "columnar bench: base {} names, scales {:?}, seed {} ({} repeats, min reported)",
+        args.names, args.scales, args.seed, args.repeats
+    );
+    let report = run_columnar_bench(args.names, args.seed, &args.scales, args.repeats);
+
+    let json = report.to_json();
+    match &args.out {
+        Some(path) => {
+            std::fs::write(path, &json).expect("write bench json");
+            eprintln!("wrote {path}");
+        }
+        None => println!("{json}"),
+    }
+
+    eprintln!(
+        "largest scale: {:.1}x load speedup over streaming JSON, {:.0}% footprint",
+        report.load_speedup,
+        report.footprint_ratio * 100.0
+    );
+
+    if !report.roundtrip_identical {
+        eprintln!("FAIL: a JSON -> columnar -> JSON round trip was not byte-identical");
+        std::process::exit(1);
+    }
+    if let Some(min) = args.min_speedup {
+        if report.load_speedup < min {
+            eprintln!(
+                "FAIL: load speedup {:.1}x is below the required {min:.1}x",
+                report.load_speedup
+            );
+            std::process::exit(1);
+        }
+        eprintln!(
+            "load speedup {:.1}x >= required {min:.1}x",
+            report.load_speedup
+        );
+    }
+    if let Some(max) = args.max_footprint_ratio {
+        if report.footprint_ratio > max {
+            eprintln!(
+                "FAIL: footprint ratio {:.2} exceeds the ceiling {max:.2}",
+                report.footprint_ratio
+            );
+            std::process::exit(1);
+        }
+        eprintln!(
+            "footprint ratio {:.2} <= ceiling {max:.2}",
+            report.footprint_ratio
+        );
+    }
+}

@@ -4,11 +4,13 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod columnar;
 pub mod ingest;
 
 pub use analysis::{
     run_analysis_bench, AnalysisBenchReport, MetricsOverhead, PassTimings, ThreadedRun,
 };
+pub use columnar::{run_columnar_bench, ColumnarBenchReport, ColumnarScaleRun};
 pub use ingest::{run_ingest_bench, IngestBenchReport, IngestScaleRun};
 
 use std::sync::OnceLock;

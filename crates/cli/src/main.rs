@@ -5,17 +5,25 @@
 //!
 //! ```text
 //! ens-dropcatch run      --names 20000 --seed 1 [--threads N] [--csv DIR] [--dataset F]
-//! ens-dropcatch simulate --names 20000 --seed 1 [--threads N] --dataset dataset.json
-//! ens-dropcatch analyze  --dataset dataset.json [--threads N] [--csv DIR]
+//! ens-dropcatch simulate --names 20000 --seed 1 [--threads N] --dataset dataset.ensc
+//! ens-dropcatch analyze  --dataset dataset.ensc [--threads N] [--csv DIR]
 //! ```
 //!
 //! `simulate` builds a world and writes the *crawled dataset* (domains,
-//! per-address transactions, labels, reverse claims, marketplace events) as
-//! JSON; `analyze` re-runs the full study from such a file — no simulator
+//! per-address transactions, labels, reverse claims, marketplace events);
+//! `analyze` re-runs the full study from such a file — no simulator
 //! required, exactly how a third party would re-analyze the released data.
 //! `--threads` shards the crawl, the `AnalysisIndex` build and the
 //! internally parallel loss/feature passes across worker threads; the
 //! dataset and report are byte-identical for any value.
+//!
+//! Datasets exist in two on-disk formats (see `ens_dropcatch::export`):
+//! JSON (interchange) and the native columnar container (`.ensc`). Export
+//! paths pick the format from `--format json|columnar` or the `--dataset`
+//! extension (the two must agree; unknown values are rejected); every
+//! input path auto-detects the format from the file's magic bytes, so
+//! `analyze` opens either transparently. `--verbose` prints the detected
+//! input format and the read/written byte counts.
 //!
 //! Fault-tolerance knobs (for `run` and `simulate`):
 //!
@@ -38,8 +46,8 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use ens_dropcatch::{
-    run_study_on_metered, CollectError, CrawlConfig, DataSources, Dataset, FailurePolicy, Metrics,
-    RetryPolicy, StudyConfig,
+    run_study_on_metered, CollectError, CrawlConfig, DataSources, Dataset, FailurePolicy, Format,
+    Metrics, RetryPolicy, StudyConfig,
 };
 use ens_subgraph::SubgraphConfig;
 use ens_types::FaultProfile;
@@ -55,6 +63,8 @@ struct Args {
     dataset: Option<PathBuf>,
     csv: Option<PathBuf>,
     metrics_json: Option<PathBuf>,
+    format: Option<Format>,
+    verbose: bool,
     chaos: Option<FaultProfile>,
     failure: FailurePolicy,
     max_retries: usize,
@@ -68,6 +78,8 @@ fn usage() -> ExitCode {
          ens-dropcatch simulate [--names N] [--seed S] [--threads N] --dataset FILE [--metrics-json FILE] [FAULT OPTS]\n  \
          ens-dropcatch analyze  --dataset FILE [--threads N] [--csv DIR] [--metrics-json FILE]\n\
          common options:\n  \
+         --format json|columnar   dataset export format (default: from the --dataset\n                           extension — .json/.ensc — else json); inputs always\n                           auto-detect from the file's magic bytes\n  \
+         --verbose                print detected formats and byte counts\n  \
          --metrics-json FILE      write the instrumentation snapshot (spans, counters,\n                           histograms; deterministic + wall-clock sections) as JSON\n\
          fault options:\n  \
          --chaos PROFILE[:SEED]   inject deterministic faults (none|flaky|rate-limit-storm|timeouts|holes|mixed)\n  \
@@ -97,6 +109,8 @@ fn parse(mut args: impl Iterator<Item = String>) -> Option<Args> {
         dataset: None,
         csv: None,
         metrics_json: None,
+        format: None,
+        verbose: false,
         chaos: None,
         failure: FailurePolicy::FailFast,
         max_retries: RetryPolicy::default().max_retries,
@@ -120,6 +134,17 @@ fn parse(mut args: impl Iterator<Item = String>) -> Option<Args> {
             "--dataset" => out.dataset = Some(PathBuf::from(args.next()?)),
             "--csv" => out.csv = Some(PathBuf::from(args.next()?)),
             "--metrics-json" => out.metrics_json = Some(PathBuf::from(args.next()?)),
+            "--format" => {
+                let value = args.next()?;
+                match Format::parse(&value) {
+                    Some(f) => out.format = Some(f),
+                    None => {
+                        eprintln!("error: unknown --format {value:?} (expected json or columnar)");
+                        return None;
+                    }
+                }
+            }
+            "--verbose" | "-v" => out.verbose = true,
             "--chaos" => out.chaos = Some(parse_chaos(&args.next()?)?),
             "--fail-policy" => {
                 out.failure = match args.next()?.as_str() {
@@ -183,6 +208,34 @@ impl Args {
         }
     }
 
+    /// The dataset export format: an explicit `--format` wins but must
+    /// agree with the `--dataset` extension when that names a format;
+    /// otherwise the extension decides; JSON is the default. A
+    /// contradiction (e.g. `--format columnar` with a `.json` path) is
+    /// rejected rather than silently writing bytes the extension lies
+    /// about.
+    fn export_format(&self) -> Result<Format, String> {
+        let from_ext = self.dataset.as_deref().and_then(Format::from_extension);
+        match (self.format, from_ext) {
+            (Some(flag), Some(ext)) if flag != ext => Err(format!(
+                "--format {flag} contradicts the .{} extension of {}; \
+                 use --format {ext} or rename the file",
+                self.dataset
+                    .as_deref()
+                    .and_then(|p| p.extension())
+                    .and_then(|e| e.to_str())
+                    .unwrap_or(""),
+                self.dataset
+                    .as_deref()
+                    .unwrap_or(std::path::Path::new(""))
+                    .display(),
+            )),
+            (Some(flag), _) => Ok(flag),
+            (None, Some(ext)) => Ok(ext),
+            (None, None) => Ok(Format::Json),
+        }
+    }
+
     fn crawl_config(&self) -> CrawlConfig {
         let defaults = CrawlConfig::default();
         CrawlConfig {
@@ -217,6 +270,15 @@ fn write_metrics(args: &Args, metrics: &Metrics) -> Option<ExitCode> {
 /// Builds a world; with `full_study` also analyzes and prints the report,
 /// otherwise just exports the dataset.
 fn run(args: Args, full_study: bool) -> ExitCode {
+    // Resolve (and validate) the export format before spending minutes
+    // building a world whose export would then be rejected.
+    let format = match args.export_format() {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
     eprintln!(
         "building world: {} names, seed {}...",
         args.names, args.seed
@@ -301,16 +363,20 @@ fn run(args: Args, full_study: bool) -> ExitCode {
     );
 
     if let Some(path) = &args.dataset {
-        match dataset.to_json() {
-            Ok(json) => {
-                if let Err(e) = std::fs::write(path, json) {
-                    eprintln!("cannot write {}: {e}", path.display());
-                    return ExitCode::FAILURE;
+        match dataset.save_metered(path, format, &metrics) {
+            Ok(()) => {
+                if args.verbose {
+                    let bytes = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+                    eprintln!(
+                        "dataset written to {} as {format} ({bytes} bytes)",
+                        path.display()
+                    );
+                } else {
+                    eprintln!("dataset written to {}", path.display());
                 }
-                eprintln!("dataset written to {}", path.display());
             }
             Err(e) => {
-                eprintln!("serialization failed: {e}");
+                eprintln!("cannot write {}: {e}", path.display());
                 return ExitCode::FAILURE;
             }
         }
@@ -346,26 +412,47 @@ fn run(args: Args, full_study: bool) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-/// Re-analyzes a previously exported dataset JSON.
+/// Re-analyzes a previously exported dataset file (JSON or columnar — the
+/// format is auto-detected from the magic bytes, never the extension).
 fn analyze(args: Args) -> ExitCode {
     let Some(path) = &args.dataset else {
         eprintln!("analyze requires --dataset FILE");
         return ExitCode::from(2);
     };
-    let json = match std::fs::read_to_string(path) {
-        Ok(s) => s,
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
         Err(e) => {
             eprintln!("cannot read {}: {e}", path.display());
             return ExitCode::FAILURE;
         }
     };
-    let dataset = match Dataset::from_json(&json) {
+    let detected = Format::detect(&bytes);
+    if let Some(flag) = args.format {
+        if flag != detected {
+            eprintln!(
+                "error: --format {flag} contradicts {}, which is a {detected} file \
+                 (analyze auto-detects the input format; the flag is only a check)",
+                path.display()
+            );
+            return ExitCode::from(2);
+        }
+    }
+    if args.verbose {
+        eprintln!(
+            "detected {detected} dataset: {} ({} bytes)",
+            path.display(),
+            bytes.len()
+        );
+    }
+    let metrics = args.metrics();
+    let dataset = match Dataset::from_bytes_metered(&bytes, &metrics) {
         Ok(d) => d,
         Err(e) => {
             eprintln!("cannot parse dataset: {e}");
             return ExitCode::FAILURE;
         }
     };
+    drop(bytes);
     eprintln!(
         "loaded {} domains, {} transactions",
         dataset.domains.len(),
@@ -398,7 +485,6 @@ fn analyze(args: Args) -> ExitCode {
         threads: args.threads,
         ..StudyConfig::default()
     };
-    let metrics = args.metrics();
     let report = run_study_on_metered(&dataset, &sources, &config, &metrics);
     println!("{}", report.render());
     if let Some(code) = write_metrics(&args, &metrics) {

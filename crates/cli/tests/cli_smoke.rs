@@ -62,6 +62,111 @@ fn run_produces_a_report_and_csv_bundle() {
 }
 
 #[test]
+fn columnar_export_analyzes_identically_to_json() {
+    let dir = std::env::temp_dir().join(format!("ens-cli-columnar-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let json = dir.join("dataset.json");
+    let ensc = dir.join("dataset.ensc");
+
+    // Same world exported in both formats: the extension alone picks the
+    // format on the write path.
+    for path in [&json, &ensc] {
+        let output = bin()
+            .args([
+                "simulate",
+                "--names",
+                "200",
+                "--seed",
+                "5",
+                "--dataset",
+                path.to_str().unwrap(),
+            ])
+            .output()
+            .expect("binary runs");
+        assert!(
+            output.status.success(),
+            "stderr: {}",
+            String::from_utf8_lossy(&output.stderr)
+        );
+    }
+    let json_len = std::fs::metadata(&json).unwrap().len();
+    let ensc_len = std::fs::metadata(&ensc).unwrap().len();
+    assert!(
+        ensc_len * 2 <= json_len,
+        "columnar {ensc_len} bytes should be at most half of JSON {json_len}"
+    );
+
+    // `analyze` auto-detects each format and produces identical reports.
+    let mut reports = Vec::new();
+    for path in [&json, &ensc] {
+        let output = bin()
+            .args(["analyze", "--verbose", "--dataset", path.to_str().unwrap()])
+            .output()
+            .expect("binary runs");
+        assert!(
+            output.status.success(),
+            "stderr: {}",
+            String::from_utf8_lossy(&output.stderr)
+        );
+        reports.push(String::from_utf8_lossy(&output.stdout).into_owned());
+    }
+    assert_eq!(reports[0], reports[1], "reports diverge across formats");
+
+    // --verbose names the detected input format.
+    let output = bin()
+        .args(["analyze", "--verbose", "--dataset", ensc.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("detected columnar dataset"),
+        "verbose run does not name the format: {stderr}"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn format_flag_is_validated() {
+    // Unknown --format values are rejected with a clear error.
+    let output = bin()
+        .args(["simulate", "--names", "10", "--format", "parquet"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(output.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("unknown --format \"parquet\""),
+        "missing clear message: {stderr}"
+    );
+
+    // A --format that contradicts the --dataset extension is rejected
+    // before any work happens.
+    let output = bin()
+        .args([
+            "simulate",
+            "--names",
+            "10",
+            "--format",
+            "columnar",
+            "--dataset",
+            "/tmp/out.json",
+        ])
+        .output()
+        .expect("binary runs");
+    assert_eq!(output.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("contradicts"),
+        "missing mismatch message: {stderr}"
+    );
+    assert!(
+        !std::path::Path::new("/tmp/out.json").exists(),
+        "nothing may be written on a rejected export"
+    );
+}
+
+#[test]
 fn bad_arguments_exit_nonzero_with_usage() {
     let output = bin().arg("frobnicate").output().expect("binary runs");
     assert!(!output.status.success());

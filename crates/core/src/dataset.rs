@@ -431,6 +431,12 @@ impl Dataset {
 
     /// JSON export of the whole dataset (the paper releases its dataset;
     /// so do we). Byte-identical for any [`CrawlConfig::threads`].
+    ///
+    /// JSON is the *interchange* form; the native on-disk form is the
+    /// columnar container (see [`crate::storage`]). File-level consumers
+    /// should go through the format-dispatching [`Dataset::save`] /
+    /// [`Dataset::load`] seam in [`crate::export`] rather than calling
+    /// either serializer directly.
     pub fn to_json(&self) -> serde_json::Result<String> {
         serde_json::to_string(self)
     }
@@ -439,7 +445,8 @@ impl Dataset {
     /// size: deserialization is driven from parser events (no
     /// intermediate `Value` tree), so multi-GB paper-scale exports
     /// ingest at memory-bandwidth-bound rates (~250 MB/s; see
-    /// `json_bench` / `BENCH_json.json`).
+    /// `json_bench` / `BENCH_json.json`). For files of unknown format,
+    /// prefer [`Dataset::load`], which auto-detects columnar vs JSON.
     pub fn from_json(s: &str) -> serde_json::Result<Dataset> {
         serde_json::from_str(s)
     }

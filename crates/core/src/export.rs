@@ -1,11 +1,211 @@
-//! CSV export of every figure and table, for plotting outside Rust.
+//! Exports: the dataset's on-disk format seam, plus CSV export of every
+//! figure and table for plotting outside Rust.
 //!
-//! Each artifact becomes one CSV file whose rows are the exact series the
-//! paper plots — the same spirit as the paper's own dataset release.
+//! # Dataset files
+//!
+//! [`Dataset::save`] and [`Dataset::load`] are the only file-level entry
+//! points; everything above them (CLI, benches, examples) is
+//! format-agnostic. Two formats exist:
+//!
+//! - [`Format::Json`] — the interchange and differential-testing form
+//!   (human-greppable, diffable, what the paper's own dataset release
+//!   looks like);
+//! - [`Format::Columnar`] — the native form: the sectioned struct-of-arrays
+//!   container of `ens-columnar` (see [`crate::storage`]), loading at a
+//!   multiple of the JSON rate in a fraction of the footprint.
+//!
+//! [`Dataset::load`] auto-detects the format from the magic bytes
+//! (columnar files open with `ENSC`; JSON with `{`), so consumers never
+//! name a format on the read path.
+//!
+//! # CSV artifacts
+//!
+//! Each [`CsvArtifact`] becomes one CSV file whose rows are the exact
+//! series the paper plots — the same spirit as the paper's own dataset
+//! release.
 
+use std::fmt;
+use std::path::Path;
+
+use ens_obs::Metrics;
+
+use crate::dataset::Dataset;
 use crate::features::FeatureRow;
 use crate::pipeline::StudyReport;
 use crate::report::to_csv;
+
+/// An on-disk dataset format.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Format {
+    /// Line-free canonical JSON — the interchange form.
+    Json,
+    /// The `ens-columnar` binary container — the native form.
+    Columnar,
+}
+
+impl Format {
+    /// The canonical file extension (`json` / `ensc`).
+    pub fn extension(self) -> &'static str {
+        match self {
+            Format::Json => "json",
+            Format::Columnar => "ensc",
+        }
+    }
+
+    /// The format a path's extension implies, if it names one.
+    pub fn from_extension(path: &Path) -> Option<Format> {
+        match path.extension()?.to_str()? {
+            "json" => Some(Format::Json),
+            "ensc" => Some(Format::Columnar),
+            _ => None,
+        }
+    }
+
+    /// Parses a user-supplied format name (the CLI's `--format` values).
+    pub fn parse(name: &str) -> Option<Format> {
+        match name {
+            "json" => Some(Format::Json),
+            "columnar" | "ensc" => Some(Format::Columnar),
+            _ => None,
+        }
+    }
+
+    /// Detects the format of in-memory file contents by magic bytes:
+    /// columnar files open with `ENSC`, anything else is treated as JSON
+    /// (whose own parser produces the error for non-JSON bytes).
+    pub fn detect(bytes: &[u8]) -> Format {
+        if crate::storage::sniff_columnar(bytes) {
+            Format::Columnar
+        } else {
+            Format::Json
+        }
+    }
+}
+
+impl fmt::Display for Format {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Format::Json => "json",
+            Format::Columnar => "columnar",
+        })
+    }
+}
+
+/// Why a dataset file failed to save or load.
+#[derive(Debug)]
+pub enum StorageError {
+    /// The filesystem failed.
+    Io(std::io::Error),
+    /// JSON (de)serialization failed.
+    Json(serde_json::Error),
+    /// The columnar container failed to encode or decode.
+    Columnar(ens_columnar::ColumnarError),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Io(e) => write!(f, "dataset file I/O failed: {e}"),
+            StorageError::Json(e) => write!(f, "dataset JSON failed: {e}"),
+            StorageError::Columnar(e) => write!(f, "dataset columnar file failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Io(e) => Some(e),
+            StorageError::Json(e) => Some(e),
+            StorageError::Columnar(e) => Some(e),
+        }
+    }
+}
+
+impl From<std::io::Error> for StorageError {
+    fn from(e: std::io::Error) -> Self {
+        StorageError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for StorageError {
+    fn from(e: serde_json::Error) -> Self {
+        StorageError::Json(e)
+    }
+}
+
+impl From<ens_columnar::ColumnarError> for StorageError {
+    fn from(e: ens_columnar::ColumnarError) -> Self {
+        StorageError::Columnar(e)
+    }
+}
+
+impl Dataset {
+    /// Serializes the dataset into `format`'s in-memory bytes.
+    pub fn to_bytes(&self, format: Format) -> Result<Vec<u8>, StorageError> {
+        self.to_bytes_metered(format, &Metrics::disabled())
+    }
+
+    /// [`Dataset::to_bytes`] recording encode metrics.
+    pub fn to_bytes_metered(
+        &self,
+        format: Format,
+        metrics: &Metrics,
+    ) -> Result<Vec<u8>, StorageError> {
+        Ok(match format {
+            Format::Json => self.to_json()?.into_bytes(),
+            Format::Columnar => self.to_columnar_metered(metrics)?,
+        })
+    }
+
+    /// Deserializes a dataset from bytes, auto-detecting the format (see
+    /// [`Format::detect`]).
+    pub fn from_bytes(bytes: &[u8]) -> Result<Dataset, StorageError> {
+        Dataset::from_bytes_metered(bytes, &Metrics::disabled())
+    }
+
+    /// [`Dataset::from_bytes`] recording decode metrics.
+    pub fn from_bytes_metered(bytes: &[u8], metrics: &Metrics) -> Result<Dataset, StorageError> {
+        match Format::detect(bytes) {
+            Format::Columnar => Ok(Dataset::from_columnar_metered(bytes, metrics)?),
+            Format::Json => {
+                let text = std::str::from_utf8(bytes).map_err(|e| {
+                    StorageError::Io(std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+                })?;
+                Ok(Dataset::from_json(text)?)
+            }
+        }
+    }
+
+    /// Writes the dataset to `path` in `format`.
+    pub fn save(&self, path: &Path, format: Format) -> Result<(), StorageError> {
+        self.save_metered(path, format, &Metrics::disabled())
+    }
+
+    /// [`Dataset::save`] recording encode metrics.
+    pub fn save_metered(
+        &self,
+        path: &Path,
+        format: Format,
+        metrics: &Metrics,
+    ) -> Result<(), StorageError> {
+        let bytes = self.to_bytes_metered(format, metrics)?;
+        std::fs::write(path, bytes)?;
+        Ok(())
+    }
+
+    /// Reads a dataset from `path`, auto-detecting the format from the
+    /// file's magic bytes (the extension is never consulted).
+    pub fn load(path: &Path) -> Result<Dataset, StorageError> {
+        Dataset::load_metered(path, &Metrics::disabled())
+    }
+
+    /// [`Dataset::load`] recording decode metrics.
+    pub fn load_metered(path: &Path, metrics: &Metrics) -> Result<Dataset, StorageError> {
+        let bytes = std::fs::read(path)?;
+        Dataset::from_bytes_metered(&bytes, metrics)
+    }
+}
 
 /// A named CSV artifact.
 #[derive(Clone, Debug, PartialEq, Eq)]

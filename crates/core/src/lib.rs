@@ -27,6 +27,11 @@
 //! - [`countermeasures`] — Appendix B's Table 2 and §6's proposed wallet
 //!   warning, *evaluated* rather than just proposed;
 //! - [`stats`] — the statistics the above need, from first principles;
+//! - [`storage`] / [`export`] — the on-disk layer: the columnar schema
+//!   binding onto `ens-columnar` and the format-dispatching
+//!   [`Dataset::save`](dataset::Dataset::save) /
+//!   [`Dataset::load`](dataset::Dataset::load) seam (JSON stays the
+//!   interchange form; columnar is the native one);
 //! - [`report`] / [`pipeline`] — text rendering and the one-call
 //!   [`run_study`](pipeline::run_study).
 //!
@@ -54,6 +59,7 @@ pub mod registrations;
 pub mod report;
 pub mod resale;
 pub mod stats;
+pub mod storage;
 
 pub use crawl::{
     relevant_addresses, CrawlError, CrawlGap, CrawlReport, CrawlTimings, Crawled, Crawler,
@@ -61,7 +67,7 @@ pub use crawl::{
 };
 pub use dataset::{CollectError, CrawlConfig, DataSources, Dataset};
 pub use ens_obs::{Metrics, MetricsSnapshot};
-pub use export::CsvArtifact;
+pub use export::{CsvArtifact, Format, StorageError};
 pub use features::{
     compare_features, compare_features_metered, compare_features_naive, compare_features_with,
     extract_features, extract_features_with, DomainFeatures, FeatureComparison, FeatureRow,

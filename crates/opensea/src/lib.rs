@@ -167,6 +167,13 @@ impl OpenSea {
         &self.events[start..end]
     }
 
+    /// The full event stream in append order — what serializers walk to
+    /// persist the marketplace (the per-token index is derived state and
+    /// rebuilt by [`OpenSea::from_events`]).
+    pub fn all_events(&self) -> &[MarketEvent] {
+        &self.events
+    }
+
     /// Total number of events.
     pub fn event_count(&self) -> usize {
         self.events.len()

@@ -11,6 +11,7 @@
 //! assert!(world.dataset_summary().total_names > 0);
 //! ```
 
+pub use ens_columnar as columnar;
 pub use ens_dropcatch as analysis;
 pub use ens_lexicon as lexicon;
 pub use ens_obs as obs;
