@@ -3,14 +3,17 @@
 //! several thread counts, checks the reports stay byte-identical, and
 //! writes the whole trajectory to `BENCH_analysis.json`.
 
+use std::collections::BTreeMap;
 use std::time::Instant;
 
 use ens_dropcatch::{
     analyze_losses_naive, analyze_losses_with, compare_features_naive, compare_features_with,
-    run_study_on_naive, run_study_with_index, run_study_with_index_metered, AnalysisIndex, Metrics,
-    StudyConfig,
+    run_study_on_naive, run_study_with_index, run_study_with_index_metered, AnalysisIndex, Dataset,
+    Metrics, StudyConfig,
 };
+use ens_types::Address;
 use serde::Serialize;
+use sim_chain::Transaction;
 
 use crate::Fixture;
 
@@ -63,6 +66,22 @@ pub struct MetricsOverhead {
     pub metrics: serde::value::Value,
 }
 
+/// The incremental-maintenance measurement: one index grown by
+/// [`AnalysisIndex::extend`] over N crawl increments vs one batch build
+/// over the complete dataset, with the byte-identical `StudyReport` gate.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct IncrementalExtend {
+    /// How many equal increments the dataset was split into.
+    pub batches: usize,
+    /// One batch build over the full dataset, ms (min over repeats).
+    pub batch_build_ms: f64,
+    /// Empty build plus all N extends, ms (min over repeats).
+    pub incremental_total_ms: f64,
+    /// Whether the study driven by the incrementally-grown index is
+    /// byte-identical to the study driven by the batch-built index.
+    pub report_identical_to_batch: bool,
+}
+
 /// The `BENCH_analysis.json` document.
 #[derive(Clone, Debug, Serialize)]
 pub struct AnalysisBenchReport {
@@ -83,6 +102,8 @@ pub struct AnalysisBenchReport {
     pub runs: Vec<ThreadedRun>,
     /// True iff every indexed run's report matched the naive one.
     pub outputs_identical: bool,
+    /// Incremental `extend` vs batch build, with its equivalence gate.
+    pub incremental: IncrementalExtend,
     /// Metered-vs-unmetered study timing and the embedded snapshot.
     pub metrics_overhead: MetricsOverhead,
 }
@@ -107,7 +128,7 @@ impl AnalysisBenchReport {
 
 /// Re-indents compact JSON (the vendored `serde_json` has no pretty
 /// printer). String-aware, two-space indent.
-fn indent_json(compact: &str) -> String {
+pub(crate) fn indent_json(compact: &str) -> String {
     let mut out = String::with_capacity(compact.len() * 2);
     let mut depth = 0usize;
     let mut in_string = false;
@@ -233,6 +254,58 @@ pub fn run_analysis_bench(
 
     let outputs_identical = runs.iter().all(|r| r.report_identical_to_naive);
 
+    // Incremental maintenance: grow an index from nothing by absorbing the
+    // dataset in N equal increments (each address's history split in
+    // timestamp order, domains split alongside) and require the study it
+    // drives to be byte-identical to the batch-built one.
+    let batches = 8usize;
+    let (batch_build_ms, batch_index) = time_ms(repeats, || AnalysisIndex::build(dataset, oracle));
+    let batch_report = serde_json::to_string(&run_study_with_index(
+        dataset,
+        &sources,
+        &config,
+        &batch_index,
+    ))
+    .expect("serializes");
+    let tx_slices: Vec<BTreeMap<Address, Vec<Transaction>>> = (0..batches)
+        .map(|i| {
+            dataset
+                .transactions
+                .iter()
+                .map(|(a, txs)| {
+                    let (lo, hi) = (txs.len() * i / batches, txs.len() * (i + 1) / batches);
+                    (*a, txs[lo..hi].to_vec())
+                })
+                .collect()
+        })
+        .collect();
+    let empty = Dataset {
+        domains: Vec::new(),
+        transactions: BTreeMap::new(),
+        ..dataset.clone()
+    };
+    let (incremental_total_ms, inc_index) = time_ms(repeats, || {
+        let mut index = AnalysisIndex::build(&empty, oracle);
+        for (i, slice) in tx_slices.iter().enumerate() {
+            let (lo, hi) = (
+                dataset.domains.len() * i / batches,
+                dataset.domains.len() * (i + 1) / batches,
+            );
+            index.extend(slice, &dataset.domains[lo..hi], oracle);
+        }
+        index
+    });
+    let inc_report = serde_json::to_string(&run_study_with_index(
+        dataset, &sources, &config, &inc_index,
+    ))
+    .expect("serializes");
+    let incremental = IncrementalExtend {
+        batches,
+        batch_build_ms,
+        incremental_total_ms,
+        report_identical_to_batch: inc_report == batch_report,
+    };
+
     // Instrumentation overhead: the same full study (sequential, against a
     // fresh sequential index) with the disabled handle vs a live one. The
     // acceptance gate is < 5% — in practice the cost is a handful of mutex
@@ -278,6 +351,7 @@ pub fn run_analysis_bench(
         naive,
         runs,
         outputs_identical,
+        incremental,
         metrics_overhead,
     }
 }

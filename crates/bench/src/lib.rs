@@ -6,12 +6,15 @@
 pub mod analysis;
 pub mod columnar;
 pub mod ingest;
+pub mod resume;
 
 pub use analysis::{
-    run_analysis_bench, AnalysisBenchReport, MetricsOverhead, PassTimings, ThreadedRun,
+    run_analysis_bench, AnalysisBenchReport, IncrementalExtend, MetricsOverhead, PassTimings,
+    ThreadedRun,
 };
 pub use columnar::{run_columnar_bench, ColumnarBenchReport, ColumnarScaleRun};
 pub use ingest::{run_ingest_bench, IngestBenchReport, IngestScaleRun};
+pub use resume::{run_resume_bench, CadenceRun, ResumeBenchReport, ResumeCycle};
 
 use std::sync::OnceLock;
 

@@ -41,16 +41,31 @@
 //! - `--page-size N` requests N items per page from every endpoint
 //!   (server-side caps still apply). Smaller pages mean more shards — and
 //!   under chaos, faults that hit single pages instead of the whole crawl.
+//!
+//! Crash-safety knobs (for `run` and `simulate`):
+//!
+//! - `--checkpoint FILE` persists a resume watermark — every fully
+//!   committed page of every crawl phase — to FILE at a configurable
+//!   cadence (`--checkpoint-every N` pages), each write an atomic
+//!   temp-file + rename.
+//! - `--resume` loads a matching checkpoint and splices its committed
+//!   shards instead of refetching them; the resumed dataset and crawl
+//!   report are byte-identical to an uninterrupted run. Corrupt or stale
+//!   checkpoints are discarded (counted in the metrics snapshot) and the
+//!   crawl starts clean.
+//! - `--kill-after N` injects a deterministic process death after N served
+//!   pages — the crash-recovery test harness, exercised by the CI
+//!   kill-point matrix.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use ens_dropcatch::{
-    run_study_on_metered, CollectError, CrawlConfig, DataSources, Dataset, FailurePolicy, Format,
-    Metrics, RetryPolicy, StudyConfig,
+    run_study_on_metered, CheckpointSpec, CollectError, CrawlConfig, DataSources, Dataset,
+    FailurePolicy, Format, Metrics, RetryPolicy, StudyConfig, DEFAULT_CHECKPOINT_EVERY,
 };
 use ens_subgraph::SubgraphConfig;
-use ens_types::FaultProfile;
+use ens_types::{FaultKind, FaultProfile, KillSwitch};
 use etherscan_sim::LabelService;
 use opensea_sim::OpenSea;
 use price_oracle::PriceOracle;
@@ -70,6 +85,10 @@ struct Args {
     max_retries: usize,
     min_recovery: f64,
     page_size: Option<usize>,
+    checkpoint: Option<PathBuf>,
+    checkpoint_every: Option<usize>,
+    resume: bool,
+    kill_after: Option<u64>,
 }
 
 fn usage() -> ExitCode {
@@ -87,7 +106,12 @@ fn usage() -> ExitCode {
          --loss-budget N          max estimated lost items per source under degrade\n  \
          --max-retries N          per-page retry budget (default 3)\n  \
          --min-recovery R         minimum acceptable item recovery rate in [0,1]\n  \
-         --page-size N            items requested per page from every endpoint"
+         --page-size N            items requested per page from every endpoint\n\
+         checkpoint options (run/simulate):\n  \
+         --checkpoint FILE        persist a crash-safe resume watermark to FILE (atomic\n                           temp-file + rename at every cadence)\n  \
+         --checkpoint-every N     pages between checkpoint writes (default {DEFAULT_CHECKPOINT_EVERY})\n  \
+         --resume                 splice a matching checkpoint at FILE instead of\n                           refetching committed pages (corrupt/stale files are\n                           discarded and the crawl starts clean)\n  \
+         --kill-after N           inject a deterministic process death after N served\n                           pages (crash-recovery testing)"
     );
     ExitCode::from(2)
 }
@@ -116,6 +140,10 @@ fn parse(mut args: impl Iterator<Item = String>) -> Option<Args> {
         max_retries: RetryPolicy::default().max_retries,
         min_recovery: 0.0,
         page_size: None,
+        checkpoint: None,
+        checkpoint_every: None,
+        resume: false,
+        kill_after: None,
     };
     let mut loss_budget: Option<usize> = None;
     while let Some(arg) = args.next() {
@@ -145,7 +173,31 @@ fn parse(mut args: impl Iterator<Item = String>) -> Option<Args> {
                 }
             }
             "--verbose" | "-v" => out.verbose = true,
-            "--chaos" => out.chaos = Some(parse_chaos(&args.next()?)?),
+            "--chaos" => {
+                let spec = args.next()?;
+                match parse_chaos(&spec) {
+                    Some(p) => out.chaos = Some(p),
+                    None => {
+                        eprintln!(
+                            "error: unknown --chaos profile {spec:?} (expected one of: {}; \
+                             optionally PROFILE:SEED with an integer seed)",
+                            FaultProfile::NAMED.join(", ")
+                        );
+                        return None;
+                    }
+                }
+            }
+            "--checkpoint" => out.checkpoint = Some(PathBuf::from(args.next()?)),
+            "--checkpoint-every" => {
+                let every = args.next()?.parse::<usize>().ok()?;
+                if every == 0 {
+                    eprintln!("error: --checkpoint-every must be >= 1 (got 0)");
+                    return None;
+                }
+                out.checkpoint_every = Some(every);
+            }
+            "--resume" => out.resume = true,
+            "--kill-after" => out.kill_after = Some(args.next()?.parse().ok()?),
             "--fail-policy" => {
                 out.failure = match args.next()?.as_str() {
                     "fail-fast" => FailurePolicy::FailFast,
@@ -173,6 +225,12 @@ fn parse(mut args: impl Iterator<Item = String>) -> Option<Args> {
                 max_lost_items: budget,
             },
         };
+    }
+    if out.checkpoint.is_none()
+        && (out.resume || out.checkpoint_every.is_some() || out.kill_after.is_some())
+    {
+        eprintln!("error: --resume, --checkpoint-every and --kill-after require --checkpoint FILE");
+        return None;
     }
     Some(out)
 }
@@ -234,6 +292,21 @@ impl Args {
             (None, Some(ext)) => Ok(ext),
             (None, None) => Ok(Format::Json),
         }
+    }
+
+    /// The checkpoint spec when `--checkpoint` was given. The world
+    /// identity (`--names`/`--seed`) folds into the fingerprint so a
+    /// checkpoint from one world is never spliced into another.
+    fn checkpoint_spec(&self) -> Option<CheckpointSpec> {
+        let path = self.checkpoint.as_ref()?;
+        let extra = (self.names as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ self.seed;
+        let mut spec = CheckpointSpec::new(path)
+            .every(self.checkpoint_every.unwrap_or(DEFAULT_CHECKPOINT_EVERY))
+            .with_fingerprint_extra(extra);
+        if self.resume {
+            spec = spec.resuming();
+        }
+        Some(spec)
     }
 
     fn crawl_config(&self) -> CrawlConfig {
@@ -299,22 +372,58 @@ fn run(args: Args, full_study: bool) -> ExitCode {
     );
     let crawl_config = args.crawl_config();
     let metrics = args.metrics();
-    let (dataset, timings) = match Dataset::try_collect_metered(
-        &subgraph,
-        &etherscan,
-        world.opensea(),
-        world.observation_end(),
-        &crawl_config,
-        &metrics,
-    ) {
+    let collected = match args.checkpoint_spec() {
+        Some(spec) => {
+            if spec.resume {
+                eprintln!(
+                    "resuming from checkpoint {} (if present)...",
+                    spec.path.display()
+                );
+            }
+            Dataset::try_collect_checkpointed(
+                &subgraph,
+                &etherscan,
+                world.opensea(),
+                world.observation_end(),
+                &crawl_config,
+                &metrics,
+                &spec,
+                args.kill_after.map(KillSwitch::new),
+            )
+        }
+        None => Dataset::try_collect_metered(
+            &subgraph,
+            &etherscan,
+            world.opensea(),
+            world.observation_end(),
+            &crawl_config,
+            &metrics,
+        ),
+    };
+    let (dataset, timings) = match collected {
         Ok(out) => out,
         Err(CollectError::Crawl(e)) => {
-            eprintln!("crawl failed: {e}");
+            if matches!(e.kind, FaultKind::Killed { .. }) {
+                eprintln!("crawl killed (injected process death): {e}");
+            } else {
+                eprintln!("crawl failed: {e}");
+            }
             eprintln!(
                 "partial accounting: {} pages, {} items, {} retries before the failure",
                 e.stats.pages, e.stats.items, e.stats.retries
             );
+            if let Some(path) = args.checkpoint.as_ref().filter(|p| p.exists()) {
+                eprintln!(
+                    "checkpoint retained at {}; rerun with --resume to continue from it",
+                    path.display()
+                );
+            }
             // The snapshot still carries the partial crawl accounting.
+            write_metrics(&args, &metrics);
+            return ExitCode::FAILURE;
+        }
+        Err(e @ CollectError::Checkpoint(_)) => {
+            eprintln!("{e}");
             write_metrics(&args, &metrics);
             return ExitCode::FAILURE;
         }

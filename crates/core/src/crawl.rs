@@ -66,8 +66,9 @@ impl RetryCounts {
             FaultKind::Timeout => self.timeout += 1,
             FaultKind::ServerError => self.server_error += 1,
             FaultKind::Malformed => self.malformed += 1,
-            // Permanent holes are never retried, so they never count here.
-            FaultKind::PermanentHole => {}
+            // Permanent holes and process death are never retried, so they
+            // never count here.
+            FaultKind::PermanentHole | FaultKind::Killed { .. } => {}
         }
     }
 
@@ -458,6 +459,44 @@ impl<T> Drained<T> {
     }
 }
 
+/// One fully-committed crawl shard — the unit of checkpoint durability.
+/// Everything a resumed crawl needs to splice the shard's contribution
+/// back in without refetching it: the items in source order, the shard's
+/// deterministic accounting, and any gaps its degrade policy recorded.
+///
+/// Because each shard's drain is a pure function of `(source, profile,
+/// shard range)` — chaos burst state is tracked per offset and shard
+/// offset ranges are disjoint — a spliced shard is byte-identical to a
+/// refetched one, which is what makes resumed crawls indistinguishable
+/// from uninterrupted ones.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CommittedShard<T> {
+    /// The shard's items, in the source's stable order.
+    pub items: Vec<T>,
+    /// The shard's page/item/retry/backoff accounting.
+    pub stats: SourceStats,
+    /// Gaps the shard's degrade policy recorded (empty for a clean shard).
+    pub gaps: Vec<CrawlGap>,
+}
+
+impl<T> CommittedShard<T> {
+    fn from_drained(d: Drained<T>) -> CommittedShard<T> {
+        CommittedShard {
+            items: d.items,
+            stats: d.stats,
+            gaps: d.gaps,
+        }
+    }
+
+    fn into_drained(self) -> Drained<T> {
+        Drained {
+            items: self.items,
+            stats: self.stats,
+            gaps: self.gaps,
+        }
+    }
+}
+
 /// The generic crawl engine. One instance drives any [`PagedSource`]:
 ///
 /// - [`Crawler::crawl`] drains a single source. If the source reports a
@@ -571,8 +610,12 @@ fn drain<S: PagedSource>(
                     });
                 }
             }
-            Err(err) => match failure {
-                FailurePolicy::FailFast => {
+            Err(err) => {
+                // A simulated process death aborts unconditionally: a dead
+                // process cannot record a gap and keep crawling, whatever
+                // the failure policy says. The checkpoint/resume layer —
+                // not the degrade machinery — is what recovers from it.
+                if matches!(err.kind, FaultKind::Killed { .. }) {
                     return Err(CrawlError {
                         source: name,
                         key: key.map(str::to_string),
@@ -584,42 +627,56 @@ fn drain<S: PagedSource>(
                         gaps,
                     });
                 }
-                FailurePolicy::Degrade { .. } => {
-                    let gap_end = end.map(|e| (offset + limit).min(e));
-                    gaps.push(CrawlGap {
-                        source: name.to_string(),
-                        key: key.map(str::to_string),
-                        start: offset,
-                        end: gap_end,
-                        lost_estimate: gap_end.map_or(limit, |e| e - offset),
-                        attempts: attempt,
-                        kind: err.kind,
-                    });
-                    match end {
-                        // Skip the unfetchable page and keep going — the
-                        // rest of the range is still addressable.
-                        Some(e) => {
-                            offset += limit;
-                            if offset >= e {
+                match failure {
+                    FailurePolicy::FailFast => {
+                        return Err(CrawlError {
+                            source: name,
+                            key: key.map(str::to_string),
+                            offset,
+                            attempts: attempt,
+                            kind: err.kind,
+                            message: err.message,
+                            stats,
+                            gaps,
+                        });
+                    }
+                    FailurePolicy::Degrade { .. } => {
+                        let gap_end = end.map(|e| (offset + limit).min(e));
+                        gaps.push(CrawlGap {
+                            source: name.to_string(),
+                            key: key.map(str::to_string),
+                            start: offset,
+                            end: gap_end,
+                            lost_estimate: gap_end.map_or(limit, |e| e - offset),
+                            attempts: attempt,
+                            kind: err.kind,
+                        });
+                        match end {
+                            // Skip the unfetchable page and keep going — the
+                            // rest of the range is still addressable.
+                            Some(e) => {
+                                offset += limit;
+                                if offset >= e {
+                                    return Ok(Drained {
+                                        items: out,
+                                        stats,
+                                        gaps,
+                                    });
+                                }
+                            }
+                            // A cursor-only walk cannot know what lies past a
+                            // dead page; stop with an open-ended gap.
+                            None => {
                                 return Ok(Drained {
                                     items: out,
                                     stats,
                                     gaps,
-                                });
+                                })
                             }
-                        }
-                        // A cursor-only walk cannot know what lies past a
-                        // dead page; stop with an open-ended gap.
-                        None => {
-                            return Ok(Drained {
-                                items: out,
-                                stats,
-                                gaps,
-                            })
                         }
                     }
                 }
-            },
+            }
         }
     }
 }
@@ -671,10 +728,47 @@ impl Crawler {
         S: PagedSource + Sync,
         S::Item: Send + Sync,
     {
+        self.crawl_resumable(source, BTreeMap::new(), |_, _| {})
+    }
+
+    /// [`Crawler::crawl`] with checkpoint/resume hooks: shards present in
+    /// `committed` are *spliced* from their stored results instead of
+    /// refetched, and every newly completed shard is handed to `commit`
+    /// (from whichever worker finished it) so a checkpoint journal can
+    /// persist it.
+    ///
+    /// Because shard boundaries depend only on the total and the page size,
+    /// and each shard's drain is independent of every other shard's, the
+    /// merged output is byte-identical to an uninterrupted [`Crawler::crawl`]
+    /// no matter which subset of shards came from the checkpoint, at any
+    /// thread count. `commit` is never called for spliced shards or failed
+    /// shards.
+    pub fn crawl_resumable<S, F>(
+        &self,
+        source: &S,
+        mut committed: BTreeMap<u64, CommittedShard<S::Item>>,
+        commit: F,
+    ) -> Result<Crawled<S::Item>, CrawlError>
+    where
+        S: PagedSource + Sync,
+        S::Item: Send + Sync,
+        F: Fn(u64, &CommittedShard<S::Item>) + Sync,
+    {
         let started = Instant::now();
         let page_size = self.page_size.max(1);
         let drained = match source.total_hint() {
-            None => drain(source, None, 0, None, page_size, &self.retry, &self.failure)?,
+            // A cursor-only walk has no intermediate watermark the crawler
+            // can trust (the extent past the cursor is unknowable), so the
+            // whole walk is one shard: committed only when it completes.
+            None => match committed.remove(&0) {
+                Some(c) => c.into_drained(),
+                None => {
+                    let d = drain(source, None, 0, None, page_size, &self.retry, &self.failure)?;
+                    let c = CommittedShard::from_drained(d);
+                    commit(0, &c);
+                    c.into_drained()
+                }
+            },
             Some(total) => {
                 // Fixed page-range shards: shard boundaries depend only on
                 // the total and the page size — never on the thread count —
@@ -692,6 +786,10 @@ impl Crawler {
                     agg.items.reserve(total);
                     let mut result = Ok(());
                     for shard in 0..shards {
+                        if let Some(c) = committed.remove(&(shard as u64)) {
+                            agg.absorb(c.into_drained());
+                            continue;
+                        }
                         let lo = shard * page_size;
                         let hi = ((shard + 1) * page_size).min(total);
                         match drain(
@@ -703,7 +801,11 @@ impl Crawler {
                             &self.retry,
                             &self.failure,
                         ) {
-                            Ok(d) => agg.absorb(d),
+                            Ok(d) => {
+                                let c = CommittedShard::from_drained(d);
+                                commit(shard as u64, &c);
+                                agg.absorb(c.into_drained());
+                            }
                             Err(e) => {
                                 result = Err(e);
                                 break;
@@ -713,17 +815,24 @@ impl Crawler {
                     attach_partials(result, agg)?
                 } else {
                     // One write-once slot per page-range shard, filled by
-                    // whichever worker claims that shard.
-                    type ShardSlot<T> = OnceLock<Result<Drained<T>, CrawlError>>;
+                    // whichever worker claims that shard. Committed shards
+                    // are never claimed-for-fetching: workers skip them and
+                    // the merge splices their stored results instead.
+                    type ShardSlot<T> = OnceLock<Result<CommittedShard<T>, CrawlError>>;
                     let next = AtomicUsize::new(0);
                     let slots: Vec<ShardSlot<S::Item>> =
                         (0..shards).map(|_| OnceLock::new()).collect();
+                    let committed_ref = &committed;
+                    let commit_ref = &commit;
                     std::thread::scope(|scope| {
                         for _ in 0..workers {
                             scope.spawn(|| loop {
                                 let shard = next.fetch_add(1, Ordering::Relaxed);
                                 if shard >= shards {
                                     break;
+                                }
+                                if committed_ref.contains_key(&(shard as u64)) {
+                                    continue;
                                 }
                                 let lo = shard * page_size;
                                 let hi = ((shard + 1) * page_size).min(total);
@@ -735,7 +844,12 @@ impl Crawler {
                                     page_size,
                                     &self.retry,
                                     &self.failure,
-                                );
+                                )
+                                .map(|d| {
+                                    let c = CommittedShard::from_drained(d);
+                                    commit_ref(shard as u64, &c);
+                                    c
+                                });
                                 let _ = slots[shard].set(result);
                             });
                         }
@@ -747,9 +861,13 @@ impl Crawler {
                     let mut agg = Drained::empty();
                     agg.items.reserve(total);
                     let mut result = Ok(());
-                    for slot in slots {
-                        match slot.into_inner().expect("every shard index was claimed") {
-                            Ok(d) => agg.absorb(d),
+                    for (shard, slot) in slots.into_iter().enumerate() {
+                        let outcome = match committed.remove(&(shard as u64)) {
+                            Some(c) => Ok(c),
+                            None => slot.into_inner().expect("every shard index was claimed"),
+                        };
+                        match outcome {
+                            Ok(c) => agg.absorb(c.into_drained()),
                             Err(e) => {
                                 result = Err(e);
                                 break;
@@ -781,6 +899,28 @@ impl Crawler {
         S: PagedSource + Sync,
         S::Item: Send + Sync,
     {
+        self.crawl_keyed_resumable(sources, BTreeMap::new(), |_, _| {})
+    }
+
+    /// [`Crawler::crawl_keyed`] with checkpoint/resume hooks, at per-key
+    /// granularity: keys present in `committed` are spliced from their
+    /// stored results, every newly completed key is handed to `commit`.
+    /// Per-key drains are independent and the merge is in key-source order,
+    /// so — exactly as for [`Crawler::crawl_resumable`] — the output is
+    /// byte-identical to an uninterrupted crawl for any committed subset
+    /// and any thread count.
+    pub fn crawl_keyed_resumable<K, S, F>(
+        &self,
+        sources: &[(K, S)],
+        mut committed: BTreeMap<K, CommittedShard<S::Item>>,
+        commit: F,
+    ) -> Result<KeyedCrawl<K, S::Item>, CrawlError>
+    where
+        K: ShardKey + Ord + Clone + Sync + fmt::Display,
+        S: PagedSource + Sync,
+        S::Item: Send + Sync,
+        F: Fn(&K, &CommittedShard<S::Item>) + Sync,
+    {
         let started = Instant::now();
         let page_size = self.page_size.max(1);
         let workers = self.threads.max(1).min(sources.len().max(1));
@@ -789,6 +929,12 @@ impl Crawler {
         let mut failed = Ok(());
         if workers <= 1 {
             for (key, source) in sources {
+                if let Some(c) = committed.remove(key) {
+                    agg.stats.absorb(c.stats);
+                    agg.gaps.extend(c.gaps);
+                    map.insert(key.clone(), c.items);
+                    continue;
+                }
                 let label = key.to_string();
                 match drain(
                     source,
@@ -800,9 +946,11 @@ impl Crawler {
                     &self.failure,
                 ) {
                     Ok(d) => {
-                        agg.stats.absorb(d.stats);
-                        agg.gaps.extend(d.gaps);
-                        map.insert(key.clone(), d.items);
+                        let c = CommittedShard::from_drained(d);
+                        commit(key, &c);
+                        agg.stats.absorb(c.stats);
+                        agg.gaps.extend(c.gaps);
+                        map.insert(key.clone(), c.items);
                     }
                     Err(e) => {
                         failed = Err(e);
@@ -811,6 +959,8 @@ impl Crawler {
                 }
             }
         } else {
+            let committed_ref = &committed;
+            let commit_ref = &commit;
             let worker_results = std::thread::scope(|scope| {
                 let handles: Vec<_> = (0..workers)
                     .map(|w| {
@@ -819,6 +969,9 @@ impl Crawler {
                             let mut collected = Vec::new();
                             for (i, (key, source)) in sources.iter().enumerate() {
                                 if key.shard_hash() % workers as u64 != w as u64 {
+                                    continue;
+                                }
+                                if committed_ref.contains_key(key) {
                                     continue;
                                 }
                                 let label = key.to_string();
@@ -830,7 +983,12 @@ impl Crawler {
                                     page_size,
                                     &self.retry,
                                     &self.failure,
-                                );
+                                )
+                                .map(|d| {
+                                    let c = CommittedShard::from_drained(d);
+                                    commit_ref(key, &c);
+                                    c
+                                });
                                 collected.push((i, result));
                             }
                             collected
@@ -843,9 +1001,10 @@ impl Crawler {
                     .collect::<Vec<_>>()
             });
             // Re-order per-key results into source order, then merge in
-            // that canonical order, stopping at the first failed key — so
-            // the accounting matches the sequential walk exactly.
-            let mut by_index: Vec<Option<Result<Drained<S::Item>, CrawlError>>> =
+            // that canonical order (splicing committed keys), stopping at
+            // the first failed key — so the accounting matches the
+            // sequential walk exactly.
+            let mut by_index: Vec<Option<Result<CommittedShard<S::Item>, CrawlError>>> =
                 (0..sources.len()).map(|_| None).collect();
             for worker in worker_results {
                 for (i, result) in worker {
@@ -853,11 +1012,15 @@ impl Crawler {
                 }
             }
             for (i, slot) in by_index.into_iter().enumerate() {
-                match slot.expect("every keyed source was claimed by a worker") {
-                    Ok(d) => {
-                        agg.stats.absorb(d.stats);
-                        agg.gaps.extend(d.gaps);
-                        map.insert(sources[i].0.clone(), d.items);
+                let outcome = match committed.remove(&sources[i].0) {
+                    Some(c) => Ok(c),
+                    None => slot.expect("every keyed source was claimed by a worker"),
+                };
+                match outcome {
+                    Ok(c) => {
+                        agg.stats.absorb(c.stats);
+                        agg.gaps.extend(c.gaps);
+                        map.insert(sources[i].0.clone(), c.items);
                     }
                     Err(e) => {
                         failed = Err(e);
@@ -923,6 +1086,68 @@ impl Crawler {
         let name = sources.first().map_or("keyed", |(_, s)| s.source_name());
         let span = metrics.span(&format!("crawl/{name}"));
         let result = self.crawl_keyed(sources);
+        match &result {
+            Ok(crawl) => {
+                span.add_virtual_ms(crawl.stats.backoff_virtual_ms);
+                record_source_metrics(metrics, name, &crawl.stats, &crawl.gaps);
+                metrics.add(&format!("crawl/{name}/keys"), sources.len() as u64);
+            }
+            Err(e) => {
+                span.add_virtual_ms(e.stats.backoff_virtual_ms);
+                record_source_metrics(metrics, name, &e.stats, &e.gaps);
+            }
+        }
+        result
+    }
+
+    /// [`Crawler::crawl_resumable`] with the same instrumentation as
+    /// [`Crawler::crawl_metered`]. The recorded totals include spliced
+    /// shards, so a resumed crawl's metrics match an uninterrupted one's.
+    pub fn crawl_resumable_metered<S, F>(
+        &self,
+        source: &S,
+        committed: BTreeMap<u64, CommittedShard<S::Item>>,
+        commit: F,
+        metrics: &Metrics,
+    ) -> Result<Crawled<S::Item>, CrawlError>
+    where
+        S: PagedSource + Sync,
+        S::Item: Send + Sync,
+        F: Fn(u64, &CommittedShard<S::Item>) + Sync,
+    {
+        let span = metrics.span(&format!("crawl/{}", source.source_name()));
+        let result = self.crawl_resumable(source, committed, commit);
+        match &result {
+            Ok(crawled) => {
+                span.add_virtual_ms(crawled.stats.backoff_virtual_ms);
+                record_source_metrics(metrics, source.source_name(), &crawled.stats, &crawled.gaps);
+            }
+            Err(e) => {
+                span.add_virtual_ms(e.stats.backoff_virtual_ms);
+                record_source_metrics(metrics, source.source_name(), &e.stats, &e.gaps);
+            }
+        }
+        result
+    }
+
+    /// [`Crawler::crawl_keyed_resumable`] with the same instrumentation as
+    /// [`Crawler::crawl_keyed_metered`].
+    pub fn crawl_keyed_resumable_metered<K, S, F>(
+        &self,
+        sources: &[(K, S)],
+        committed: BTreeMap<K, CommittedShard<S::Item>>,
+        commit: F,
+        metrics: &Metrics,
+    ) -> Result<KeyedCrawl<K, S::Item>, CrawlError>
+    where
+        K: ShardKey + Ord + Clone + Sync + fmt::Display,
+        S: PagedSource + Sync,
+        S::Item: Send + Sync,
+        F: Fn(&K, &CommittedShard<S::Item>) + Sync,
+    {
+        let name = sources.first().map_or("keyed", |(_, s)| s.source_name());
+        let span = metrics.span(&format!("crawl/{name}"));
+        let result = self.crawl_keyed_resumable(sources, committed, commit);
         match &result {
             Ok(crawl) => {
                 span.add_virtual_ms(crawl.stats.backoff_virtual_ms);
@@ -1269,6 +1494,94 @@ mod tests {
             "extent unknowable without a total"
         );
         assert_eq!(crawled.gaps[0].lost_estimate, 7);
+    }
+
+    #[test]
+    fn recovery_rates_are_one_for_empty_crawls_never_nan() {
+        // A zero-page / zero-item crawl is *clean*, not undefined: both
+        // rates must pin to exactly 1.0 (and must never be NaN).
+        let empty = CrawlReport::default();
+        assert_eq!(empty.recovery_rate(), 1.0);
+        assert_eq!(empty.item_recovery_rate(), 1.0);
+        assert!(!empty.recovery_rate().is_nan());
+        assert!(!empty.item_recovery_rate().is_nan());
+        // Losing items from an otherwise-empty crawl still divides safely.
+        let lossy = CrawlReport {
+            lost_items_estimate: 5,
+            ..CrawlReport::default()
+        };
+        assert_eq!(lossy.item_recovery_rate(), 0.0);
+        assert!(!lossy.item_recovery_rate().is_nan());
+    }
+
+    #[test]
+    fn killed_aborts_even_under_degrade() {
+        use ens_types::paged::KillSwitch;
+        let world = WorldConfig::small().with_names(100).with_seed(26).build();
+        let sg = world.subgraph(SubgraphConfig::lossless());
+        let kill = KillSwitch::new(3);
+        let chaos = ChaosSource::with_kill_switch(&sg, FaultProfile::new(0), Some(kill));
+        let crawler = Crawler {
+            page_size: 10,
+            failure: FailurePolicy::degrade(),
+            ..Crawler::default()
+        };
+        let err = crawler.crawl(&chaos).unwrap_err();
+        assert_eq!(err.kind, FaultKind::Killed { after_n_pages: 3 });
+        assert_eq!(err.attempts, 1, "death is not retried");
+        assert_eq!(err.stats.pages, 3, "partial accounting survives");
+        assert!(err.gaps.is_empty(), "death never degrades into a gap");
+    }
+
+    #[test]
+    fn resumable_splice_matches_uninterrupted_at_any_thread_count() {
+        use std::sync::Mutex;
+        let world = WorldConfig::small().with_names(200).with_seed(27).build();
+        let sg = world.subgraph(SubgraphConfig::lossless());
+        let chaos = || {
+            ChaosSource::new(
+                &sg,
+                FaultProfile::new(5)
+                    .with_server_errors(200_000, 2)
+                    .with_hole(30, 40),
+            )
+        };
+        let crawler = Crawler {
+            page_size: 16,
+            failure: FailurePolicy::degrade(),
+            ..Crawler::default()
+        };
+        let baseline = crawler.crawl(&chaos()).unwrap();
+
+        // First run commits every shard it completes before "dying".
+        let committed = Mutex::new(BTreeMap::new());
+        let killed = ChaosSource::with_kill_switch(
+            &sg,
+            chaos().profile().clone(),
+            Some(ens_types::paged::KillSwitch::new(5)),
+        );
+        let err = crawler
+            .crawl_resumable(&killed, BTreeMap::new(), |shard, c| {
+                committed.lock().unwrap().insert(shard, c.clone());
+            })
+            .unwrap_err();
+        assert_eq!(err.kind, FaultKind::Killed { after_n_pages: 5 });
+        let committed = committed.into_inner().unwrap();
+        assert!(!committed.is_empty(), "some shards committed before death");
+
+        // Resume from the committed shards: byte-identical to baseline, at
+        // every thread count.
+        for threads in [1, 2, 8] {
+            let crawler = Crawler { threads, ..crawler };
+            let resumed = crawler
+                .crawl_resumable(&chaos(), committed.clone(), |_, _| {})
+                .unwrap();
+            let a: Vec<_> = baseline.items.iter().map(|d| d.label_hash).collect();
+            let b: Vec<_> = resumed.items.iter().map(|d| d.label_hash).collect();
+            assert_eq!(a, b, "items differ at {threads} threads");
+            assert_eq!(baseline.stats, resumed.stats, "stats at {threads}");
+            assert_eq!(baseline.gaps, resumed.gaps, "gaps at {threads}");
+        }
     }
 
     #[test]

@@ -28,16 +28,21 @@ use std::sync::Arc;
 
 use ens_obs::Metrics;
 use ens_subgraph::{DomainRecord, Subgraph, SubgraphConfig};
-use ens_types::paged::{ChaosSource, FaultProfile, ShardKey};
+use ens_types::paged::{ChaosSource, FaultProfile, KillSwitch, ShardKey};
 use ens_types::{Address, Timestamp, UsdCents};
 use etherscan_sim::{Etherscan, LabelService};
-use opensea_sim::OpenSea;
+use opensea_sim::{MarketEvent, OpenSea};
 use price_oracle::PriceOracle;
 use serde::{Deserialize, Serialize};
 use sim_chain::{Transaction, TxKind};
 
+use crate::checkpoint::{
+    config_fingerprint, load_for_resume, CheckpointJournal, CheckpointLoad, CheckpointSpec,
+    CrawlCheckpoint,
+};
 use crate::crawl::{
-    relevant_addresses, CrawlError, CrawlReport, CrawlTimings, Crawler, FailurePolicy, RetryPolicy,
+    relevant_addresses, CrawlError, CrawlReport, CrawlTimings, Crawled, Crawler, FailurePolicy,
+    KeyedCrawl, RetryPolicy,
 };
 
 /// Knobs for one collection run — thread count, retry/failure policies, the
@@ -109,8 +114,14 @@ impl CrawlConfig {
 #[derive(Clone, Debug, PartialEq)]
 pub enum CollectError {
     /// A crawl gave up (retry budget exhausted under `FailFast`, or a
-    /// `Degrade` loss budget was exceeded).
+    /// `Degrade` loss budget was exceeded). An injected process death
+    /// ([`FaultKind::Killed`](ens_types::FaultKind::Killed)) also lands
+    /// here — the checkpoint file, if any, stays on disk for `--resume`.
     Crawl(CrawlError),
+    /// A checkpointed collection could not persist its resume state
+    /// (serialization or atomic-write failure). The crawl itself may have
+    /// been healthy; the durability guarantee was not.
+    Checkpoint(String),
     /// The crawl completed, but recovered too little of the data.
     RecoveryBelowMinimum {
         /// The recovery the crawl achieved.
@@ -126,6 +137,7 @@ impl fmt::Display for CollectError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CollectError::Crawl(e) => write!(f, "collection failed: {e}"),
+            CollectError::Checkpoint(msg) => write!(f, "checkpointing failed: {msg}"),
             CollectError::RecoveryBelowMinimum {
                 achieved,
                 required,
@@ -143,7 +155,7 @@ impl std::error::Error for CollectError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             CollectError::Crawl(e) => Some(e),
-            CollectError::RecoveryBelowMinimum { .. } => None,
+            CollectError::Checkpoint(_) | CollectError::RecoveryBelowMinimum { .. } => None,
         }
     }
 }
@@ -310,70 +322,213 @@ impl Dataset {
                 .crawler(config.market_page_size)
                 .crawl_metered(&ChaosSource::new(opensea, p.derive("market")), metrics)?,
         };
-        let market = OpenSea::from_events(market_crawl.items);
-
-        // Gaps concatenate in collection order (subgraph, txlist, market)
-        // — deterministic because each crawl's gaps already merge in
-        // canonical shard/key order.
-        let mut gaps = crawled.gaps;
-        gaps.extend(tx_crawl.gaps);
-        gaps.extend(market_crawl.gaps);
-        let lost_items_estimate = gaps.iter().map(|g| g.lost_estimate).sum();
-
-        let stats = subgraph.stats();
-        let crawl_report = CrawlReport {
-            domains: domains.len(),
-            unrecoverable_names: stats.unrecoverable_names,
-            subdomains: stats.subdomains,
-            addresses_crawled: addresses.len(),
-            transactions: transactions.values().map(Vec::len).sum(),
-            subgraph: crawled.stats,
-            txlist: tx_crawl.stats,
-            market: market_crawl.stats,
-            degraded: !gaps.is_empty(),
-            gaps,
-            lost_items_estimate,
-        };
-        if metrics.is_enabled() {
-            metrics.add("collect/domains", crawl_report.domains as u64);
-            metrics.add(
-                "collect/unrecoverable_names",
-                crawl_report.unrecoverable_names as u64,
-            );
-            metrics.add(
-                "collect/addresses_crawled",
-                crawl_report.addresses_crawled as u64,
-            );
-            metrics.add("collect/transactions", crawl_report.transactions as u64);
-            metrics.add("collect/gaps", crawl_report.gaps.len() as u64);
-            metrics.add(
-                "collect/lost_items_estimate",
-                crawl_report.lost_items_estimate as u64,
-            );
-        }
-        if crawl_report.item_recovery_rate() < config.min_recovery {
-            return Err(CollectError::RecoveryBelowMinimum {
-                achieved: crawl_report.item_recovery_rate(),
-                required: config.min_recovery,
-                lost_items: crawl_report.lost_items_estimate,
-            });
-        }
-        let timings = CrawlTimings {
-            subgraph: crawled.elapsed,
-            txlist: tx_crawl.elapsed,
-            market: market_crawl.elapsed,
-        };
-        drop(span);
-        let dataset = Dataset {
-            domains,
-            transactions,
+        let result = assemble_dataset(
+            subgraph,
+            etherscan,
             observation_end,
-            labels: etherscan.labels_snapshot(),
-            reverse_claims: subgraph.reverse_history_snapshot(),
-            market,
-            crawl_report,
+            config,
+            metrics,
+            Crawled {
+                items: domains,
+                stats: crawled.stats,
+                gaps: crawled.gaps,
+                elapsed: crawled.elapsed,
+            },
+            KeyedCrawl {
+                map: transactions,
+                stats: tx_crawl.stats,
+                gaps: tx_crawl.gaps,
+                elapsed: tx_crawl.elapsed,
+            },
+            market_crawl,
+            addresses.len(),
+        );
+        drop(span);
+        result
+    }
+
+    /// [`Dataset::try_collect_metered`] with crash-safe checkpointing: the
+    /// run persists its resume watermark — every fully-committed shard of
+    /// every phase — to `spec.path` at the configured page cadence (atomic
+    /// temp-file + rename, so a crash never leaves a torn file), and when
+    /// `spec.resume` is set, a valid checkpoint with a matching
+    /// [`config_fingerprint`] is *spliced*: committed shards are restored
+    /// from disk instead of refetched, and the final dataset and
+    /// [`CrawlReport`] are byte-identical to an uninterrupted run at any
+    /// thread count. A corrupt or stale checkpoint is discarded (counted in
+    /// `checkpoint/corrupt_fallback` / `checkpoint/stale_fallback`) and the
+    /// crawl starts clean — never a panic, never a mis-splice.
+    ///
+    /// `kill` optionally injects a deterministic process death
+    /// ([`FaultKind::Killed`](ens_types::FaultKind::Killed)) after the
+    /// switch's page budget, shared across *all* endpoints of the run —
+    /// the crash-recovery test harness. When a kill (or any other crawl
+    /// failure) aborts collection, the checkpoint file keeps its last
+    /// committed state for a later `--resume`; nothing is flushed at the
+    /// moment of death, exactly like a real crash.
+    ///
+    /// On success the checkpoint and its staging sibling are deleted: a
+    /// completed run needs no resume point.
+    #[allow(clippy::too_many_arguments)]
+    pub fn try_collect_checkpointed(
+        subgraph: &Subgraph,
+        etherscan: &Etherscan,
+        opensea: &OpenSea,
+        observation_end: Timestamp,
+        config: &CrawlConfig,
+        metrics: &Metrics,
+        spec: &CheckpointSpec,
+        kill: Option<Arc<KillSwitch>>,
+    ) -> Result<(Dataset, CrawlTimings), CollectError> {
+        let span = metrics.span("collect");
+        let fingerprint = config_fingerprint(config, observation_end, spec.fingerprint_extra);
+        let resumed = if spec.resume {
+            match load_for_resume(&spec.path, fingerprint) {
+                CheckpointLoad::Fresh => CrawlCheckpoint::new(fingerprint),
+                CheckpointLoad::Resumed(ckpt) => {
+                    metrics.incr("checkpoint/loads");
+                    metrics.add("checkpoint/skipped_pages", ckpt.committed_pages());
+                    *ckpt
+                }
+                CheckpointLoad::DiscardedCorrupt(_) => {
+                    metrics.incr("checkpoint/corrupt_fallback");
+                    CrawlCheckpoint::new(fingerprint)
+                }
+                CheckpointLoad::DiscardedStale => {
+                    metrics.incr("checkpoint/stale_fallback");
+                    CrawlCheckpoint::new(fingerprint)
+                }
+            }
+        } else {
+            CrawlCheckpoint::new(fingerprint)
         };
-        Ok((dataset, timings))
+        let journal = CheckpointJournal::new(spec, fingerprint, &resumed)
+            .map_err(|e| CollectError::Checkpoint(e.to_string()))?;
+        let CrawlCheckpoint {
+            subgraph: done_subgraph,
+            txlist: done_txlist,
+            market: done_market,
+            ..
+        } = resumed;
+        // A kill switch needs a `ChaosSource` host even when no chaos was
+        // asked for; an all-zero profile injects nothing, so wrapping is
+        // byte-transparent.
+        let profile = config
+            .chaos
+            .clone()
+            .or_else(|| kill.as_ref().map(|_| FaultProfile::new(0)));
+
+        let crawler = config.crawler(config.subgraph_page_size);
+        let crawled = match &profile {
+            None => crawler.crawl_resumable_metered(
+                subgraph,
+                done_subgraph,
+                |shard, c| {
+                    journal.commit_subgraph(shard, c);
+                },
+                metrics,
+            )?,
+            Some(p) => crawler.crawl_resumable_metered(
+                &ChaosSource::with_kill_switch(subgraph, p.derive("subgraph"), kill.clone()),
+                done_subgraph,
+                |shard, c| {
+                    journal.commit_subgraph(shard, c);
+                },
+                metrics,
+            )?,
+        };
+        journal.flush();
+        if let Some(msg) = journal.take_error() {
+            return Err(CollectError::Checkpoint(msg));
+        }
+
+        let addresses = relevant_addresses(&crawled.items);
+        let crawler = config.crawler(config.txlist_page_size);
+        let tx_crawl = match &profile {
+            None => {
+                let tx_sources: Vec<_> = addresses
+                    .iter()
+                    .map(|&a| (a, etherscan.txlist_source(a)))
+                    .collect();
+                crawler.crawl_keyed_resumable_metered(
+                    &tx_sources,
+                    done_txlist,
+                    |addr, c| {
+                        journal.commit_txlist(*addr, c);
+                    },
+                    metrics,
+                )?
+            }
+            Some(p) => {
+                let tx_sources: Vec<_> = addresses
+                    .iter()
+                    .map(|&a| {
+                        (
+                            a,
+                            ChaosSource::with_kill_switch(
+                                etherscan.txlist_source(a),
+                                p.derive_keyed("txlist", a.shard_hash()),
+                                kill.clone(),
+                            ),
+                        )
+                    })
+                    .collect();
+                crawler.crawl_keyed_resumable_metered(
+                    &tx_sources,
+                    done_txlist,
+                    |addr, c| {
+                        journal.commit_txlist(*addr, c);
+                    },
+                    metrics,
+                )?
+            }
+        };
+        journal.flush();
+        if let Some(msg) = journal.take_error() {
+            return Err(CollectError::Checkpoint(msg));
+        }
+
+        let crawler = config.crawler(config.market_page_size);
+        let market_crawl = match &profile {
+            None => crawler.crawl_resumable_metered(
+                opensea,
+                done_market,
+                |shard, c| {
+                    journal.commit_market(shard, c);
+                },
+                metrics,
+            )?,
+            Some(p) => crawler.crawl_resumable_metered(
+                &ChaosSource::with_kill_switch(opensea, p.derive("market"), kill.clone()),
+                done_market,
+                |shard, c| {
+                    journal.commit_market(shard, c);
+                },
+                metrics,
+            )?,
+        };
+        if let Some(msg) = journal.take_error() {
+            return Err(CollectError::Checkpoint(msg));
+        }
+        metrics.add("checkpoint/writes", journal.writes());
+        // Every phase completed: the resume point is obsolete. Best-effort
+        // cleanup — a leftover chain would only ever be discarded as stale.
+        crate::checkpoint::remove_chain(&spec.path);
+
+        let addresses_crawled = addresses.len();
+        let result = assemble_dataset(
+            subgraph,
+            etherscan,
+            observation_end,
+            config,
+            metrics,
+            crawled,
+            tx_crawl,
+            market_crawl,
+            addresses_crawled,
+        );
+        drop(span);
+        result
     }
 
     /// Incoming value transfers to `address` (mints and contract payments
@@ -452,6 +607,89 @@ impl Dataset {
     }
 }
 
+/// The shared tail of every collection path: concatenate gaps, build the
+/// [`CrawlReport`], record collection totals, enforce the recovery gate
+/// and assemble the dataset. Checkpointed and plain collection must agree
+/// byte-for-byte, so they agree by construction — both end here.
+#[allow(clippy::too_many_arguments)]
+fn assemble_dataset(
+    subgraph: &Subgraph,
+    etherscan: &Etherscan,
+    observation_end: Timestamp,
+    config: &CrawlConfig,
+    metrics: &Metrics,
+    crawled: Crawled<DomainRecord>,
+    tx_crawl: KeyedCrawl<Address, Transaction>,
+    market_crawl: Crawled<MarketEvent>,
+    addresses_crawled: usize,
+) -> Result<(Dataset, CrawlTimings), CollectError> {
+    let domains = crawled.items;
+    let transactions = tx_crawl.map;
+    let market = OpenSea::from_events(market_crawl.items);
+
+    // Gaps concatenate in collection order (subgraph, txlist, market)
+    // — deterministic because each crawl's gaps already merge in
+    // canonical shard/key order.
+    let mut gaps = crawled.gaps;
+    gaps.extend(tx_crawl.gaps);
+    gaps.extend(market_crawl.gaps);
+    let lost_items_estimate = gaps.iter().map(|g| g.lost_estimate).sum();
+
+    let stats = subgraph.stats();
+    let crawl_report = CrawlReport {
+        domains: domains.len(),
+        unrecoverable_names: stats.unrecoverable_names,
+        subdomains: stats.subdomains,
+        addresses_crawled,
+        transactions: transactions.values().map(Vec::len).sum(),
+        subgraph: crawled.stats,
+        txlist: tx_crawl.stats,
+        market: market_crawl.stats,
+        degraded: !gaps.is_empty(),
+        gaps,
+        lost_items_estimate,
+    };
+    if metrics.is_enabled() {
+        metrics.add("collect/domains", crawl_report.domains as u64);
+        metrics.add(
+            "collect/unrecoverable_names",
+            crawl_report.unrecoverable_names as u64,
+        );
+        metrics.add(
+            "collect/addresses_crawled",
+            crawl_report.addresses_crawled as u64,
+        );
+        metrics.add("collect/transactions", crawl_report.transactions as u64);
+        metrics.add("collect/gaps", crawl_report.gaps.len() as u64);
+        metrics.add(
+            "collect/lost_items_estimate",
+            crawl_report.lost_items_estimate as u64,
+        );
+    }
+    if crawl_report.item_recovery_rate() < config.min_recovery {
+        return Err(CollectError::RecoveryBelowMinimum {
+            achieved: crawl_report.item_recovery_rate(),
+            required: config.min_recovery,
+            lost_items: crawl_report.lost_items_estimate,
+        });
+    }
+    let timings = CrawlTimings {
+        subgraph: crawled.elapsed,
+        txlist: tx_crawl.elapsed,
+        market: market_crawl.elapsed,
+    };
+    let dataset = Dataset {
+        domains,
+        transactions,
+        observation_end,
+        labels: etherscan.labels_snapshot(),
+        reverse_claims: subgraph.reverse_history_snapshot(),
+        market,
+        crawl_report,
+    };
+    Ok((dataset, timings))
+}
+
 /// Convenience bundle of borrowed data sources for one-call studies.
 pub struct DataSources<'a> {
     /// The ENS subgraph endpoint.
@@ -498,6 +736,26 @@ impl DataSources<'_> {
             self.observation_end,
             &self.crawl,
             metrics,
+        )
+    }
+
+    /// Crash-safe collection from these sources — see
+    /// [`Dataset::try_collect_checkpointed`].
+    pub fn try_collect_checkpointed(
+        &self,
+        metrics: &Metrics,
+        spec: &CheckpointSpec,
+        kill: Option<Arc<KillSwitch>>,
+    ) -> Result<(Dataset, CrawlTimings), CollectError> {
+        Dataset::try_collect_checkpointed(
+            self.subgraph,
+            self.etherscan,
+            self.opensea,
+            self.observation_end,
+            &self.crawl,
+            metrics,
+            spec,
+            kill,
         )
     }
 }

@@ -140,6 +140,22 @@ impl From<ens_columnar::ColumnarError> for StorageError {
     }
 }
 
+/// Writes `bytes` to `path` atomically: the bytes land in a `.tmp` sibling
+/// first and are published by a single `rename`, so a crash mid-write can
+/// never leave a torn file at `path` — readers see either the old complete
+/// contents or the new complete contents. This is the commit protocol the
+/// checkpoint layer's crash-safety proof rests on (see
+/// [`crate::checkpoint`]); dataset saves use it too so an interrupted
+/// export never corrupts a previous good file.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), StorageError> {
+    let mut tmp = path.as_os_str().to_os_string();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    std::fs::write(&tmp, bytes)?;
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
 impl Dataset {
     /// Serializes the dataset into `format`'s in-memory bytes.
     pub fn to_bytes(&self, format: Format) -> Result<Vec<u8>, StorageError> {
@@ -190,8 +206,7 @@ impl Dataset {
         metrics: &Metrics,
     ) -> Result<(), StorageError> {
         let bytes = self.to_bytes_metered(format, metrics)?;
-        std::fs::write(path, bytes)?;
-        Ok(())
+        write_atomic(path, &bytes)
     }
 
     /// Reads a dataset from `path`, auto-detecting the format from the

@@ -101,6 +101,61 @@ impl AddressIncoming {
         }
     }
 
+    /// Appends the incoming transfers of `txs` (the same filter as
+    /// [`AddressIncoming::build`]) and extends the USD prefix sums in
+    /// place. If the new transfers all land at-or-after the existing tail
+    /// — the common case, since chain order is time order — this is a pure
+    /// append; otherwise the slice is re-sorted (stably, so equal
+    /// timestamps keep arrival order, exactly like a batch build over the
+    /// concatenated history) and the prefix sums rebuilt. Returns the
+    /// number of transfers added and whether a re-sort was needed.
+    fn append(
+        &mut self,
+        address: Address,
+        txs: &[Transaction],
+        prices: &PriceTable,
+    ) -> (usize, bool) {
+        if self.prefix_usd.is_empty() {
+            self.prefix_usd.push(0);
+        }
+        let before = self.txs.len();
+        self.txs.extend(
+            txs.iter()
+                .filter(|tx| {
+                    tx.to == address && tx.from != address && matches!(tx.kind, TxKind::Transfer)
+                })
+                .map(|tx| IndexedTransfer {
+                    timestamp: tx.timestamp,
+                    from: tx.from,
+                    value: tx.value,
+                    usd: prices.to_usd(tx.value, tx.timestamp),
+                }),
+        );
+        let added = self.txs.len() - before;
+        let in_order = self.txs[before.saturating_sub(1)..]
+            .windows(2)
+            .all(|w| w[0].timestamp <= w[1].timestamp);
+        if in_order {
+            let mut acc = *self.prefix_usd.last().expect("prefix_usd starts at [0]");
+            self.prefix_usd.reserve(added);
+            for t in &self.txs[before..] {
+                acc += t.usd.0;
+                self.prefix_usd.push(acc);
+            }
+        } else {
+            self.txs.sort_by_key(|t| t.timestamp);
+            self.prefix_usd.clear();
+            self.prefix_usd.reserve(self.txs.len() + 1);
+            let mut acc: u128 = 0;
+            self.prefix_usd.push(acc);
+            for t in &self.txs {
+                acc += t.usd.0;
+                self.prefix_usd.push(acc);
+            }
+        }
+        (added, !in_order)
+    }
+
     /// Half-open index range of `[from, to)` within `txs`.
     fn range(&self, window: Option<(Timestamp, Timestamp)>) -> (usize, usize) {
         match window {
@@ -253,6 +308,72 @@ impl AnalysisIndex {
             "index/queries/unique_senders",
             self.queries.unique_senders.swap(0, Ordering::Relaxed),
         );
+    }
+
+    /// Incrementally absorbs a new batch of crawled data — per-address
+    /// transaction tails (or entirely new addresses) and newly crawled
+    /// domains — *appending* into the sorted per-address slices and
+    /// extending the USD prefix sums instead of rebuilding the index.
+    ///
+    /// Equivalence contract, gated by `tests/index_equivalence.rs`: a
+    /// [`AnalysisIndex::build`] over a dataset is interchangeable with a
+    /// build over any prefix followed by `extend` calls over the remaining
+    /// batches, provided the concatenation of the batches reproduces each
+    /// address's chain-ordered history and the domain order. Every query
+    /// answer, the re-registration list and the downstream `StudyReport`
+    /// are byte-identical either way. (New transfers are priced through a
+    /// fresh day-table over the batch's span; the table is exact — its
+    /// values equal direct oracle evaluation — so memoized USD never
+    /// depends on when a transfer was indexed.)
+    pub fn extend(
+        &mut self,
+        new_transactions: &BTreeMap<Address, Vec<Transaction>>,
+        new_domains: &[ens_subgraph::DomainRecord],
+        oracle: &PriceOracle,
+    ) {
+        self.extend_metered(new_transactions, new_domains, oracle, &Metrics::disabled());
+    }
+
+    /// [`AnalysisIndex::extend`] under an `index/extend` span, recording
+    /// how much was appended and how many addresses needed an
+    /// out-of-order re-sort.
+    pub fn extend_metered(
+        &mut self,
+        new_transactions: &BTreeMap<Address, Vec<Transaction>>,
+        new_domains: &[ens_subgraph::DomainRecord],
+        oracle: &PriceOracle,
+        metrics: &Metrics,
+    ) {
+        let span = metrics.span("index/extend");
+        let ts_span = new_transactions
+            .values()
+            .flat_map(|txs| txs.iter().map(|tx| tx.timestamp))
+            .fold(None::<(Timestamp, Timestamp)>, |acc, t| match acc {
+                None => Some((t, t)),
+                Some((lo, hi)) => Some((lo.min(t), hi.max(t))),
+            });
+        let prices = match ts_span {
+            Some((lo, hi)) => oracle.day_table(lo, hi),
+            None => oracle.day_table(Timestamp(0), Timestamp(0)),
+        };
+        let mut added_total = 0usize;
+        let mut resorted = 0u64;
+        for (addr, txs) in new_transactions {
+            let entry = self.incoming.entry(*addr).or_default();
+            let (added, resort) = entry.append(*addr, txs, &prices);
+            added_total += added;
+            resorted += u64::from(resort);
+        }
+        self.transfers_indexed += added_total;
+        let new_reregs = detect_all(new_domains);
+        if metrics.is_enabled() {
+            metrics.incr("index/extend/calls");
+            metrics.add("index/extend/transfers", added_total as u64);
+            metrics.add("index/extend/resorted_addresses", resorted);
+            metrics.add("index/extend/reregistrations", new_reregs.len() as u64);
+        }
+        self.reregistrations.extend(new_reregs);
+        drop(span);
     }
 
     fn entry(&self, address: Address) -> &AddressIncoming {
@@ -456,6 +577,89 @@ mod tests {
         }
         let empty: Vec<u64> = Vec::new();
         assert!(shard_map(&empty, 4, |x| *x).is_empty());
+    }
+
+    #[test]
+    fn incremental_extends_match_one_batch_build() {
+        let (world, ds) = dataset();
+        let full = AnalysisIndex::build(&ds, world.oracle());
+        // Index a prefix — half of every address's history, half the
+        // domains — then absorb the rest in two extend batches.
+        let mut prefix = ds.clone();
+        prefix.domains = ds.domains[..100].to_vec();
+        prefix.transactions = ds
+            .transactions
+            .iter()
+            .map(|(a, txs)| (*a, txs[..txs.len() / 2].to_vec()))
+            .collect();
+        let mut index = AnalysisIndex::build(&prefix, world.oracle());
+        let tails: BTreeMap<Address, Vec<Transaction>> = ds
+            .transactions
+            .iter()
+            .map(|(a, txs)| (*a, txs[txs.len() / 2..].to_vec()))
+            .collect();
+        index.extend(&tails, &ds.domains[100..150], world.oracle());
+        index.extend(&BTreeMap::new(), &ds.domains[150..], world.oracle());
+        assert_eq!(index.indexed_addresses(), full.indexed_addresses());
+        assert_eq!(index.indexed_transfers(), full.indexed_transfers());
+        assert_eq!(index.reregistrations(), full.reregistrations());
+        let end = ds.observation_end;
+        let mid = Timestamp(end.0 / 2);
+        for &addr in ds.transactions.keys() {
+            assert_eq!(index.incoming(addr, None), full.incoming(addr, None));
+            for window in [None, Some((Timestamp(0), mid)), Some((mid, end))] {
+                assert_eq!(
+                    index.income_and_count(addr, window),
+                    full.income_and_count(addr, window),
+                    "income for {addr:?} window {window:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_order_extends_resort_and_still_answer_correctly() {
+        let (world, ds) = dataset();
+        let full = AnalysisIndex::build(&ds, world.oracle());
+        // Feed each address's *later* half first, then the earlier half —
+        // the append detects the inversion and re-sorts.
+        let empty = Dataset {
+            domains: Vec::new(),
+            transactions: BTreeMap::new(),
+            ..ds.clone()
+        };
+        let mut index = AnalysisIndex::build(&empty, world.oracle());
+        let late: BTreeMap<Address, Vec<Transaction>> = ds
+            .transactions
+            .iter()
+            .map(|(a, txs)| (*a, txs[txs.len() / 2..].to_vec()))
+            .collect();
+        let early: BTreeMap<Address, Vec<Transaction>> = ds
+            .transactions
+            .iter()
+            .map(|(a, txs)| (*a, txs[..txs.len() / 2].to_vec()))
+            .collect();
+        index.extend(&late, &ds.domains, world.oracle());
+        index.extend(&early, &[], world.oracle());
+        assert_eq!(index.indexed_transfers(), full.indexed_transfers());
+        assert_eq!(index.reregistrations(), full.reregistrations());
+        // Sums and counts are insertion-order independent even where
+        // equal timestamps make the within-day order ambiguous.
+        let end = ds.observation_end;
+        let mid = Timestamp(end.0 / 2);
+        for &addr in ds.transactions.keys() {
+            for window in [None, Some((Timestamp(0), mid)), Some((mid, end))] {
+                assert_eq!(
+                    index.income_and_count(addr, window),
+                    full.income_and_count(addr, window),
+                    "income for {addr:?} window {window:?}"
+                );
+                assert_eq!(
+                    index.unique_senders(addr, window),
+                    full.unique_senders(addr, window)
+                );
+            }
+        }
     }
 
     #[test]

@@ -46,6 +46,7 @@
 // construction site is a cold abort path.
 #![allow(clippy::result_large_err)]
 
+pub mod checkpoint;
 pub mod countermeasures;
 pub mod crawl;
 pub mod dataset;
@@ -61,9 +62,13 @@ pub mod resale;
 pub mod stats;
 pub mod storage;
 
+pub use checkpoint::{
+    config_fingerprint, load_for_resume, remove_chain, CheckpointJournal, CheckpointLoad,
+    CheckpointSpec, CrawlCheckpoint, DEFAULT_CHECKPOINT_EVERY,
+};
 pub use crawl::{
-    relevant_addresses, CrawlError, CrawlGap, CrawlReport, CrawlTimings, Crawled, Crawler,
-    FailurePolicy, KeyedCrawl, RetryCounts, RetryPolicy, SourceStats,
+    relevant_addresses, CommittedShard, CrawlError, CrawlGap, CrawlReport, CrawlTimings, Crawled,
+    Crawler, FailurePolicy, KeyedCrawl, RetryCounts, RetryPolicy, SourceStats,
 };
 pub use dataset::{CollectError, CrawlConfig, DataSources, Dataset};
 pub use ens_obs::{Metrics, MetricsSnapshot};

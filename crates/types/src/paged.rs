@@ -15,7 +15,8 @@
 
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 use serde::{Deserialize, Serialize};
 
@@ -53,12 +54,21 @@ pub enum FaultKind {
     /// batch larger than the requested limit, which would corrupt shard
     /// merges if accepted.
     Malformed,
+    /// The crawling *process* died after serving `after_n_pages` pages — a
+    /// simulated crash injected by a [`KillSwitch`]. Unlike every other
+    /// kind this is not a property of the endpoint: it aborts the whole
+    /// crawl (no retry, no degrade-with-gaps) and is what the
+    /// checkpoint/resume machinery recovers from.
+    Killed {
+        /// The page budget the kill switch was armed with.
+        after_n_pages: u64,
+    },
 }
 
 impl FaultKind {
     /// True if retrying the same request can ever succeed.
     pub fn is_retryable(self) -> bool {
-        !matches!(self, FaultKind::PermanentHole)
+        !matches!(self, FaultKind::PermanentHole | FaultKind::Killed { .. })
     }
 
     /// The server-requested wait, if this fault carries one.
@@ -77,6 +87,7 @@ impl FaultKind {
             FaultKind::ServerError => "server-error",
             FaultKind::PermanentHole => "permanent-hole",
             FaultKind::Malformed => "malformed",
+            FaultKind::Killed { .. } => "killed",
         }
     }
 
@@ -89,6 +100,7 @@ impl FaultKind {
             FaultKind::ServerError => "server_error",
             FaultKind::PermanentHole => "permanent_hole",
             FaultKind::Malformed => "malformed",
+            FaultKind::Killed { .. } => "killed",
         }
     }
 }
@@ -167,6 +179,16 @@ impl PageError {
     /// A malformed/untrustworthy response.
     pub fn malformed(source: &'static str, offset: usize, message: impl Into<String>) -> PageError {
         PageError::new(FaultKind::Malformed, source, offset, message)
+    }
+
+    /// A simulated process death from a tripped [`KillSwitch`].
+    pub fn killed(source: &'static str, offset: usize, after_n_pages: u64) -> PageError {
+        PageError::new(
+            FaultKind::Killed { after_n_pages },
+            source,
+            offset,
+            format!("injected process death after {after_n_pages} served pages"),
+        )
     }
 }
 
@@ -464,6 +486,52 @@ impl FaultProfile {
     }
 }
 
+/// A process-wide page budget simulating crash death mid-crawl: after
+/// `after_n_pages` pages have been served (across *every* source sharing
+/// the switch), each subsequent fetch fails with [`FaultKind::Killed`].
+///
+/// One switch is shared by all of a collection's wrapped sources, because a
+/// process death is global — it does not respect source boundaries. At one
+/// worker thread the kill lands after exactly `after_n_pages` pages; under
+/// concurrency a handful of in-flight fetches may still land after the
+/// budget is spent (just like real crashes, which are not synchronized with
+/// page boundaries either).
+#[derive(Debug)]
+pub struct KillSwitch {
+    after_n_pages: u64,
+    served: AtomicU64,
+}
+
+impl KillSwitch {
+    /// A switch that trips after `after_n_pages` successfully served pages.
+    pub fn new(after_n_pages: u64) -> Arc<KillSwitch> {
+        Arc::new(KillSwitch {
+            after_n_pages,
+            served: AtomicU64::new(0),
+        })
+    }
+
+    /// The page budget this switch was armed with.
+    pub fn after_n_pages(&self) -> u64 {
+        self.after_n_pages
+    }
+
+    /// Pages served so far across all sources sharing the switch.
+    pub fn served(&self) -> u64 {
+        self.served.load(Ordering::Relaxed)
+    }
+
+    /// True once the budget is exhausted — every fetch from here on dies.
+    pub fn tripped(&self) -> bool {
+        self.served() >= self.after_n_pages
+    }
+
+    /// Records one successfully served page.
+    fn record_page(&self) {
+        self.served.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
 /// A chaos wrapper injecting the faults of a [`FaultProfile`] into any
 /// [`PagedSource`]. Deterministic under any thread interleaving: fault
 /// selection is a pure function of `(seed, offset)` and burst exhaustion is
@@ -472,6 +540,7 @@ pub struct ChaosSource<S> {
     inner: S,
     profile: FaultProfile,
     attempts: Mutex<HashMap<usize, u32>>,
+    kill: Option<Arc<KillSwitch>>,
 }
 
 impl<S> ChaosSource<S> {
@@ -481,6 +550,23 @@ impl<S> ChaosSource<S> {
             inner,
             profile,
             attempts: Mutex::new(HashMap::new()),
+            kill: None,
+        }
+    }
+
+    /// Wraps `inner` with a fault plan plus an optional shared kill switch.
+    /// Pass the same `Arc` to every source of a collection so the simulated
+    /// process death is global, like the real thing.
+    pub fn with_kill_switch(
+        inner: S,
+        profile: FaultProfile,
+        kill: Option<Arc<KillSwitch>>,
+    ) -> ChaosSource<S> {
+        ChaosSource {
+            inner,
+            profile,
+            attempts: Mutex::new(HashMap::new()),
+            kill,
         }
     }
 
@@ -503,6 +589,11 @@ impl<S: PagedSource> PagedSource for ChaosSource<S> {
 
     fn fetch(&self, offset: usize, limit: usize) -> Result<PagedBatch<Self::Item>, PageError> {
         let name = self.inner.source_name();
+        if let Some(kill) = &self.kill {
+            if kill.tripped() {
+                return Err(PageError::killed(name, offset, kill.after_n_pages()));
+            }
+        }
         if let Some((lo, hi)) = self.profile.hole_over(offset, limit) {
             return Err(PageError::permanent_hole(
                 name,
@@ -526,6 +617,9 @@ impl<S: PagedSource> PagedSource for ChaosSource<S> {
             let batch = self
                 .inner
                 .fetch(offset, limit.saturating_mul(2).max(limit + 1))?;
+            if let Some(kill) = &self.kill {
+                kill.record_page();
+            }
             return Ok(batch);
         }
         let mut batch = self.inner.fetch(offset, limit)?;
@@ -534,6 +628,9 @@ impl<S: PagedSource> PagedSource for ChaosSource<S> {
             // at later offsets, so this is lossless but costs extra pages.
             batch.items.truncate(batch.items.len() / 2);
             batch.has_more = true;
+        }
+        if let Some(kill) = &self.kill {
+            kill.record_page();
         }
         Ok(batch)
     }
@@ -706,6 +803,50 @@ mod tests {
         );
         // Re-deriving is stable.
         assert_eq!(a, base.derive("subgraph"));
+    }
+
+    #[test]
+    fn kill_switch_trips_after_the_page_budget() {
+        let kill = KillSwitch::new(3);
+        let chaos =
+            ChaosSource::with_kill_switch(Numbers(100), FaultProfile::new(0), Some(kill.clone()));
+        for i in 0..3 {
+            assert!(chaos.fetch(i * 5, 5).is_ok(), "page {i} within budget");
+        }
+        assert!(kill.tripped());
+        let err = chaos.fetch(15, 5).unwrap_err();
+        assert_eq!(err.kind, FaultKind::Killed { after_n_pages: 3 });
+        assert!(!err.kind.is_retryable(), "a dead process cannot retry");
+        assert_eq!(err.kind.label(), "killed");
+        // Dead is dead: every subsequent fetch fails too.
+        assert!(chaos.fetch(0, 5).is_err());
+    }
+
+    #[test]
+    fn kill_switch_is_global_across_sources() {
+        let kill = KillSwitch::new(2);
+        let a =
+            ChaosSource::with_kill_switch(Numbers(50), FaultProfile::new(1), Some(kill.clone()));
+        let b = ChaosSource::with_kill_switch(Numbers(50), FaultProfile::new(2), Some(kill));
+        assert!(a.fetch(0, 5).is_ok());
+        assert!(b.fetch(0, 5).is_ok());
+        // The budget is shared: the process is dead for *both* sources.
+        assert!(a.fetch(5, 5).is_err());
+        assert!(b.fetch(5, 5).is_err());
+    }
+
+    #[test]
+    fn failed_fetches_do_not_consume_the_kill_budget() {
+        let kill = KillSwitch::new(1);
+        let chaos = ChaosSource::with_kill_switch(
+            Numbers(50),
+            FaultProfile::new(0).with_hole(10, 20),
+            Some(kill.clone()),
+        );
+        assert!(chaos.fetch(10, 5).is_err(), "hole fails");
+        assert_eq!(kill.served(), 0, "a failed page is not a served page");
+        assert!(chaos.fetch(0, 5).is_ok());
+        assert!(chaos.fetch(20, 5).is_err(), "budget spent, process dies");
     }
 
     #[test]
