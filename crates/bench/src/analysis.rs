@@ -8,12 +8,13 @@ use std::time::Instant;
 
 use ens_dropcatch::{
     analyze_losses_naive, analyze_losses_with, compare_features_naive, compare_features_with,
-    run_study_on_naive, run_study_with_index, run_study_with_index_metered, AnalysisIndex, Dataset,
-    Metrics, StudyConfig,
+    run_study_on_naive, run_study_with_index, run_study_with_index_metered, AnalysisIndex,
+    DataSources, Dataset, Metrics, StudyConfig,
 };
 use ens_types::Address;
 use serde::Serialize;
 use sim_chain::Transaction;
+use workload::WorldConfig;
 
 use crate::Fixture;
 
@@ -53,6 +54,10 @@ pub struct ThreadedRun {
 /// the per-pass counters alongside the timings).
 #[derive(Clone, Debug, Serialize)]
 pub struct MetricsOverhead {
+    /// How many interleaved repeats each arm's minimum was taken over —
+    /// without this the overhead percentage is uninterpretable (a single
+    /// interleaved run is noise-dominated and can even go negative).
+    pub repeats: usize,
     /// Full `run_study_with_index` wall time, disabled handle, ms (min
     /// over repeats).
     pub unmetered_study_ms: f64,
@@ -82,6 +87,40 @@ pub struct IncrementalExtend {
     pub report_identical_to_batch: bool,
 }
 
+/// The paper-scale end-to-end measurement: the full
+/// crawl → ingest → index → study pipeline on
+/// [`WorldConfig::paper_scale`] (3.1M names / ~9.7M transactions — the
+/// dataset size the paper studies), with the same thread trajectory and
+/// byte-identical-report gate as the standard world.
+#[derive(Clone, Debug, Serialize)]
+pub struct PaperScaleReport {
+    /// Names simulated (3.1M unless scaled down for a smoke run).
+    pub names: usize,
+    /// World seed.
+    pub seed: u64,
+    /// Transactions in the crawled dataset.
+    pub transactions: usize,
+    /// Re-registrations detected.
+    pub reregistrations: usize,
+    /// Timing repeats (min is reported).
+    pub repeats: usize,
+    /// Plan + execute the world, ms (measured once — it dominates).
+    pub world_build_ms: f64,
+    /// Crawl the subgraph/explorer views and ingest the dataset, ms.
+    pub crawl_ingest_ms: f64,
+    /// The pre-index baseline passes.
+    pub naive: PassTimings,
+    /// Indexed runs, one per requested thread count.
+    pub runs: Vec<ThreadedRun>,
+    /// True iff every indexed run's report matched the naive one.
+    pub outputs_identical: bool,
+    /// Full `run_study_with_index` at the highest thread count, ms.
+    pub study_ms: f64,
+    /// world build + crawl/ingest + index build (highest thread count)
+    /// + study — the complete pipeline wall time.
+    pub end_to_end_ms: f64,
+}
+
 /// The `BENCH_analysis.json` document.
 #[derive(Clone, Debug, Serialize)]
 pub struct AnalysisBenchReport {
@@ -106,6 +145,9 @@ pub struct AnalysisBenchReport {
     pub incremental: IncrementalExtend,
     /// Metered-vs-unmetered study timing and the embedded snapshot.
     pub metrics_overhead: MetricsOverhead,
+    /// The paper-scale end-to-end run (present when the bench was invoked
+    /// with `--paper-scale`).
+    pub paper_scale: Option<PaperScaleReport>,
 }
 
 impl AnalysisBenchReport {
@@ -182,6 +224,10 @@ fn time_ms<R>(repeats: usize, mut f: impl FnMut() -> R) -> (f64, R) {
     let mut best = f64::INFINITY;
     let mut out = None;
     for _ in 0..repeats {
+        // Drop the previous repeat's result *before* starting the clock —
+        // tearing down a paper-scale index costs whole seconds, and that
+        // belongs to the previous repeat, not this one.
+        drop(out.take());
         let t = Instant::now();
         out = Some(f());
         best = best.min(t.elapsed().as_secs_f64() * 1e3);
@@ -189,18 +235,15 @@ fn time_ms<R>(repeats: usize, mut f: impl FnMut() -> R) -> (f64, R) {
     (best, out.expect("repeats > 0"))
 }
 
-/// Runs the naive-vs-indexed comparison on a fixture and returns the
-/// report for `BENCH_analysis.json`.
-pub fn run_analysis_bench(
-    fixture: &Fixture,
-    thread_counts: &[usize],
+/// Times the two naive passes and serializes the naive study report —
+/// the baseline every indexed run is compared against.
+fn naive_baseline(
+    dataset: &Dataset,
+    sources: &DataSources<'_>,
+    config: &StudyConfig,
     repeats: usize,
-) -> AnalysisBenchReport {
-    let dataset = &fixture.dataset;
-    let sources = fixture.sources();
+) -> (PassTimings, String) {
     let oracle = sources.oracle;
-    let config = StudyConfig::default();
-
     let (naive_losses_ms, _) = time_ms(repeats, || analyze_losses_naive(dataset, oracle));
     let (naive_features_ms, _) = time_ms(repeats, || {
         compare_features_naive(dataset, oracle, config.control_seed)
@@ -211,8 +254,39 @@ pub fn run_analysis_bench(
         total_ms: naive_losses_ms + naive_features_ms,
     };
     let naive_report_json =
-        serde_json::to_string(&run_study_on_naive(dataset, &sources, &config)).expect("serializes");
+        serde_json::to_string(&run_study_on_naive(dataset, sources, config)).expect("serializes");
+    (naive, naive_report_json)
+}
 
+/// One [`ThreadedRun`] per requested thread count: index build + indexed
+/// passes timed min-of-`repeats`, with the byte-identical-report gate
+/// against the naive baseline. Returns the runs and the re-registration
+/// count.
+fn threaded_runs(
+    dataset: &Dataset,
+    sources: &DataSources<'_>,
+    config: &StudyConfig,
+    naive: &PassTimings,
+    naive_report_json: &str,
+    thread_counts: &[usize],
+    repeats: usize,
+) -> (Vec<ThreadedRun>, usize) {
+    let oracle = sources.oracle;
+    // Untimed warmup builds, sequential and at the widest fan-out: the
+    // first index build after a fresh fixture pays first-touch page
+    // faults and cold allocator arenas for gigabytes of index (on the
+    // paper-scale world that inflated whichever thread count happened to
+    // run first by 5-10x). Paying those process-lifecycle costs here puts
+    // every measured thread count on the same warm footing.
+    let warm_threads = thread_counts.iter().copied().max().unwrap_or(1);
+    drop(AnalysisIndex::build_with_threads(dataset, oracle, 1));
+    if warm_threads > 1 {
+        drop(AnalysisIndex::build_with_threads(
+            dataset,
+            oracle,
+            warm_threads,
+        ));
+    }
     let mut runs = Vec::new();
     let mut reregistrations = 0;
     for &threads in thread_counts {
@@ -233,10 +307,10 @@ pub fn run_analysis_bench(
             total_ms: losses_ms + features_ms,
         };
 
-        let threaded_config = StudyConfig { threads, ..config };
+        let threaded_config = StudyConfig { threads, ..*config };
         let indexed_report_json = serde_json::to_string(&run_study_with_index(
             dataset,
-            &sources,
+            sources,
             &threaded_config,
             &index,
         ))
@@ -251,7 +325,100 @@ pub fn run_analysis_bench(
             report_identical_to_naive: indexed_report_json == naive_report_json,
         });
     }
+    (runs, reregistrations)
+}
 
+/// Runs the full crawl → ingest → index → study pipeline on the
+/// paper-scale world (or a seed-compatible scaled-down smoke of it) and
+/// returns the end-to-end section for `BENCH_analysis.json`.
+pub fn run_paper_scale_bench(
+    names: usize,
+    seed: u64,
+    thread_counts: &[usize],
+    repeats: usize,
+) -> PaperScaleReport {
+    let config = StudyConfig::default();
+
+    let t = Instant::now();
+    let world = WorldConfig::paper_scale()
+        .with_names(names)
+        .with_seed(seed)
+        .build();
+    let world_build_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    let t = Instant::now();
+    let fixture = Fixture::from_world(world);
+    let crawl_ingest_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    let dataset = &fixture.dataset;
+    let sources = fixture.sources();
+    let (naive, naive_report_json) = naive_baseline(dataset, &sources, &config, repeats);
+    let (runs, reregistrations) = threaded_runs(
+        dataset,
+        &sources,
+        &config,
+        &naive,
+        &naive_report_json,
+        thread_counts,
+        repeats,
+    );
+    let outputs_identical = runs.iter().all(|r| r.report_identical_to_naive);
+
+    // The complete pipeline at the widest fan-out: what one study costs
+    // end to end at the paper's dataset size.
+    let max_threads = thread_counts.iter().copied().max().unwrap_or(1);
+    let index = AnalysisIndex::build_with_threads(dataset, sources.oracle, max_threads);
+    let study_config = StudyConfig {
+        threads: max_threads,
+        ..config
+    };
+    let (study_ms, _) = time_ms(repeats, || {
+        run_study_with_index(dataset, &sources, &study_config, &index)
+    });
+    let max_run_build = runs
+        .iter()
+        .find(|r| r.threads == max_threads)
+        .map(|r| r.index_build_ms)
+        .unwrap_or(0.0);
+
+    PaperScaleReport {
+        names,
+        seed,
+        transactions: dataset.crawl_report.transactions,
+        reregistrations,
+        repeats,
+        world_build_ms,
+        crawl_ingest_ms,
+        naive,
+        runs,
+        outputs_identical,
+        study_ms,
+        end_to_end_ms: world_build_ms + crawl_ingest_ms + max_run_build + study_ms,
+    }
+}
+
+/// Runs the naive-vs-indexed comparison on a fixture and returns the
+/// report for `BENCH_analysis.json`.
+pub fn run_analysis_bench(
+    fixture: &Fixture,
+    thread_counts: &[usize],
+    repeats: usize,
+) -> AnalysisBenchReport {
+    let dataset = &fixture.dataset;
+    let sources = fixture.sources();
+    let oracle = sources.oracle;
+    let config = StudyConfig::default();
+
+    let (naive, naive_report_json) = naive_baseline(dataset, &sources, &config, repeats);
+    let (runs, reregistrations) = threaded_runs(
+        dataset,
+        &sources,
+        &config,
+        &naive,
+        &naive_report_json,
+        thread_counts,
+        repeats,
+    );
     let outputs_identical = runs.iter().all(|r| r.report_identical_to_naive);
 
     // Incremental maintenance: grow an index from nothing by absorbing the
@@ -336,6 +503,7 @@ pub fn run_analysis_bench(
     }
     let snapshot_json = metrics.snapshot().deterministic_json();
     let metrics_overhead = MetricsOverhead {
+        repeats: overhead_repeats,
         unmetered_study_ms,
         metered_study_ms,
         overhead_pct: (metered_study_ms - unmetered_study_ms) / unmetered_study_ms * 100.0,
@@ -353,5 +521,6 @@ pub fn run_analysis_bench(
         outputs_identical,
         incremental,
         metrics_overhead,
+        paper_scale: None,
     }
 }

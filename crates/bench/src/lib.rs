@@ -9,8 +9,8 @@ pub mod ingest;
 pub mod resume;
 
 pub use analysis::{
-    run_analysis_bench, AnalysisBenchReport, IncrementalExtend, MetricsOverhead, PassTimings,
-    ThreadedRun,
+    run_analysis_bench, run_paper_scale_bench, AnalysisBenchReport, IncrementalExtend,
+    MetricsOverhead, PaperScaleReport, PassTimings, ThreadedRun,
 };
 pub use columnar::{run_columnar_bench, ColumnarBenchReport, ColumnarScaleRun};
 pub use ingest::{run_ingest_bench, IngestBenchReport, IngestScaleRun};
@@ -42,6 +42,13 @@ impl Fixture {
             .with_names(n_names)
             .with_seed(seed)
             .build();
+        Fixture::from_world(world)
+    }
+
+    /// Crawls and ingests an already-built world — the world build and the
+    /// crawl/ingest phase can then be timed separately (the paper-scale
+    /// bench reports each as its own pipeline stage).
+    pub fn from_world(world: World) -> Fixture {
         let subgraph = world.subgraph(SubgraphConfig::default());
         let etherscan = world.etherscan();
         let dataset = Dataset::collect(

@@ -71,8 +71,25 @@ use opensea_sim::OpenSea;
 use price_oracle::PriceOracle;
 use workload::WorldConfig;
 
+/// The base world configuration `--names`/`--seed` are applied on top of.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Preset {
+    Default,
+    PaperScale,
+}
+
+impl Preset {
+    fn base(self) -> WorldConfig {
+        match self {
+            Preset::Default => WorldConfig::default(),
+            Preset::PaperScale => WorldConfig::paper_scale(),
+        }
+    }
+}
+
 struct Args {
-    names: usize,
+    preset: Preset,
+    names: Option<usize>,
     seed: u64,
     threads: usize,
     dataset: Option<PathBuf>,
@@ -93,10 +110,11 @@ struct Args {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  ens-dropcatch run      [--names N] [--seed S] [--threads N] [--csv DIR] [--dataset FILE] [--metrics-json FILE] [FAULT OPTS]\n  \
-         ens-dropcatch simulate [--names N] [--seed S] [--threads N] --dataset FILE [--metrics-json FILE] [FAULT OPTS]\n  \
+        "usage:\n  ens-dropcatch run      [--preset P] [--names N] [--seed S] [--threads N] [--csv DIR] [--dataset FILE] [--metrics-json FILE] [FAULT OPTS]\n  \
+         ens-dropcatch simulate [--preset P] [--names N] [--seed S] [--threads N] --dataset FILE [--metrics-json FILE] [FAULT OPTS]\n  \
          ens-dropcatch analyze  --dataset FILE [--threads N] [--csv DIR] [--metrics-json FILE]\n\
          common options:\n  \
+         --preset default|paper-scale\n                           base world configuration; paper-scale is the\n                           3.1M-name / ~9.7M-transaction world calibrated to the\n                           paper's dataset (an explicit --names overrides its size)\n  \
          --format json|columnar   dataset export format (default: from the --dataset\n                           extension — .json/.ensc — else json); inputs always\n                           auto-detect from the file's magic bytes\n  \
          --verbose                print detected formats and byte counts\n  \
          --metrics-json FILE      write the instrumentation snapshot (spans, counters,\n                           histograms; deterministic + wall-clock sections) as JSON\n\
@@ -127,7 +145,8 @@ fn parse_chaos(spec: &str) -> Option<FaultProfile> {
 
 fn parse(mut args: impl Iterator<Item = String>) -> Option<Args> {
     let mut out = Args {
-        names: 20_000,
+        preset: Preset::Default,
+        names: None,
         seed: 1,
         threads: 1,
         dataset: None,
@@ -148,7 +167,20 @@ fn parse(mut args: impl Iterator<Item = String>) -> Option<Args> {
     let mut loss_budget: Option<usize> = None;
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--names" => out.names = args.next()?.parse().ok()?,
+            "--names" => out.names = Some(args.next()?.parse().ok()?),
+            "--preset" => {
+                let value = args.next()?;
+                out.preset = match value.as_str() {
+                    "default" => Preset::Default,
+                    "paper-scale" => Preset::PaperScale,
+                    _ => {
+                        eprintln!(
+                            "error: unknown --preset {value:?} (expected default or paper-scale)"
+                        );
+                        return None;
+                    }
+                };
+            }
             "--seed" => out.seed = args.next()?.parse().ok()?,
             "--threads" => {
                 out.threads = args.next()?.parse::<usize>().ok()?;
@@ -299,7 +331,7 @@ impl Args {
     /// checkpoint from one world is never spliced into another.
     fn checkpoint_spec(&self) -> Option<CheckpointSpec> {
         let path = self.checkpoint.as_ref()?;
-        let extra = (self.names as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ self.seed;
+        let extra = (self.n_names() as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ self.seed;
         let mut spec = CheckpointSpec::new(path)
             .every(self.checkpoint_every.unwrap_or(DEFAULT_CHECKPOINT_EVERY))
             .with_fingerprint_extra(extra);
@@ -307,6 +339,19 @@ impl Args {
             spec = spec.resuming();
         }
         Some(spec)
+    }
+
+    /// The world size: an explicit `--names` wins over the preset's own.
+    fn n_names(&self) -> usize {
+        self.names.unwrap_or_else(|| self.preset.base().n_names)
+    }
+
+    /// The `--preset` base with `--names`/`--seed` applied on top.
+    fn world_config(&self) -> WorldConfig {
+        self.preset
+            .base()
+            .with_names(self.n_names())
+            .with_seed(self.seed)
     }
 
     fn crawl_config(&self) -> CrawlConfig {
@@ -354,12 +399,10 @@ fn run(args: Args, full_study: bool) -> ExitCode {
     };
     eprintln!(
         "building world: {} names, seed {}...",
-        args.names, args.seed
+        args.n_names(),
+        args.seed
     );
-    let world = WorldConfig::default()
-        .with_names(args.names)
-        .with_seed(args.seed)
-        .build();
+    let world = args.world_config().build();
     let subgraph = world.subgraph(SubgraphConfig::default());
     let etherscan = world.etherscan();
     eprintln!(

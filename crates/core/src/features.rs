@@ -16,7 +16,7 @@ use price_oracle::PriceOracle;
 use serde::{Deserialize, Serialize};
 
 use crate::dataset::Dataset;
-use crate::index::{shard_map, AnalysisIndex};
+use crate::index::{shard_map_weighted, AnalysisIndex};
 use crate::registrations::{
     classify, classify_with_detected, effective_owner_at_expiry, DomainOutcome,
 };
@@ -355,16 +355,30 @@ pub fn compare_features_metered(
         metrics.add("features/control_domains", control.len() as u64);
     }
 
-    let f_rereg: Vec<DomainFeatures> =
-        shard_map(&rereg, threads, |d| extract_features_with(index, d))
-            .into_iter()
-            .flatten()
-            .collect();
-    let f_control: Vec<DomainFeatures> =
-        shard_map(&control, threads, |d| extract_features_with(index, d))
-            .into_iter()
-            .flatten()
-            .collect();
+    // Extraction cost per domain is the owner's incoming-slice length
+    // (income + unique-senders queries), which is hub-skewed — weight the
+    // shards by it instead of splitting by domain count.
+    let weigh = |d: &&DomainRecord| {
+        effective_owner_at_expiry(d, 0)
+            .map(|o| index.transfer_count(o))
+            .unwrap_or(0)
+    };
+    let w_rereg: Vec<usize> = rereg.iter().map(weigh).collect();
+    let w_control: Vec<usize> = control.iter().map(weigh).collect();
+    let f_rereg: Vec<DomainFeatures> = shard_map_weighted(&rereg, &w_rereg, threads, |d| {
+        extract_features_with(index, d)
+    })
+    .expect("weights cover re-registered domains one-to-one")
+    .into_iter()
+    .flatten()
+    .collect();
+    let f_control: Vec<DomainFeatures> = shard_map_weighted(&control, &w_control, threads, |d| {
+        extract_features_with(index, d)
+    })
+    .expect("weights cover control domains one-to-one")
+    .into_iter()
+    .flatten()
+    .collect();
     if metrics.is_enabled() {
         metrics.add(
             "features/vectors_extracted",

@@ -46,7 +46,7 @@ use price_oracle::{PriceOracle, PriceTable};
 use sim_chain::{Transaction, TxKind};
 
 use crate::dataset::Dataset;
-use crate::registrations::{detect_all, ReRegistration};
+use crate::registrations::{detect_all, detect_all_with_threads, ReRegistration};
 
 /// One pre-filtered, pre-priced incoming value transfer.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -72,22 +72,29 @@ struct AddressIncoming {
 
 impl AddressIncoming {
     fn build(address: Address, txs: &[Transaction], prices: &PriceTable) -> AddressIncoming {
-        let mut out: Vec<IndexedTransfer> = txs
-            .iter()
-            .filter(|tx| {
-                tx.to == address && tx.from != address && matches!(tx.kind, TxKind::Transfer)
-            })
-            .map(|tx| IndexedTransfer {
-                timestamp: tx.timestamp,
-                from: tx.from,
-                value: tx.value,
-                usd: prices.to_usd(tx.value, tx.timestamp),
-            })
-            .collect();
-        // Chain order is already time order, so this stable sort is a
-        // no-op that enforces the invariant the binary searches rely on —
-        // and keeps iteration order identical to the naive filter's.
-        out.sort_by_key(|t| t.timestamp);
+        let matches = |tx: &&Transaction| {
+            tx.to == address && tx.from != address && matches!(tx.kind, TxKind::Transfer)
+        };
+        // Count first, then fill an exactly-sized vector: hub addresses
+        // hold tens of thousands of transfers, and letting the collect
+        // grow geometrically both re-copies the bulk of the data ~17
+        // times and leaves up to 2x capacity slack live in the index.
+        let mut out: Vec<IndexedTransfer> = Vec::with_capacity(txs.iter().filter(matches).count());
+        out.extend(txs.iter().filter(matches).map(|tx| IndexedTransfer {
+            timestamp: tx.timestamp,
+            from: tx.from,
+            value: tx.value,
+            usd: prices.to_usd(tx.value, tx.timestamp),
+        }));
+        // Chain order is already time order, so the sortedness check
+        // almost always passes and the stable sort only runs when the
+        // invariant the binary searches rely on is actually violated —
+        // a stable sort of an already-sorted vector would keep iteration
+        // order identical to the naive filter's anyway, so skipping it
+        // changes nothing observable.
+        if !out.windows(2).all(|w| w[0].timestamp <= w[1].timestamp) {
+            out.sort_by_key(|t| t.timestamp);
+        }
         let mut prefix_usd = Vec::with_capacity(out.len() + 1);
         let mut acc: u128 = 0;
         prefix_usd.push(acc);
@@ -105,10 +112,15 @@ impl AddressIncoming {
     /// [`AddressIncoming::build`]) and extends the USD prefix sums in
     /// place. If the new transfers all land at-or-after the existing tail
     /// — the common case, since chain order is time order — this is a pure
-    /// append; otherwise the slice is re-sorted (stably, so equal
-    /// timestamps keep arrival order, exactly like a batch build over the
-    /// concatenated history) and the prefix sums rebuilt. Returns the
-    /// number of transfers added and whether a re-sort was needed.
+    /// append; otherwise the sorted new tail is *merged* into the sorted
+    /// prefix in place, touching only the overlap region, and the prefix
+    /// sums are rebuilt from the first affected position. Equal timestamps
+    /// keep arrival order (old entries stay ahead of new ones), exactly
+    /// like a stable batch sort over the concatenated history — so
+    /// repeated out-of-order delta batches cost O(added·log added +
+    /// overlap) each instead of re-sorting the whole accumulated vector.
+    /// Returns the number of transfers added and whether a merge was
+    /// needed.
     fn append(
         &mut self,
         address: Address,
@@ -143,12 +155,33 @@ impl AddressIncoming {
                 self.prefix_usd.push(acc);
             }
         } else {
-            self.txs.sort_by_key(|t| t.timestamp);
-            self.prefix_usd.clear();
-            self.prefix_usd.reserve(self.txs.len() + 1);
-            let mut acc: u128 = 0;
-            self.prefix_usd.push(acc);
-            for t in &self.txs {
+            // The prefix `txs[..before]` is sorted (invariant); only the
+            // appended tail is not. Stable-sort the tail, find where it
+            // starts overlapping the prefix, and two-pointer-merge just
+            // that overlap — old entries win ties so the result equals a
+            // stable sort of the concatenated history.
+            self.txs[before..].sort_by_key(|t| t.timestamp);
+            let min_tail = self.txs[before].timestamp;
+            let cut = self.txs[..before].partition_point(|t| t.timestamp <= min_tail);
+            let tail = self.txs.split_off(before);
+            let overlap = self.txs.split_off(cut);
+            self.txs.reserve(overlap.len() + tail.len());
+            let (mut i, mut j) = (0, 0);
+            while i < overlap.len() && j < tail.len() {
+                if overlap[i].timestamp <= tail[j].timestamp {
+                    self.txs.push(overlap[i]);
+                    i += 1;
+                } else {
+                    self.txs.push(tail[j]);
+                    j += 1;
+                }
+            }
+            self.txs.extend_from_slice(&overlap[i..]);
+            self.txs.extend_from_slice(&tail[j..]);
+            self.prefix_usd.truncate(cut + 1);
+            self.prefix_usd.reserve(self.txs.len() - cut);
+            let mut acc = self.prefix_usd[cut];
+            for t in &self.txs[cut..] {
                 acc += t.usd.0;
                 self.prefix_usd.push(acc);
             }
@@ -225,17 +258,29 @@ impl AnalysisIndex {
     ) -> AnalysisIndex {
         let build_span = metrics.span("index");
         let entries: Vec<(&Address, &Vec<Transaction>)> = dataset.transactions.iter().collect();
+        // Per-address transaction counts are Zipf-skewed, so every sharded
+        // loop below cuts its chunks by cumulative transaction weight —
+        // count-sized chunks would hand one worker nearly all the work.
+        let weights: Vec<usize> = entries.iter().map(|(_, txs)| txs.len()).collect();
         // One oracle close per day of the dataset's span, instead of one
         // oracle evaluation (noise hash + interpolation) per transfer.
         let prices = {
             let _phase = metrics.span("price_table");
-            let span = entries
-                .iter()
-                .flat_map(|(_, txs)| txs.iter().map(|tx| tx.timestamp))
-                .fold(None::<(Timestamp, Timestamp)>, |acc, t| match acc {
-                    None => Some((t, t)),
-                    Some((lo, hi)) => Some((lo.min(t), hi.max(t))),
-                });
+            let span = shard_map_weighted(&entries, &weights, threads, |(_, txs)| {
+                txs.iter()
+                    .map(|tx| tx.timestamp)
+                    .fold(None::<(Timestamp, Timestamp)>, |acc, t| match acc {
+                        None => Some((t, t)),
+                        Some((lo, hi)) => Some((lo.min(t), hi.max(t))),
+                    })
+            })
+            .expect("weights cover entries one-to-one")
+            .into_iter()
+            .flatten()
+            .fold(None::<(Timestamp, Timestamp)>, |acc, (lo, hi)| match acc {
+                None => Some((lo, hi)),
+                Some((alo, ahi)) => Some((alo.min(lo), ahi.max(hi))),
+            });
             match span {
                 Some((lo, hi)) => oracle.day_table(lo, hi),
                 None => oracle.day_table(Timestamp(0), Timestamp(0)),
@@ -244,9 +289,10 @@ impl AnalysisIndex {
         let prices = &prices;
         let built = {
             let _phase = metrics.span("shard_build");
-            shard_map(&entries, threads, |(addr, txs)| {
+            shard_map_weighted(&entries, &weights, threads, |(addr, txs)| {
                 AddressIncoming::build(**addr, txs, prices)
             })
+            .expect("weights cover entries one-to-one")
         };
         let transfers_indexed = built.iter().map(|a| a.txs.len()).sum();
         if metrics.is_enabled() {
@@ -254,9 +300,11 @@ impl AnalysisIndex {
             // Every indexed transfer was priced exactly once at build time;
             // split those lookups into materialized-table hits and oracle
             // fallbacks (the table spans all tx timestamps, so fallbacks
-            // flag a span-computation regression).
-            let (mut hits, mut misses) = (0u64, 0u64);
-            for entry in &built {
+            // flag a span-computation regression). Weighted by indexed
+            // transfer count — the audit walks exactly those entries.
+            let built_weights: Vec<usize> = built.iter().map(|a| a.txs.len()).collect();
+            let tallies = shard_map_weighted(&built, &built_weights, threads, |entry| {
+                let (mut hits, mut misses) = (0u64, 0u64);
                 for t in &entry.txs {
                     if prices.is_materialized(t.timestamp) {
                         hits += 1;
@@ -264,7 +312,12 @@ impl AnalysisIndex {
                         misses += 1;
                     }
                 }
-            }
+                (hits, misses)
+            })
+            .expect("weights cover built entries one-to-one");
+            let (hits, misses) = tallies
+                .iter()
+                .fold((0u64, 0u64), |(h, m), (a, b)| (h + a, m + b));
             metrics.add("index/price_lookups/memoized_hit", hits);
             metrics.add("index/price_lookups/oracle_fallback", misses);
         }
@@ -272,7 +325,7 @@ impl AnalysisIndex {
             entries.iter().map(|(addr, _)| **addr).zip(built).collect();
         let reregistrations = {
             let _phase = metrics.span("detect");
-            detect_all(&dataset.domains)
+            detect_all_with_threads(&dataset.domains, threads)
         };
         if metrics.is_enabled() {
             metrics.add("index/addresses", incoming.len() as u64);
@@ -389,6 +442,17 @@ impl AnalysisIndex {
         window: Option<(Timestamp, Timestamp)>,
     ) -> &[IndexedTransfer] {
         self.queries.incoming.fetch_add(1, Ordering::Relaxed);
+        self.incoming_uncounted(address, window)
+    }
+
+    /// The slice lookup behind [`AnalysisIndex::incoming`], without the
+    /// query tally — for internal reuse by other counted queries, so each
+    /// public call increments exactly one `index/queries/...` counter.
+    fn incoming_uncounted(
+        &self,
+        address: Address,
+        window: Option<(Timestamp, Timestamp)>,
+    ) -> &[IndexedTransfer] {
         let e = self.entry(address);
         let (lo, hi) = e.range(window);
         &e.txs[lo..hi]
@@ -424,7 +488,7 @@ impl AnalysisIndex {
     ) -> usize {
         self.queries.unique_senders.fetch_add(1, Ordering::Relaxed);
         let mut senders: Vec<Address> = self
-            .incoming(address, window)
+            .incoming_uncounted(address, window)
             .iter()
             .map(|t| t.from)
             .collect();
@@ -437,6 +501,13 @@ impl AnalysisIndex {
     /// exactly once per index.
     pub fn reregistrations(&self) -> &[ReRegistration] {
         &self.reregistrations
+    }
+
+    /// Number of indexed transfers held for `address` — a work-size hint
+    /// for weight-balanced sharding of the passes, not a window query
+    /// (deliberately not tallied in the query counters).
+    pub fn transfer_count(&self, address: Address) -> usize {
+        self.entry(address).txs.len()
     }
 
     /// Addresses with an indexed transfer list (every crawled address).
@@ -477,6 +548,98 @@ where
             .flat_map(|h| h.join().expect("analysis worker panicked"))
             .collect()
     })
+}
+
+/// Error from [`shard_map_weighted`]: the weight slice must cover every
+/// item one-to-one.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WeightLengthMismatch {
+    /// Number of items to map.
+    pub items: usize,
+    /// Number of weights supplied.
+    pub weights: usize,
+}
+
+impl std::fmt::Display for WeightLengthMismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "shard_map_weighted: {} weights for {} items",
+            self.weights, self.items
+        )
+    }
+}
+
+impl std::error::Error for WeightLengthMismatch {}
+
+/// [`shard_map`] with *work-sized* chunks: contiguous chunk boundaries are
+/// cut where the cumulative `weights` cross `k·total/threads`, so every
+/// worker gets approximately equal total weight rather than equal item
+/// count. Per-address transaction counts are heavily skewed (a handful of
+/// hub addresses hold most of the transfers), so count-sized chunks load
+/// one worker with nearly all the work and make thread scaling *negative*;
+/// weight-sized chunks restore balance while keeping the same contiguous
+/// deterministic merge — the output is still identical to
+/// `items.iter().map(f).collect()` at any thread count.
+///
+/// Zero total weight falls back to count-sized chunks. A weight slice that
+/// does not match `items` one-to-one is an error, not a guess.
+pub fn shard_map_weighted<T, R, F>(
+    items: &[T],
+    weights: &[usize],
+    threads: usize,
+    f: F,
+) -> Result<Vec<R>, WeightLengthMismatch>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    if weights.len() != items.len() {
+        return Err(WeightLengthMismatch {
+            items: items.len(),
+            weights: weights.len(),
+        });
+    }
+    let threads = threads.max(1).min(items.len().max(1));
+    if threads <= 1 {
+        return Ok(items.iter().map(f).collect());
+    }
+    let total: u128 = weights.iter().map(|w| *w as u128).sum();
+    if total == 0 {
+        return Ok(shard_map(items, threads, f));
+    }
+    // Chunk k ends at the smallest index whose cumulative weight reaches
+    // k·total/threads; a single giant item simply fills (and may spill
+    // past) its chunk, leaving later chunks empty rather than unbalanced.
+    let mut bounds = Vec::with_capacity(threads + 1);
+    bounds.push(0usize);
+    let mut acc: u128 = 0;
+    let mut idx = 0usize;
+    for k in 1..threads as u128 {
+        let target = (k * total).div_ceil(threads as u128);
+        while idx < items.len() && acc < target {
+            acc += weights[idx] as u128;
+            idx += 1;
+        }
+        bounds.push(idx);
+    }
+    bounds.push(items.len());
+    Ok(std::thread::scope(|scope| {
+        let f = &f;
+        let handles: Vec<_> = bounds
+            .windows(2)
+            .filter(|b| b[0] < b[1])
+            .map(|b| {
+                let c = &items[b[0]..b[1]];
+                scope.spawn(move || c.iter().map(f).collect::<Vec<R>>())
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("analysis worker panicked"))
+            .collect()
+    }))
 }
 
 #[cfg(test)]
@@ -577,6 +740,46 @@ mod tests {
         }
         let empty: Vec<u64> = Vec::new();
         assert!(shard_map(&empty, 4, |x| *x).is_empty());
+    }
+
+    #[test]
+    fn weighted_shard_map_matches_sequential_under_adversarial_skew() {
+        let items: Vec<u64> = (0..500).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * 7).collect();
+        let mut giant = vec![1usize; items.len()];
+        giant[250] = 1_000_000; // one hub address dwarfs everything
+        let weight_sets: Vec<Vec<usize>> = vec![
+            giant,
+            vec![0; items.len()], // zero total → count fallback
+            (0..items.len()).map(|i| i * i).collect(), // steep ramp
+            (0..items.len()).map(|i| 500 - i).collect(), // reverse ramp
+            (0..items.len()).map(|i| (i % 7 == 0) as usize).collect(), // sparse
+        ];
+        for weights in &weight_sets {
+            for threads in [1, 2, 3, 7, 16] {
+                assert_eq!(
+                    shard_map_weighted(&items, weights, threads, |x| x * 7).unwrap(),
+                    expect,
+                    "threads {threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_shard_map_rejects_mismatched_weights() {
+        let items: Vec<u64> = (0..10).collect();
+        let err = shard_map_weighted(&items, &[1, 2, 3], 4, |x| *x).unwrap_err();
+        assert_eq!(err.items, 10);
+        assert_eq!(err.weights, 3);
+        assert!(err.to_string().contains("3 weights for 10 items"));
+        // Too many weights is just as wrong as too few.
+        assert!(shard_map_weighted(&items, &[1; 11], 4, |x| *x).is_err());
+        // Empty inputs agree and succeed.
+        let empty: Vec<u64> = Vec::new();
+        assert!(shard_map_weighted(&empty, &[], 4, |x| *x)
+            .unwrap()
+            .is_empty());
     }
 
     #[test]

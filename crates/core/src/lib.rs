@@ -77,7 +77,9 @@ pub use features::{
     compare_features, compare_features_metered, compare_features_naive, compare_features_with,
     extract_features, extract_features_with, DomainFeatures, FeatureComparison, FeatureRow,
 };
-pub use index::{shard_map, AnalysisIndex, IndexedTransfer};
+pub use index::{
+    shard_map, shard_map_weighted, AnalysisIndex, IndexedTransfer, WeightLengthMismatch,
+};
 pub use losses::{
     analyze_losses, analyze_losses_metered, analyze_losses_naive, analyze_losses_with,
     upper_bound_losses, upper_bound_losses_with, DomainLoss, LossReport, SenderKind,
@@ -89,7 +91,7 @@ pub use pipeline::{
     run_study_with_index_metered, try_run_study, try_run_study_metered, StudyConfig, StudyReport,
 };
 pub use registrations::{
-    classify, classify_with_detected, detect_all, detect_reregistrations,
+    classify, classify_with_detected, detect_all, detect_all_with_threads, detect_reregistrations,
     detect_reregistrations_ignoring_transfers, window_contains, DomainOutcome, ReRegistration,
 };
 pub use resale::{analyze_resales, ResaleReport};

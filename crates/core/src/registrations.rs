@@ -162,6 +162,19 @@ pub fn detect_all(domains: &[DomainRecord]) -> Vec<ReRegistration> {
     domains.iter().flat_map(detect_reregistrations).collect()
 }
 
+/// [`detect_all`] with the per-domain detection fanned across contiguous
+/// domain chunks on up to `threads` scoped workers, results concatenated
+/// in domain order — the output is identical to [`detect_all`] at any
+/// thread count. Detection work per domain is near-uniform (few domains
+/// have more than a couple of registrations), so count-sized chunks are
+/// the right partition here, unlike the transfer-skewed per-address build.
+pub fn detect_all_with_threads(domains: &[DomainRecord], threads: usize) -> Vec<ReRegistration> {
+    crate::index::shard_map(domains, threads, detect_reregistrations)
+        .into_iter()
+        .flatten()
+        .collect()
+}
+
 /// Ablation variant: detection that compares raw *registrants* instead of
 /// the transfer-adjusted effective owner. A user who buys a name privately
 /// and later re-registers it after a lapse looks like a dropcatch to this

@@ -56,6 +56,37 @@ pub struct Executed {
 
 /// Executes a plan.
 pub fn execute(cfg: &WorldConfig, plan: &Plan) -> Result<Executed, Box<ExecError>> {
+    execute_events(cfg, &plan.events, &plan.custodial_pool, &plan.coinbase_pool)
+}
+
+/// [`execute`], consuming the plan: the replay is identical, but the
+/// event vector — the bulk of a paper-scale plan's memory (~10M planned
+/// events at 3.1M names) — is freed the moment the replay loop finishes,
+/// so the caller builds the measurement views (subgraph, explorer,
+/// dataset) without the whole plan still resident. Returns the executed
+/// substrates together with the plan's ground truth.
+pub fn execute_consuming(
+    cfg: &WorldConfig,
+    plan: Plan,
+) -> Result<(Executed, Vec<crate::plan::NameTruth>), Box<ExecError>> {
+    let Plan {
+        events,
+        truth,
+        catchers: _,
+        custodial_pool,
+        coinbase_pool,
+    } = plan;
+    let executed = execute_events(cfg, &events, &custodial_pool, &coinbase_pool)?;
+    drop(events);
+    Ok((executed, truth))
+}
+
+fn execute_events(
+    cfg: &WorldConfig,
+    events: &[PlannedEvent],
+    custodial_pool: &[ens_types::Address],
+    coinbase_pool: &[ens_types::Address],
+) -> Result<Executed, Box<ExecError>> {
     let oracle = PriceOracle::new();
     let mut chain = Chain::new(cfg.start - Duration::from_days(3));
     let mut ens = if cfg.behavior.auction_enabled {
@@ -66,10 +97,10 @@ pub fn execute(cfg: &WorldConfig, plan: &Plan) -> Result<Executed, Box<ExecError
     let mut opensea = OpenSea::new();
 
     let mut labels = LabelService::new();
-    for (i, a) in plan.custodial_pool.iter().enumerate() {
+    for (i, a) in custodial_pool.iter().enumerate() {
         labels.add_custodial(*a, format!("Exchange {i}"));
     }
-    for (i, a) in plan.coinbase_pool.iter().enumerate() {
+    for (i, a) in coinbase_pool.iter().enumerate() {
         labels.add_coinbase(*a, format!("Coinbase {i}"));
     }
     labels.add(etherscan_sim::AddressLabel {
@@ -84,7 +115,7 @@ pub fn execute(cfg: &WorldConfig, plan: &Plan) -> Result<Executed, Box<ExecError
         opensea: &mut opensea,
         oracle: &oracle,
     };
-    for (index, event) in plan.events.iter().enumerate() {
+    for (index, event) in events.iter().enumerate() {
         exec.apply(event).map_err(|message| {
             Box::new(ExecError {
                 index,

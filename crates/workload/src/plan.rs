@@ -674,6 +674,11 @@ impl<'a> Planner<'a> {
         mult: f64,
     ) -> (f64, Vec<SenderInfo>) {
         let cfg = self.cfg;
+        // At income_prob == 1.0 no roll is drawn, so worlds generated
+        // before this knob existed replay byte-identically.
+        if cfg.senders.income_prob < 1.0 && !chance(&mut self.rng, cfg.senders.income_prob) {
+            return (0.0, Vec::new());
+        }
         let n_senders = 1 + poisson(&mut self.rng, cfg.senders.senders_per_name_lambda) as usize;
         let mut senders = Vec::with_capacity(n_senders);
         let mut total = 0.0;

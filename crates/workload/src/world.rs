@@ -9,7 +9,7 @@ use price_oracle::PriceOracle;
 use serde::{Deserialize, Serialize};
 
 use crate::config::WorldConfig;
-use crate::engine::{execute, Executed};
+use crate::engine::{execute_consuming, Executed};
 use crate::plan::{build_plan, NameTruth, OwnerKind, Plan};
 
 /// Headline counts of a built world.
@@ -43,14 +43,17 @@ pub struct World {
 
 impl WorldConfig {
     /// Plans and executes the world. Panics on planner/executor
-    /// inconsistencies (they are bugs, not data).
+    /// inconsistencies (they are bugs, not data). The plan's event vector
+    /// is consumed and freed as soon as the replay finishes, keeping the
+    /// paper-scale build's peak memory at one copy of the event stream.
     pub fn build(self) -> World {
         let plan: Plan = build_plan(&self);
-        let executed = execute(&self, &plan).unwrap_or_else(|e| panic!("execution failed: {e}"));
+        let (executed, truth) =
+            execute_consuming(&self, plan).unwrap_or_else(|e| panic!("execution failed: {e}"));
         World {
             config: self,
             executed,
-            truth: plan.truth,
+            truth,
         }
     }
 }

@@ -8,8 +8,8 @@ use std::sync::OnceLock;
 
 use ens_dropcatch::{
     analyze_losses_naive, analyze_losses_with, compare_features_naive, compare_features_with,
-    run_study_on, run_study_on_naive, run_study_with_index, AnalysisIndex, DataSources, Dataset,
-    StudyConfig,
+    run_study_on, run_study_on_naive, run_study_with_index, shard_map_weighted, AnalysisIndex,
+    DataSources, Dataset, StudyConfig,
 };
 use ens_dropcatch_suite::chain::Transaction;
 use ens_dropcatch_suite::subgraph::SubgraphConfig;
@@ -236,5 +236,35 @@ proptest! {
         let one = serde_json::to_string(&compare_features_with(ds, 1, index, 1)).unwrap();
         let many = serde_json::to_string(&compare_features_with(ds, 1, index, threads)).unwrap();
         prop_assert_eq!(one, many);
+    }
+
+    /// `shard_map_weighted` is a drop-in for the sequential map under
+    /// arbitrary (including adversarially skewed) weights: same output,
+    /// any thread count. A weight slice that does not cover the items
+    /// one-to-one is always an error.
+    #[test]
+    fn weighted_sharding_is_identical_to_sequential_map(
+        len in 0usize..300,
+        threads_pick in 0usize..5,
+        mut weights in proptest::collection::vec(0usize..50, 0..320),
+        giant_at in 0usize..600, // < len: plant a giant item there
+        zero_all in any::<bool>(),
+    ) {
+        let threads = [1usize, 2, 3, 7, 16][threads_pick];
+        let items: Vec<u64> = (0..len as u64).collect();
+        weights.resize(len, 1);
+        if zero_all {
+            weights.iter_mut().for_each(|w| *w = 0);
+        } else if giant_at < len {
+            weights[giant_at] = usize::MAX / 4; // one item dwarfs the rest
+        }
+        let expect: Vec<u64> = items.iter().map(|x| x.wrapping_mul(31)).collect();
+        let got = shard_map_weighted(&items, &weights, threads, |x| x.wrapping_mul(31)).unwrap();
+        prop_assert_eq!(got, expect);
+
+        if len > 0 {
+            let short = &weights[..len - 1];
+            prop_assert!(shard_map_weighted(&items, short, threads, |x| *x).is_err());
+        }
     }
 }

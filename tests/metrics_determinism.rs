@@ -174,6 +174,19 @@ fn counters_reconcile_with_the_crawl_report() {
 }
 
 #[test]
+fn index_query_counters_count_each_public_call_exactly_once() {
+    let (_, _, snap) = metered_study(1);
+    // Pinned totals for the 400-name / seed-88 chaotic fixture. Before
+    // the overcount fix, `unique_senders` routed through the public
+    // `incoming` accessor internally, inflating `index/queries/incoming`
+    // by exactly the `unique_senders` total (to 1496 here); each public
+    // query must bump exactly one counter.
+    assert_eq!(snap.counter("index/queries/incoming"), 1460);
+    assert_eq!(snap.counter("index/queries/income"), 201);
+    assert_eq!(snap.counter("index/queries/unique_senders"), 36);
+}
+
+#[test]
 fn instrumentation_never_changes_dataset_or_report() {
     let (metered_json, metered_render, _) = metered_study(2);
 
