@@ -1,0 +1,509 @@
+//! Drives the resident serving layer (`ens-serve`) with a seeded
+//! synthetic workload — Zipf-distributed names and addresses over a mixed
+//! request stream — and writes `BENCH_serve.json` with throughput,
+//! per-query-type latency histograms (via `ens-obs`), and the
+//! determinism gate's verdict.
+//!
+//! ```sh
+//! cargo run --release -p ens-bench --bin serve_bench -- \
+//!     --names 8000 --seed 48879 --requests 1000000 --workers 1,2,8 \
+//!     --out BENCH_serve.json
+//! ```
+//!
+//! The gate: every run's reply digest (an order-independent XOR of
+//! per-request FNV-1a hashes over the reply bytes, error replies
+//! included) must equal the single-threaded reference's, and every
+//! sampled raw reply must match byte-for-byte — the same replies, at any
+//! worker count. Exits non-zero on divergence or (with `--min-rps`) a
+//! throughput floor violation.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use ens_bench::Fixture;
+use ens_obs::Metrics;
+use ens_serve::{Request, ServeHandle, ServeState};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use workload::dist::CumulativeTable;
+
+/// Power-of-two latency buckets: bucket k counts requests in
+/// `[2^k, 2^(k+1))` nanoseconds.
+const LATENCY_BUCKETS: usize = 42;
+
+/// Every SAMPLE_EVERY-th reply is kept verbatim for exact comparison on
+/// top of the digest.
+const SAMPLE_EVERY: usize = 10_000;
+
+const QUERY_TYPES: [&str; 4] = [
+    "name-risk",
+    "address-forensics",
+    "loss-findings",
+    "report-slice",
+];
+
+/// A compact pre-generated request: indices into the workload context
+/// instead of owned strings, so a million of them stay cheap and the
+/// per-request materialization cost is identical across worker counts.
+#[derive(Clone, Copy)]
+enum Spec {
+    /// Index into `names`; `>= names.len()` asks for an unknown name.
+    NameRisk(u32),
+    /// Address index (`== addrs.len()` → an uncrawled address) plus a
+    /// window selector (0 none, 1 first half, 2 second half, 3 inverted
+    /// — the typed-error path).
+    Forensics(u32, u8),
+    /// Index into `victims`; `>= victims.len()` → a no-loss address.
+    Loss(u32),
+    /// Index into `REPORT_SECTIONS`; `6` asks for an unknown section.
+    Slice(u8),
+}
+
+impl Spec {
+    fn type_index(self) -> usize {
+        match self {
+            Spec::NameRisk(_) => 0,
+            Spec::Forensics(..) => 1,
+            Spec::Loss(_) => 2,
+            Spec::Slice(_) => 3,
+        }
+    }
+}
+
+/// The string pools specs index into.
+struct Workload {
+    names: Vec<String>,
+    addrs: Vec<String>,
+    victims: Vec<String>,
+    mid: u64,
+    end: u64,
+}
+
+impl Workload {
+    fn materialize(&self, spec: Spec) -> Request {
+        match spec {
+            Spec::NameRisk(i) => Request::NameRisk {
+                name: match self.names.get(i as usize) {
+                    Some(n) => n.clone(),
+                    None => format!("never-crawled-{i}.eth"),
+                },
+            },
+            Spec::Forensics(i, w) => {
+                let address = match self.addrs.get(i as usize) {
+                    Some(a) => a.clone(),
+                    None => "0x00000000000000000000000000000000000000aa".to_string(),
+                };
+                let (from, to) = match w {
+                    0 => (None, None),
+                    1 => (Some(0), Some(self.mid)),
+                    2 => (Some(self.mid), Some(self.end)),
+                    _ => (Some(self.end), Some(self.mid)), // inverted: typed error
+                };
+                Request::AddressForensics { address, from, to }
+            }
+            Spec::Loss(i) => Request::LossFindings {
+                victim: match self.victims.get(i as usize) {
+                    Some(v) => v.clone(),
+                    None => "0x00000000000000000000000000000000000000bb".to_string(),
+                },
+            },
+            Spec::Slice(s) => Request::ReportSlice {
+                section: match ens_dropcatch::REPORT_SECTIONS.get(s as usize) {
+                    Some(name) => name.to_string(),
+                    None => "appendix-z".to_string(),
+                },
+            },
+        }
+    }
+}
+
+/// FNV-1a over the request id and the reply bytes.
+fn fnv(id: u64, bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in id.to_le_bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x1000_0000_01b3);
+    }
+    for &b in bytes {
+        h = (h ^ b as u64).wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+fn latency_bucket(ns: u64) -> usize {
+    ((64 - (ns | 1).leading_zeros() - 1) as usize).min(LATENCY_BUCKETS - 1)
+}
+
+/// `1/(rank+1)^s` Zipf weights over `n` items.
+fn zipf_table(n: usize, s: f64) -> CumulativeTable {
+    let weights: Vec<f64> = (0..n.max(1))
+        .map(|rank| 1.0 / ((rank + 1) as f64).powf(s))
+        .collect();
+    CumulativeTable::new(&weights)
+}
+
+struct RunResult {
+    workers: usize,
+    seconds: f64,
+    rps: f64,
+    digest: u64,
+    identical: bool,
+    latency: [[u64; LATENCY_BUCKETS]; 4],
+    type_counts: [u64; 4],
+    reply_bytes: u64,
+}
+
+/// Runs the full spec stream through `handle` with `workers` threads
+/// pulling from a shared counter; returns the merged digest, per-type
+/// latency buckets, and sampled replies.
+#[allow(clippy::type_complexity)]
+fn run(
+    handle: &ServeHandle,
+    workload: &Workload,
+    specs: &[Spec],
+    workers: usize,
+) -> (RunResult, Vec<(usize, String)>) {
+    let counter = AtomicUsize::new(0);
+    let samples: Mutex<Vec<(usize, String)>> = Mutex::new(Vec::new());
+    let t0 = Instant::now();
+    let merged = std::thread::scope(|scope| {
+        let mut joins = Vec::with_capacity(workers);
+        for _ in 0..workers.max(1) {
+            joins.push(scope.spawn(|| {
+                let mut digest = 0u64;
+                let mut latency = [[0u64; LATENCY_BUCKETS]; 4];
+                let mut type_counts = [0u64; 4];
+                let mut reply_bytes = 0u64;
+                loop {
+                    let i = counter.fetch_add(1, Ordering::Relaxed);
+                    if i >= specs.len() {
+                        break;
+                    }
+                    let spec = specs[i];
+                    let request = workload.materialize(spec);
+                    let start = Instant::now();
+                    let reply = match handle.query(&request) {
+                        Ok(body) => body,
+                        Err(e) => ServeHandle::error_body(&e),
+                    };
+                    let ns = start.elapsed().as_nanos() as u64;
+                    let t = spec.type_index();
+                    latency[t][latency_bucket(ns)] += 1;
+                    type_counts[t] += 1;
+                    reply_bytes += reply.len() as u64;
+                    digest ^= fnv(i as u64, reply.as_bytes());
+                    if i.is_multiple_of(SAMPLE_EVERY) {
+                        samples.lock().expect("samples lock").push((i, reply));
+                    }
+                }
+                (digest, latency, type_counts, reply_bytes)
+            }));
+        }
+        let mut digest = 0u64;
+        let mut latency = [[0u64; LATENCY_BUCKETS]; 4];
+        let mut type_counts = [0u64; 4];
+        let mut reply_bytes = 0u64;
+        for j in joins {
+            let (d, l, c, b) = j.join().expect("worker thread");
+            digest ^= d;
+            for (acc, add) in latency.iter_mut().zip(l) {
+                for (a, v) in acc.iter_mut().zip(add) {
+                    *a += v;
+                }
+            }
+            for (a, v) in type_counts.iter_mut().zip(c) {
+                *a += v;
+            }
+            reply_bytes += b;
+        }
+        (digest, latency, type_counts, reply_bytes)
+    });
+    let seconds = t0.elapsed().as_secs_f64();
+    let (digest, latency, type_counts, reply_bytes) = merged;
+    let mut samples = samples.into_inner().expect("samples lock");
+    samples.sort_by_key(|(i, _)| *i);
+    (
+        RunResult {
+            workers,
+            seconds,
+            rps: specs.len() as f64 / seconds,
+            digest,
+            identical: false, // filled by the caller against the reference
+            latency,
+            type_counts,
+            reply_bytes,
+        },
+        samples,
+    )
+}
+
+struct Args {
+    names: usize,
+    seed: u64,
+    requests: usize,
+    workers: Vec<usize>,
+    zipf_s: f64,
+    out: Option<String>,
+    min_rps: Option<f64>,
+}
+
+fn parse_args() -> Args {
+    let mut parsed = Args {
+        names: 8_000,
+        seed: 0xBEEF,
+        requests: 1_000_000,
+        workers: vec![1, 2, 8],
+        zipf_s: 1.0,
+        out: None,
+        min_rps: None,
+    };
+    let mut args = std::env::args().skip(1);
+    let next = |args: &mut dyn Iterator<Item = String>, flag: &str| {
+        args.next()
+            .unwrap_or_else(|| panic!("{flag} needs a value"))
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--names" => parsed.names = next(&mut args, "--names").parse().expect("--names"),
+            "--seed" => parsed.seed = next(&mut args, "--seed").parse().expect("--seed"),
+            "--requests" => {
+                parsed.requests = next(&mut args, "--requests").parse().expect("--requests")
+            }
+            "--workers" => {
+                parsed.workers = next(&mut args, "--workers")
+                    .split(',')
+                    .map(|w| w.parse().expect("--workers takes e.g. 1,2,8"))
+                    .collect()
+            }
+            "--zipf-s" => parsed.zipf_s = next(&mut args, "--zipf-s").parse().expect("--zipf-s"),
+            "--out" => parsed.out = Some(next(&mut args, "--out")),
+            "--min-rps" => {
+                parsed.min_rps = Some(next(&mut args, "--min-rps").parse().expect("--min-rps"))
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: serve_bench [--names N] [--seed S] [--requests N] \
+                     [--workers 1,2,8] [--zipf-s S] [--min-rps X] [--out PATH]"
+                );
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown argument {other}; try --help");
+                std::process::exit(2);
+            }
+        }
+    }
+    parsed
+}
+
+/// Generates the seeded request stream: ~50% name-risk, ~25% forensics,
+/// ~15% loss-findings, ~10% report-slice, each pool Zipf-skewed with a
+/// few percent of misses and malformed windows mixed in.
+fn generate_specs(
+    rng: &mut StdRng,
+    requests: usize,
+    zipf_s: f64,
+    names: usize,
+    addrs: usize,
+    victims: usize,
+) -> Vec<Spec> {
+    let name_zipf = zipf_table(names, zipf_s);
+    let addr_zipf = zipf_table(addrs, zipf_s);
+    let mut specs = Vec::with_capacity(requests);
+    for _ in 0..requests {
+        let roll: f64 = rng.gen();
+        specs.push(if roll < 0.50 {
+            if rng.gen::<f64>() < 0.02 {
+                Spec::NameRisk(names as u32 + rng.gen_range(0..1000) as u32)
+            } else {
+                Spec::NameRisk(name_zipf.sample(rng) as u32)
+            }
+        } else if roll < 0.75 {
+            let addr = if rng.gen::<f64>() < 0.02 {
+                addrs as u32
+            } else {
+                addr_zipf.sample(rng) as u32
+            };
+            Spec::Forensics(addr, rng.gen_range(0..100u8) % 4)
+        } else if roll < 0.90 {
+            if victims == 0 || rng.gen::<f64>() < 0.10 {
+                Spec::Loss(victims as u32)
+            } else {
+                Spec::Loss(rng.gen_range(0..victims) as u32)
+            }
+        } else {
+            Spec::Slice(rng.gen_range(0..100u8) % 7)
+        });
+    }
+    specs
+}
+
+fn main() {
+    let args = parse_args();
+    eprintln!(
+        "building the world ({} names, seed {})...",
+        args.names, args.seed
+    );
+    let t0 = Instant::now();
+    let fixture = Fixture::build(args.names, args.seed);
+    let dataset = fixture.dataset;
+    eprintln!(
+        "  built in {:.1?}: {} transactions crawled",
+        t0.elapsed(),
+        dataset.crawl_report.transactions
+    );
+
+    eprintln!("building the resident serve state (index + study)...");
+    let t0 = Instant::now();
+    let state = Arc::new(ServeState::build(dataset, 8));
+    let state_build_seconds = t0.elapsed().as_secs_f64();
+    eprintln!(
+        "  resident in {state_build_seconds:.1}s: {} incoming / {} outgoing transfers, \
+         {} names, {} re-registrations",
+        state.index.indexed_transfers(),
+        state.outgoing.indexed_transfers(),
+        state.names.len(),
+        state.index.reregistrations().len(),
+    );
+    let handle = ServeHandle::new(Arc::clone(&state));
+
+    let names: Vec<String> = state
+        .dataset
+        .domains
+        .iter()
+        .filter_map(|d| d.name.as_ref().map(|n| n.to_full()))
+        .collect();
+    let addrs: Vec<String> = state
+        .dataset
+        .transactions
+        .keys()
+        .map(|a| a.to_hex())
+        .collect();
+    let victims: Vec<String> = state
+        .index
+        .reregistrations()
+        .iter()
+        .map(|r| r.prev_wallet.to_hex())
+        .collect();
+    let end = state.dataset.observation_end.0;
+    let workload = Workload {
+        mid: end / 2,
+        end,
+        names,
+        addrs,
+        victims,
+    };
+
+    eprintln!(
+        "generating {} seeded requests (zipf s = {})...",
+        args.requests, args.zipf_s
+    );
+    let mut rng = StdRng::seed_from_u64(args.seed ^ 0x5e7e_be4c);
+    let specs = generate_specs(
+        &mut rng,
+        args.requests,
+        args.zipf_s,
+        workload.names.len(),
+        workload.addrs.len(),
+        workload.victims.len(),
+    );
+
+    eprintln!("sequential reference pass...");
+    let (mut reference, ref_samples) = run(&handle, &workload, &specs, 1);
+    reference.identical = true;
+    eprintln!(
+        "  {:.1}s ({:.0} req/s), digest {:016x}",
+        reference.seconds, reference.rps, reference.digest
+    );
+
+    let mut runs: Vec<RunResult> = Vec::new();
+    let mut all_identical = true;
+    for &workers in &args.workers {
+        eprintln!("run: {workers} worker(s), {} requests...", specs.len());
+        let (mut result, samples) = run(&handle, &workload, &specs, workers);
+        result.identical = result.digest == reference.digest && samples == ref_samples;
+        all_identical &= result.identical;
+        eprintln!(
+            "  {:.1}s ({:.0} req/s), digest {:016x}, identical: {}",
+            result.seconds, result.rps, result.digest, result.identical
+        );
+        runs.push(result);
+    }
+
+    // Publish the widest run's latency + counters through ens-obs so the
+    // artifact carries the same histogram schema (edges/counts/underflow)
+    // as every other instrumented artifact in the repo.
+    let metrics = Metrics::new();
+    let edges: Vec<u64> = (0..LATENCY_BUCKETS as u32).map(|k| 1u64 << k).collect();
+    let widest = runs.last().unwrap_or(&reference);
+    for (t, name) in QUERY_TYPES.iter().enumerate() {
+        let hist = format!("serve/latency_ns/{name}");
+        metrics.register_histogram(&hist, &edges);
+        for (k, &count) in widest.latency[t].iter().enumerate() {
+            for _ in 0..count {
+                metrics.observe(&hist, 1u64 << k);
+            }
+        }
+        metrics.add(&format!("serve/requests/{name}"), widest.type_counts[t]);
+    }
+    metrics.add("serve/reply_bytes", widest.reply_bytes);
+    let snapshot = metrics.snapshot();
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!(
+        "  \"names\": {},\n  \"seed\": {},\n  \"requests\": {},\n  \"zipf_s\": {},\n",
+        args.names, args.seed, args.requests, args.zipf_s
+    ));
+    json.push_str(&format!(
+        "  \"resolvable_names\": {},\n  \"crawled_addresses\": {},\n  \"victim_pool\": {},\n",
+        workload.names.len(),
+        workload.addrs.len(),
+        workload.victims.len()
+    ));
+    json.push_str(&format!(
+        "  \"state_build_seconds\": {:.3},\n  \"reference\": {{\"seconds\": {:.3}, \"rps\": {:.0}, \"digest\": \"{:016x}\"}},\n",
+        state_build_seconds, reference.seconds, reference.rps, reference.digest
+    ));
+    json.push_str("  \"runs\": [\n");
+    for (i, r) in runs.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"workers\": {}, \"seconds\": {:.3}, \"rps\": {:.0}, \"digest\": \"{:016x}\", \"identical_to_reference\": {}}}{}\n",
+            r.workers,
+            r.seconds,
+            r.rps,
+            r.digest,
+            r.identical,
+            if i + 1 < runs.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!("  \"all_identical\": {all_identical},\n"));
+    json.push_str("  \"widest_run_metrics\": ");
+    json.push_str(&snapshot.deterministic_json());
+    json.push_str("\n}\n");
+
+    match &args.out {
+        Some(path) => {
+            std::fs::write(path, &json).expect("write bench json");
+            eprintln!("wrote {path}");
+        }
+        None => println!("{json}"),
+    }
+
+    let best_rps = runs.iter().map(|r| r.rps).fold(reference.rps, f64::max);
+    eprintln!(
+        "best throughput: {best_rps:.0} req/s across {} run(s); identical replies: {all_identical}",
+        runs.len()
+    );
+    if !all_identical {
+        eprintln!("FAIL: replies diverged across worker counts");
+        std::process::exit(1);
+    }
+    if let Some(floor) = args.min_rps {
+        if best_rps < floor {
+            eprintln!("FAIL: best throughput {best_rps:.0} req/s is below the {floor:.0} floor");
+            std::process::exit(1);
+        }
+    }
+}

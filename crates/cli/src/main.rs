@@ -7,12 +7,16 @@
 //! ens-dropcatch run      --names 20000 --seed 1 [--threads N] [--csv DIR] [--dataset F]
 //! ens-dropcatch simulate --names 20000 --seed 1 [--threads N] --dataset dataset.ensc
 //! ens-dropcatch analyze  --dataset dataset.ensc [--threads N] [--csv DIR]
+//! ens-dropcatch serve    --dataset dataset.ensc [--addr HOST:PORT] [--workers N]
 //! ```
 //!
 //! `simulate` builds a world and writes the *crawled dataset* (domains,
 //! per-address transactions, labels, reverse claims, marketplace events);
 //! `analyze` re-runs the full study from such a file — no simulator
 //! required, exactly how a third party would re-analyze the released data.
+//! `serve` loads such a file once, indexes it, and stays resident behind
+//! a minimal HTTP/1.1 endpoint answering name-risk / address-forensics /
+//! loss-findings / report-slice queries (see the `ens-serve` crate).
 //! `--threads` shards the crawl, the `AnalysisIndex` build and the
 //! internally parallel loss/feature passes across worker threads; the
 //! dataset and report are byte-identical for any value.
@@ -106,13 +110,19 @@ struct Args {
     checkpoint_every: Option<usize>,
     resume: bool,
     kill_after: Option<u64>,
+    addr: Option<String>,
+    workers: Option<usize>,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  ens-dropcatch run      [--preset P] [--names N] [--seed S] [--threads N] [--csv DIR] [--dataset FILE] [--metrics-json FILE] [FAULT OPTS]\n  \
          ens-dropcatch simulate [--preset P] [--names N] [--seed S] [--threads N] --dataset FILE [--metrics-json FILE] [FAULT OPTS]\n  \
-         ens-dropcatch analyze  --dataset FILE [--threads N] [--csv DIR] [--metrics-json FILE]\n\
+         ens-dropcatch analyze  --dataset FILE [--threads N] [--csv DIR] [--metrics-json FILE]\n  \
+         ens-dropcatch serve    --dataset FILE [--addr HOST:PORT] [--workers N] [--threads N]\n\
+         serve options:\n  \
+         --addr HOST:PORT         listen address (default 127.0.0.1:8417; use :0 for an\n                           OS-assigned port, printed at startup)\n  \
+         --workers N              HTTP worker threads (default: --threads)\n\
          common options:\n  \
          --preset default|paper-scale\n                           base world configuration; paper-scale is the\n                           3.1M-name / ~9.7M-transaction world calibrated to the\n                           paper's dataset (an explicit --names overrides its size)\n  \
          --format json|columnar   dataset export format (default: from the --dataset\n                           extension — .json/.ensc — else json); inputs always\n                           auto-detect from the file's magic bytes\n  \
@@ -163,6 +173,8 @@ fn parse(mut args: impl Iterator<Item = String>) -> Option<Args> {
         checkpoint_every: None,
         resume: false,
         kill_after: None,
+        addr: None,
+        workers: None,
     };
     let mut loss_budget: Option<usize> = None;
     while let Some(arg) = args.next() {
@@ -230,6 +242,14 @@ fn parse(mut args: impl Iterator<Item = String>) -> Option<Args> {
             }
             "--resume" => out.resume = true,
             "--kill-after" => out.kill_after = Some(args.next()?.parse().ok()?),
+            "--addr" => out.addr = Some(args.next()?),
+            "--workers" => {
+                out.workers = Some(args.next()?.parse::<usize>().ok()?);
+                if out.workers == Some(0) {
+                    eprintln!("error: --workers must be >= 1 (got 0)");
+                    return None;
+                }
+            }
             "--fail-policy" => {
                 out.failure = match args.next()?.as_str() {
                     "fail-fast" => FailurePolicy::FailFast,
@@ -279,6 +299,7 @@ fn main() -> ExitCode {
         "run" => run(args, true),
         "simulate" => run(args, false),
         "analyze" => analyze(args),
+        "serve" => serve(args),
         "--help" | "-h" | "help" => {
             usage();
             ExitCode::SUCCESS
@@ -652,6 +673,76 @@ fn analyze(args: Args) -> ExitCode {
 /// (the study reads transactions from the dataset, not the explorer).
 fn sim_chain_stub() -> sim_chain::Chain {
     sim_chain::Chain::new(ens_types::Timestamp(0))
+}
+
+/// Loads a dataset file, builds the resident serving state (index, study,
+/// name directory) once, and serves queries over HTTP until killed.
+fn serve(args: Args) -> ExitCode {
+    let Some(path) = &args.dataset else {
+        eprintln!("serve requires --dataset FILE");
+        return ExitCode::from(2);
+    };
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("cannot read {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let detected = Format::detect(&bytes);
+    if let Some(flag) = args.format {
+        if flag != detected {
+            eprintln!(
+                "error: --format {flag} contradicts {}, which is a {detected} file \
+                 (serve auto-detects the input format; the flag is only a check)",
+                path.display()
+            );
+            return ExitCode::from(2);
+        }
+    }
+    let dataset = match Dataset::from_bytes(&bytes) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("cannot parse dataset: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    drop(bytes);
+    eprintln!(
+        "loaded {} domains, {} transactions ({detected})",
+        dataset.domains.len(),
+        dataset.crawl_report.transactions
+    );
+    let state = ens_serve::ServeState::build(dataset, args.threads);
+    eprintln!(
+        "resident: {} incoming / {} outgoing transfers indexed, {} names resolvable, \
+         {} re-registrations, study complete",
+        state.index.indexed_transfers(),
+        state.outgoing.indexed_transfers(),
+        state.names.len(),
+        state.index.reregistrations().len(),
+    );
+    let handle = ens_serve::ServeHandle::new(std::sync::Arc::new(state));
+    let addr = args.addr.as_deref().unwrap_or("127.0.0.1:8417");
+    let workers = args.workers.unwrap_or(args.threads);
+    let server = match ens_serve::http::Server::start(handle, addr, workers) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot bind {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "serving on http://{} with {workers} worker(s); endpoints: /name-risk?name= \
+         /address-forensics?address=[&from=&to=] /loss-findings?victim= \
+         /report-slice?section= /healthz",
+        server.local_addr()
+    );
+    // A daemon: resident until the process is killed. The parked loop
+    // keeps `server` (and its threads) alive without burning a core.
+    loop {
+        std::thread::park();
+    }
 }
 
 fn write_csv(report: &ens_dropcatch::StudyReport, dir: &std::path::Path) -> ExitCode {

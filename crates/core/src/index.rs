@@ -41,7 +41,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use ens_obs::Metrics;
-use ens_types::{Address, Timestamp, UsdCents, Wei};
+use ens_types::{Address, LabelHash, Timestamp, UsdCents, Wei};
 use price_oracle::{PriceOracle, PriceTable};
 use sim_chain::{Transaction, TxKind};
 
@@ -72,7 +72,7 @@ struct AddressIncoming {
 
 impl AddressIncoming {
     fn build(address: Address, txs: &[Transaction], prices: &PriceTable) -> AddressIncoming {
-        let matches = |tx: &&Transaction| {
+        let matches = move |tx: &&Transaction| {
             tx.to == address && tx.from != address && matches!(tx.kind, TxKind::Transfer)
         };
         // Count first, then fill an exactly-sized vector: hub addresses
@@ -219,8 +219,30 @@ struct QueryCounters {
 pub struct AnalysisIndex {
     incoming: BTreeMap<Address, AddressIncoming>,
     reregistrations: Vec<ReRegistration>,
+    /// Positions into `reregistrations`, keyed three ways for the
+    /// read-only serving queries: by domain, by catching wallet, and by
+    /// the wallet that lost the name. Maintained by `extend`.
+    rereg_by_label: BTreeMap<LabelHash, Vec<usize>>,
+    rereg_by_catcher: BTreeMap<Address, Vec<usize>>,
+    rereg_by_victim: BTreeMap<Address, Vec<usize>>,
     transfers_indexed: usize,
     queries: Arc<QueryCounters>,
+}
+
+/// Indexes `reregistrations[start..]` into the three lookup maps.
+fn index_reregistrations(
+    reregistrations: &[ReRegistration],
+    start: usize,
+    by_label: &mut BTreeMap<LabelHash, Vec<usize>>,
+    by_catcher: &mut BTreeMap<Address, Vec<usize>>,
+    by_victim: &mut BTreeMap<Address, Vec<usize>>,
+) {
+    for (offset, r) in reregistrations[start..].iter().enumerate() {
+        let i = start + offset;
+        by_label.entry(r.label_hash).or_default().push(i);
+        by_catcher.entry(r.new_owner).or_default().push(i);
+        by_victim.entry(r.prev_wallet).or_default().push(i);
+    }
 }
 
 static EMPTY: AddressIncoming = AddressIncoming {
@@ -333,9 +355,22 @@ impl AnalysisIndex {
             metrics.add("index/reregistrations", reregistrations.len() as u64);
         }
         drop(build_span);
+        let mut rereg_by_label = BTreeMap::new();
+        let mut rereg_by_catcher = BTreeMap::new();
+        let mut rereg_by_victim = BTreeMap::new();
+        index_reregistrations(
+            &reregistrations,
+            0,
+            &mut rereg_by_label,
+            &mut rereg_by_catcher,
+            &mut rereg_by_victim,
+        );
         AnalysisIndex {
             incoming,
             reregistrations,
+            rereg_by_label,
+            rereg_by_catcher,
+            rereg_by_victim,
             transfers_indexed,
             queries: Arc::new(QueryCounters::default()),
         }
@@ -425,7 +460,15 @@ impl AnalysisIndex {
             metrics.add("index/extend/resorted_addresses", resorted);
             metrics.add("index/extend/reregistrations", new_reregs.len() as u64);
         }
+        let start = self.reregistrations.len();
         self.reregistrations.extend(new_reregs);
+        index_reregistrations(
+            &self.reregistrations,
+            start,
+            &mut self.rereg_by_label,
+            &mut self.rereg_by_catcher,
+            &mut self.rereg_by_victim,
+        );
         drop(span);
     }
 
@@ -503,6 +546,40 @@ impl AnalysisIndex {
         &self.reregistrations
     }
 
+    /// The re-registration history of one domain, in detection order —
+    /// an O(log n) map lookup, the read-only accessor behind the serving
+    /// layer's `name-risk` query.
+    pub fn reregistrations_of(
+        &self,
+        label_hash: LabelHash,
+    ) -> impl Iterator<Item = &ReRegistration> + '_ {
+        self.rereg_by_label
+            .get(&label_hash)
+            .into_iter()
+            .flatten()
+            .map(|&i| &self.reregistrations[i])
+    }
+
+    /// Re-registrations where `address` is the *catching* wallet
+    /// (`new_owner`) — empty for an address that never caught a name.
+    pub fn catches_by(&self, address: Address) -> impl Iterator<Item = &ReRegistration> + '_ {
+        self.rereg_by_catcher
+            .get(&address)
+            .into_iter()
+            .flatten()
+            .map(|&i| &self.reregistrations[i])
+    }
+
+    /// Re-registrations where `address` is the wallet that lost the name
+    /// (`prev_wallet`, the address stray funds keep resolving to).
+    pub fn losses_of(&self, address: Address) -> impl Iterator<Item = &ReRegistration> + '_ {
+        self.rereg_by_victim
+            .get(&address)
+            .into_iter()
+            .flatten()
+            .map(|&i| &self.reregistrations[i])
+    }
+
     /// Number of indexed transfers held for `address` — a work-size hint
     /// for weight-balanced sharding of the passes, not a window query
     /// (deliberately not tallied in the query counters).
@@ -516,6 +593,168 @@ impl AnalysisIndex {
     }
 
     /// Total transfers held by the index.
+    pub fn indexed_transfers(&self) -> usize {
+        self.transfers_indexed
+    }
+}
+
+/// The outgoing-side counterpart of [`AnalysisIndex`]: per-sender
+/// *outgoing* value transfers (transfer-kind, non-self), timestamp-sorted
+/// with USD prefix sums, so the serving layer's `address-forensics` query
+/// answers "what did this address send, and what was it worth" with the
+/// same two-binary-searches-plus-prefix-sum shape as the incoming side.
+///
+/// Unlike the incoming build — which indexes each crawled address's own
+/// txlist — the outgoing build attributes **every** transfer found in
+/// **any** crawled txlist to its sender. A common sender `c` whose own
+/// txlist was never crawled still appears in a victim's list as `c → a1`;
+/// keying those rows by `c` is exactly what makes the forensics query
+/// able to answer "how much did this sender misdirect". A transaction
+/// whose endpoints were both crawled appears in two lists; rows dedup by
+/// transaction hash.
+///
+/// In the returned [`IndexedTransfer`] slices the `from` field carries the
+/// **counterparty** — the *recipient* of each outgoing transfer.
+///
+/// Built once at serve startup; the analysis passes themselves never need
+/// the outgoing side, which is why [`AnalysisIndex`] does not carry it.
+#[derive(Clone, Debug)]
+pub struct OutgoingIndex {
+    outgoing: BTreeMap<Address, AddressIncoming>,
+    transfers_indexed: usize,
+}
+
+impl OutgoingIndex {
+    /// Builds the outgoing index on one thread.
+    pub fn build(dataset: &Dataset, oracle: &PriceOracle) -> OutgoingIndex {
+        OutgoingIndex::build_with_threads(dataset, oracle, 1)
+    }
+
+    /// Builds the outgoing index sharded across `threads` scoped workers;
+    /// any thread count produces the identical index (same contiguous
+    /// weight-balanced sharding as the incoming build).
+    pub fn build_with_threads(
+        dataset: &Dataset,
+        oracle: &PriceOracle,
+        threads: usize,
+    ) -> OutgoingIndex {
+        // Attribute every transfer in every crawled txlist to its sender
+        // (a sender need not be a crawled address itself), then dedup the
+        // double-crawled transactions by hash. BTreeMap iteration keeps
+        // the grouping deterministic regardless of list order.
+        let mut by_sender: BTreeMap<Address, Vec<&Transaction>> = BTreeMap::new();
+        for txs in dataset.transactions.values() {
+            for tx in txs {
+                if matches!(tx.kind, TxKind::Transfer) && tx.from != tx.to && !tx.from.is_zero() {
+                    by_sender.entry(tx.from).or_default().push(tx);
+                }
+            }
+        }
+        let mut span: Option<(Timestamp, Timestamp)> = None;
+        for txs in by_sender.values_mut() {
+            // (timestamp, hash) totally orders each sender's rows, so the
+            // sort (and the index) is independent of which txlist a row
+            // was discovered in; dedup then removes double-crawled rows.
+            txs.sort_unstable_by_key(|tx| (tx.timestamp, tx.hash));
+            txs.dedup_by_key(|tx| tx.hash);
+            for tx in txs.iter() {
+                span = Some(match span {
+                    None => (tx.timestamp, tx.timestamp),
+                    Some((lo, hi)) => (lo.min(tx.timestamp), hi.max(tx.timestamp)),
+                });
+            }
+        }
+        let prices = match span {
+            Some((lo, hi)) => oracle.day_table(lo, hi),
+            None => oracle.day_table(Timestamp(0), Timestamp(0)),
+        };
+        let prices = &prices;
+        let entries: Vec<(&Address, &Vec<&Transaction>)> = by_sender.iter().collect();
+        let weights: Vec<usize> = entries.iter().map(|(_, txs)| txs.len()).collect();
+        let built = shard_map_weighted(&entries, &weights, threads, |(_, txs)| {
+            let mut rows = Vec::with_capacity(txs.len());
+            rows.extend(txs.iter().map(|tx| IndexedTransfer {
+                timestamp: tx.timestamp,
+                from: tx.to, // counterparty: the recipient
+                value: tx.value,
+                usd: prices.to_usd(tx.value, tx.timestamp),
+            }));
+            let mut prefix_usd = Vec::with_capacity(rows.len() + 1);
+            let mut acc: u128 = 0;
+            prefix_usd.push(acc);
+            for t in &rows {
+                acc += t.usd.0;
+                prefix_usd.push(acc);
+            }
+            AddressIncoming {
+                txs: rows,
+                prefix_usd,
+            }
+        })
+        .expect("weights cover entries one-to-one");
+        let transfers_indexed = built.iter().map(|a| a.txs.len()).sum();
+        let outgoing: BTreeMap<Address, AddressIncoming> =
+            entries.iter().map(|(addr, _)| **addr).zip(built).collect();
+        OutgoingIndex {
+            outgoing,
+            transfers_indexed,
+        }
+    }
+
+    fn entry(&self, address: Address) -> &AddressIncoming {
+        self.outgoing.get(&address).unwrap_or(&EMPTY)
+    }
+
+    /// Outgoing value transfers from `address` (mints, contract payments
+    /// and self-sends excluded), optionally bounded to `[from, to)`. The
+    /// `from` field of each returned transfer holds the recipient.
+    pub fn outgoing(
+        &self,
+        address: Address,
+        window: Option<(Timestamp, Timestamp)>,
+    ) -> &[IndexedTransfer] {
+        let e = self.entry(address);
+        let (lo, hi) = e.range(window);
+        &e.txs[lo..hi]
+    }
+
+    /// Window spend and transfer count from one range lookup — O(log n)
+    /// via the prefix sums.
+    pub fn spend_and_count(
+        &self,
+        address: Address,
+        window: Option<(Timestamp, Timestamp)>,
+    ) -> (UsdCents, usize) {
+        let e = self.entry(address);
+        if e.txs.is_empty() {
+            return (UsdCents::ZERO, 0);
+        }
+        let (lo, hi) = e.range(window);
+        (UsdCents(e.prefix_usd[hi] - e.prefix_usd[lo]), hi - lo)
+    }
+
+    /// Number of distinct recipients of `address` in a window.
+    pub fn unique_recipients(
+        &self,
+        address: Address,
+        window: Option<(Timestamp, Timestamp)>,
+    ) -> usize {
+        let mut recipients: Vec<Address> = self
+            .outgoing(address, window)
+            .iter()
+            .map(|t| t.from)
+            .collect();
+        recipients.sort_unstable();
+        recipients.dedup();
+        recipients.len()
+    }
+
+    /// Addresses with an indexed outgoing list.
+    pub fn indexed_addresses(&self) -> usize {
+        self.outgoing.len()
+    }
+
+    /// Total outgoing transfers held by the index.
     pub fn indexed_transfers(&self) -> usize {
         self.transfers_indexed
     }
@@ -729,6 +968,105 @@ mod tests {
         let (world, ds) = dataset();
         let index = AnalysisIndex::build(&ds, world.oracle());
         assert_eq!(index.reregistrations(), detect_all(&ds.domains).as_slice());
+    }
+
+    #[test]
+    fn rereg_lookups_agree_with_linear_scans() {
+        let (world, ds) = dataset();
+        let index = AnalysisIndex::build(&ds, world.oracle());
+        let all = index.reregistrations();
+        assert!(!all.is_empty(), "fixture has catches");
+        for r in all {
+            let by_label: Vec<_> = index.reregistrations_of(r.label_hash).collect();
+            let scan: Vec<_> = all
+                .iter()
+                .filter(|x| x.label_hash == r.label_hash)
+                .collect();
+            assert_eq!(by_label, scan);
+            let catches: Vec<_> = index.catches_by(r.new_owner).collect();
+            let scan: Vec<_> = all.iter().filter(|x| x.new_owner == r.new_owner).collect();
+            assert_eq!(catches, scan);
+            let losses: Vec<_> = index.losses_of(r.prev_wallet).collect();
+            let scan: Vec<_> = all
+                .iter()
+                .filter(|x| x.prev_wallet == r.prev_wallet)
+                .collect();
+            assert_eq!(losses, scan);
+        }
+        // Unknown keys come back empty, never panic.
+        let nobody = Address::derive(b"nobody-at-all");
+        assert_eq!(index.catches_by(nobody).count(), 0);
+        assert_eq!(index.losses_of(nobody).count(), 0);
+    }
+
+    #[test]
+    fn outgoing_index_matches_a_naive_filter_at_any_thread_count() {
+        let (world, ds) = dataset();
+        let baseline = OutgoingIndex::build(&ds, world.oracle());
+        assert!(
+            baseline.indexed_transfers() > 0,
+            "the fixture world has outgoing transfer rows"
+        );
+        // Naive reference: every transfer in every crawled txlist, keyed
+        // by sender, deduped by hash, ordered by (timestamp, hash).
+        let mut naive_all: BTreeMap<Address, Vec<&Transaction>> = BTreeMap::new();
+        for txs in ds.transactions.values() {
+            for tx in txs {
+                if matches!(tx.kind, TxKind::Transfer) && tx.from != tx.to && !tx.from.is_zero() {
+                    naive_all.entry(tx.from).or_default().push(tx);
+                }
+            }
+        }
+        for txs in naive_all.values_mut() {
+            txs.sort_unstable_by_key(|tx| (tx.timestamp, tx.hash));
+            txs.dedup_by_key(|tx| tx.hash);
+        }
+        assert!(
+            naive_all.keys().any(|a| !ds.transactions.contains_key(a)),
+            "some senders are not crawled addresses themselves"
+        );
+        let end = ds.observation_end;
+        let mid = Timestamp(end.0 / 2);
+        let windows = [None, Some((Timestamp(0), mid)), Some((mid, end))];
+        assert_eq!(baseline.indexed_addresses(), naive_all.len());
+        for (&addr, txs) in &naive_all {
+            for window in windows {
+                let naive: Vec<_> = txs
+                    .iter()
+                    .filter(|tx| match window {
+                        None => true,
+                        Some((a, b)) => tx.timestamp >= a && tx.timestamp < b,
+                    })
+                    .map(|tx| (tx.timestamp, tx.to, tx.value))
+                    .collect();
+                let indexed: Vec<_> = baseline
+                    .outgoing(addr, window)
+                    .iter()
+                    .map(|t| (t.timestamp, t.from, t.value))
+                    .collect();
+                assert_eq!(naive, indexed, "addr {addr:?} window {window:?}");
+                let (usd, count) = baseline.spend_and_count(addr, window);
+                assert_eq!(count, naive.len());
+                let direct: u128 = baseline
+                    .outgoing(addr, window)
+                    .iter()
+                    .map(|t| t.usd.0)
+                    .sum();
+                assert_eq!(usd.0, direct, "prefix sums match per-transfer USD");
+            }
+        }
+        for threads in [2, 8] {
+            let sharded = OutgoingIndex::build_with_threads(&ds, world.oracle(), threads);
+            assert_eq!(sharded.indexed_transfers(), baseline.indexed_transfers());
+            for &addr in naive_all.keys() {
+                assert_eq!(sharded.outgoing(addr, None), baseline.outgoing(addr, None));
+            }
+        }
+        // Unknown address: empty slice, zero spend, no panic.
+        let nobody = Address::derive(b"nobody");
+        assert!(baseline.outgoing(nobody, None).is_empty());
+        assert_eq!(baseline.spend_and_count(nobody, None), (UsdCents::ZERO, 0));
+        assert_eq!(baseline.unique_recipients(nobody, None), 0);
     }
 
     #[test]

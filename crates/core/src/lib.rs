@@ -26,6 +26,9 @@
 //! - [`resale`] — §4.2: the OpenSea listing/sale join;
 //! - [`countermeasures`] — Appendix B's Table 2 and §6's proposed wallet
 //!   warning, *evaluated* rather than just proposed;
+//! - [`query`] — the read-only serving layer shared with `ens-serve`:
+//!   typed [`QueryError`](query::QueryError)s, the name → domain
+//!   directory, ownership/premium-status accessors;
 //! - [`stats`] — the statistics the above need, from first principles;
 //! - [`storage`] / [`export`] — the on-disk layer: the columnar schema
 //!   binding onto `ens-columnar` and the format-dispatching
@@ -56,6 +59,7 @@ pub mod index;
 pub mod losses;
 pub mod overview;
 pub mod pipeline;
+pub mod query;
 pub mod registrations;
 pub mod report;
 pub mod resale;
@@ -78,7 +82,8 @@ pub use features::{
     extract_features, extract_features_with, DomainFeatures, FeatureComparison, FeatureRow,
 };
 pub use index::{
-    shard_map, shard_map_weighted, AnalysisIndex, IndexedTransfer, WeightLengthMismatch,
+    shard_map, shard_map_weighted, AnalysisIndex, IndexedTransfer, OutgoingIndex,
+    WeightLengthMismatch,
 };
 pub use losses::{
     analyze_losses, analyze_losses_metered, analyze_losses_naive, analyze_losses_with,
@@ -89,6 +94,10 @@ pub use overview::{overview, overview_from, overview_from_metered, OverviewRepor
 pub use pipeline::{
     run_study, run_study_on, run_study_on_metered, run_study_on_naive, run_study_with_index,
     run_study_with_index_metered, try_run_study, try_run_study_metered, StudyConfig, StudyReport,
+};
+pub use query::{
+    current_owner, domain_status, parse_address, parse_window, DomainStatus, NameDirectory,
+    QueryError, REPORT_SECTIONS,
 };
 pub use registrations::{
     classify, classify_with_detected, detect_all, detect_all_with_threads, detect_reregistrations,

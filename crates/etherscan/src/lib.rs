@@ -172,14 +172,19 @@ impl Etherscan {
 
     /// `txlist`: all transactions touching `address` (in or out), paged.
     /// `page` is 1-based like the real API; `offset` is the page size,
-    /// capped at [`MAX_TXLIST_PAGE`].
+    /// capped at [`MAX_TXLIST_PAGE`]. `page == 0` is out of range and
+    /// returns an empty page rather than aliasing page 1 — a caller with an
+    /// off-by-one would otherwise double-fetch the first page silently.
     pub fn txlist(&self, address: Address, page: usize, offset: usize) -> Vec<Transaction> {
+        if page == 0 {
+            return Vec::new();
+        }
         let idxs = match self.by_address.get(&address) {
             Some(v) => v.as_slice(),
             None => return Vec::new(),
         };
         let offset = offset.clamp(1, MAX_TXLIST_PAGE);
-        let start = page.saturating_sub(1) * offset;
+        let start = (page - 1) * offset;
         idxs.iter()
             .skip(start)
             .take(offset)
@@ -307,6 +312,15 @@ mod tests {
         assert!(p3.is_empty());
         // No overlap between pages.
         assert!(p1.iter().all(|t| p2.iter().all(|u| u.hash != t.hash)));
+    }
+
+    #[test]
+    fn txlist_page_zero_is_out_of_range_not_page_one() {
+        let scan = Etherscan::index(&chain_with_traffic(), LabelService::new());
+        // `page` is 1-based; 0 must not alias page 1 (a caller iterating
+        // from 0 would double-fetch the first page without noticing).
+        assert!(scan.txlist(addr("b"), 0, 4).is_empty());
+        assert_eq!(scan.txlist(addr("b"), 1, 4).len(), 4);
     }
 
     #[test]

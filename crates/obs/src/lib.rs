@@ -65,6 +65,10 @@ struct Inner {
 struct Histo {
     edges: Vec<u64>,
     counts: Vec<u64>,
+    /// Observations below `edges[0]` — kept out of bucket 0 so real low
+    /// samples and out-of-range ones stay distinguishable (the same split
+    /// the analysis-side `stats::Histogram` makes).
+    underflow: u64,
 }
 
 #[derive(Debug, Default)]
@@ -120,8 +124,9 @@ impl Metrics {
 
     /// Registers a histogram with explicit bucket boundaries (ascending;
     /// bucket `i` counts values in `[edges[i], edges[i+1])`, the last
-    /// bucket is unbounded above, values below `edges[0]` clamp into
-    /// bucket 0). Re-registering an existing name is a no-op, so the first
+    /// bucket is unbounded above, values below `edges[0]` land in a
+    /// separate `underflow` counter rather than polluting bucket 0).
+    /// Re-registering an existing name is a no-op, so the first
     /// registration fixes the boundaries for the run.
     pub fn register_histogram(&self, name: &str, edges: &[u64]) {
         assert!(
@@ -134,6 +139,7 @@ impl Metrics {
                 .or_insert_with(|| Histo {
                     edges: edges.to_vec(),
                     counts: vec![0; edges.len()],
+                    underflow: 0,
                 });
         });
     }
@@ -145,12 +151,19 @@ impl Metrics {
             let h = i.histograms.entry(name.to_string()).or_insert_with(|| {
                 let edges = default_edges();
                 let counts = vec![0; edges.len()];
-                Histo { edges, counts }
+                Histo {
+                    edges,
+                    counts,
+                    underflow: 0,
+                }
             });
             // partition_point gives the first edge > value; the bucket
-            // holding `value` is the one before it (clamped at 0).
-            let bucket = h.edges.partition_point(|&e| e <= value).saturating_sub(1);
-            h.counts[bucket] += 1;
+            // holding `value` is the one before it. A value below every
+            // edge is out of range and counts as underflow, not bucket 0.
+            match h.edges.partition_point(|&e| e <= value) {
+                0 => h.underflow += 1,
+                pos => h.counts[pos - 1] += 1,
+            }
         });
     }
 
@@ -184,6 +197,7 @@ impl Metrics {
                         HistogramSnapshot {
                             edges: h.edges.clone(),
                             counts: h.counts.clone(),
+                            underflow: h.underflow,
                         },
                     )
                 })
@@ -249,12 +263,14 @@ pub struct HistogramSnapshot {
     pub edges: Vec<u64>,
     /// Per-bucket counts (`counts[i]` covers `[edges[i], edges[i+1])`).
     pub counts: Vec<u64>,
+    /// Observations below `edges[0]`, kept out of bucket 0.
+    pub underflow: u64,
 }
 
 impl HistogramSnapshot {
-    /// Total observations.
+    /// Total observations, including out-of-range (underflow) ones.
     pub fn total(&self) -> u64 {
-        self.counts.iter().sum()
+        self.counts.iter().sum::<u64>() + self.underflow
     }
 }
 
@@ -343,6 +359,7 @@ impl MetricsSnapshot {
             w.u64_array(&h.edges);
             w.out.push_str(", \"counts\": ");
             w.u64_array(&h.counts);
+            w.out.push_str(&format!(", \"underflow\": {}", h.underflow));
             w.out.push('}');
         }
         w.close('}', !self.histograms.is_empty());
@@ -509,7 +526,25 @@ mod tests {
         let h = &snap.histograms["h"];
         assert_eq!(h.edges, vec![0, 10, 100]);
         assert_eq!(h.counts, vec![3, 2, 2]);
+        assert_eq!(h.underflow, 0);
         assert_eq!(h.total(), 7);
+    }
+
+    #[test]
+    fn values_below_the_first_edge_count_as_underflow_not_bucket_zero() {
+        let m = Metrics::new();
+        m.register_histogram("h", &[10, 100]);
+        for v in [0, 9, 10, 50, 200] {
+            m.observe("h", v);
+        }
+        let snap = m.snapshot();
+        let h = &snap.histograms["h"];
+        assert_eq!(h.underflow, 2, "0 and 9 are below edges[0]");
+        assert_eq!(h.counts, vec![2, 1]);
+        assert_eq!(h.total(), 5, "underflow still counts toward the total");
+        // The deterministic snapshot carries the underflow explicitly.
+        let json = snap.deterministic_json();
+        assert!(json.contains("\"underflow\": 2"), "{json}");
     }
 
     #[test]

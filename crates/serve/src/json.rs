@@ -1,0 +1,92 @@
+//! Deterministic hand-rolled JSON fragments for reply bodies.
+//!
+//! Replies are compared byte-for-byte across worker counts, so every
+//! number and string must serialize identically on every code path:
+//! strings escape exactly the mandatory set, USD amounts format from
+//! integer cents (never through `f64`), and free `f64` statistics pin to
+//! two decimals.
+
+use std::fmt::Write;
+
+use ens_types::UsdCents;
+
+/// Serializes a string as a quoted JSON string, escaping the mandatory
+/// set (quote, backslash, control characters).
+pub fn str_lit(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// `Some(s)` as a string literal, `None` as `null`.
+pub fn opt_str(s: Option<&str>) -> String {
+    match s {
+        Some(s) => str_lit(s),
+        None => "null".to_string(),
+    }
+}
+
+/// Exact dollars from integer cents: `"1234.05"`. Never routes through
+/// floating point, so the bytes are a pure function of the cents.
+pub fn usd(amount: UsdCents) -> String {
+    format!("{}.{:02}", amount.0 / 100, amount.0 % 100)
+}
+
+/// A free `f64` statistic pinned to two decimals; non-finite values
+/// (empty-sample means) serialize as `null` rather than invalid JSON.
+pub fn f2(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.2}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// `Some(v)` via [`f2`], `None` as `null`.
+pub fn opt_f2(v: Option<f64>) -> String {
+    match v {
+        Some(v) => f2(v),
+        None => "null".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_escape_the_mandatory_set() {
+        assert_eq!(str_lit("plain"), "\"plain\"");
+        assert_eq!(str_lit("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(str_lit("x\n\u{1}"), "\"x\\n\\u0001\"");
+    }
+
+    #[test]
+    fn usd_is_exact_integer_arithmetic() {
+        assert_eq!(usd(UsdCents(0)), "0.00");
+        assert_eq!(usd(UsdCents(5)), "0.05");
+        assert_eq!(usd(UsdCents(123_456)), "1234.56");
+    }
+
+    #[test]
+    fn floats_pin_to_two_decimals_and_null_out_nonfinite() {
+        assert_eq!(f2(1.005), "1.00");
+        assert_eq!(f2(f64::NAN), "null");
+        assert_eq!(opt_f2(None), "null");
+        assert_eq!(opt_f2(Some(2.5)), "2.50");
+    }
+}

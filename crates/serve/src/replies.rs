@@ -1,0 +1,400 @@
+//! The four reply builders. Each is a pure function of the immutable
+//! [`ServeState`] and the (validated) request parameters; bodies are
+//! hand-rolled JSON via [`json`] so their bytes are deterministic.
+
+use std::fmt::Write;
+
+use ens_dropcatch::{
+    current_owner, domain_status, parse_address, parse_window, FeatureRow, QueryError,
+    ReRegistration,
+};
+use ens_types::Timestamp;
+
+use crate::json::{f2, opt_f2, opt_str, str_lit, usd};
+use crate::ServeState;
+
+/// `name-risk`: lifecycle status + dropcatch history of one name, as of
+/// the dataset's observation end.
+pub fn name_risk(state: &ServeState, name: &str) -> Result<String, QueryError> {
+    let pos = state.names.resolve(name)?;
+    let record = &state.dataset.domains[pos];
+    let at = state.dataset.observation_end;
+    let status = domain_status(record, at);
+    let catches: Vec<&ReRegistration> = state.index.reregistrations_of(record.label_hash).collect();
+    let expiry = record.current_expiry();
+    let grace_end = expiry.map(|e| e + ens_dropcatch::registrations::GRACE_PERIOD);
+    let premium_end = grace_end.map(|g| g + ens_dropcatch::registrations::PREMIUM_PERIOD);
+
+    let mut out = String::with_capacity(512);
+    out.push('{');
+    let _ = write!(
+        out,
+        "\"name\": {}, \"label_hash\": {}, \"as_of\": {}, \"as_of_date\": {}, \"status\": {}",
+        opt_str(record.name.as_ref().map(|n| n.to_full()).as_deref()),
+        str_lit(&record.label_hash.to_hex()),
+        at.0,
+        str_lit(&at.to_string()),
+        str_lit(status.as_str()),
+    );
+    let _ = write!(
+        out,
+        ", \"registrations\": {}, \"renewals\": {}, \"current_owner\": {}",
+        record.registrations.len(),
+        record.renewals.len(),
+        opt_str(current_owner(record).map(|a| a.to_hex()).as_deref()),
+    );
+    let _ = write!(
+        out,
+        ", \"current_expiry\": {}, \"grace_end\": {}, \"premium_end\": {}",
+        opt_ts(expiry),
+        opt_ts(grace_end),
+        opt_ts(premium_end),
+    );
+    let _ = write!(
+        out,
+        ", \"was_dropcaught\": {}, \"catches\": [",
+        !catches.is_empty()
+    );
+    for (i, r) in catches.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(
+            out,
+            "{{\"at\": {}, \"delay_days\": {}, \"prev_owner\": {}, \"prev_wallet\": {}, \
+             \"new_owner\": {}, \"paid_premium\": {}, \"base_cost_eth\": {}, \
+             \"premium_eth\": {}, \"new_expiry\": {}}}",
+            r.at.0,
+            r.delay.as_days(),
+            str_lit(&r.prev_owner.to_hex()),
+            str_lit(&r.prev_wallet.to_hex()),
+            str_lit(&r.new_owner.to_hex()),
+            r.paid_premium(),
+            f2(r.base_cost.as_eth_f64()),
+            f2(r.premium.as_eth_f64()),
+            r.new_expiry.0,
+        );
+    }
+    out.push_str("]}");
+    Ok(out)
+}
+
+/// `address-forensics`: incoming/outgoing transfer counts and exact USD
+/// totals over an optional `[from, to)` window — two prefix-sum lookups.
+pub fn address_forensics(
+    state: &ServeState,
+    address: &str,
+    from: Option<u64>,
+    to: Option<u64>,
+) -> Result<String, QueryError> {
+    let addr = parse_address(address)?;
+    let window = parse_window(from, to)?;
+    let (in_usd, in_count) = state.index.income_and_count(addr, window);
+    let in_senders = state.index.unique_senders(addr, window);
+    let (out_usd, out_count) = state.outgoing.spend_and_count(addr, window);
+    let out_recipients = state.outgoing.unique_recipients(addr, window);
+    let catches = state.index.catches_by(addr).count();
+    let losses = state.index.losses_of(addr).count();
+
+    let window_json = match window {
+        Some((a, b)) => format!("{{\"from\": {}, \"to\": {}}}", a.0, b.0),
+        None => "null".to_string(),
+    };
+    Ok(format!(
+        "{{\"address\": {}, \"window\": {window_json}, \
+         \"incoming\": {{\"transfers\": {in_count}, \"usd\": {}, \"unique_senders\": {in_senders}}}, \
+         \"outgoing\": {{\"transfers\": {out_count}, \"usd\": {}, \"unique_recipients\": {out_recipients}}}, \
+         \"domains_caught\": {catches}, \"domains_lost\": {losses}}}",
+        str_lit(&addr.to_hex()),
+        str_lit(&usd(in_usd)),
+        str_lit(&usd(out_usd)),
+    ))
+}
+
+/// `loss-findings`: the §4.4 findings where `victim` is the lapsed
+/// wallet. An address with no findings gets an empty (successful) reply
+/// — "you lost nothing" is an answer, not an error.
+pub fn loss_findings(state: &ServeState, victim: &str) -> Result<String, QueryError> {
+    let addr = parse_address(victim)?;
+    let findings = state.losses_of_victim(addr);
+    let mut total = 0.0f64;
+    let mut out = String::with_capacity(256);
+    let _ = write!(
+        out,
+        "{{\"victim\": {}, \"findings\": [",
+        str_lit(&addr.to_hex())
+    );
+    for (i, &fi) in findings.iter().enumerate() {
+        let f = &state.report.losses.findings[fi];
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let misdirected = f.misdirected_usd();
+        total += misdirected;
+        let _ = write!(
+            out,
+            "{{\"name\": {}, \"label_hash\": {}, \"new_owner\": {}, \"caught_at\": {}, \
+             \"reregistration_cost_usd\": {}, \"misdirected_usd\": {}, \"common_senders\": {}}}",
+            opt_str(f.name.as_deref()),
+            str_lit(&f.label_hash.to_hex()),
+            str_lit(&f.new_owner.to_hex()),
+            f.caught_at.0,
+            f2(f.reregistration_cost_usd),
+            f2(misdirected),
+            f.senders.len(),
+        );
+    }
+    let _ = write!(
+        out,
+        "], \"domains\": {}, \"total_misdirected_usd\": {}}}",
+        findings.len(),
+        f2(total)
+    );
+    Ok(out)
+}
+
+/// `report-slice`: one study section as structured JSON built from the
+/// section's struct fields (the rendered text report is monolithic; the
+/// daemon serves data, not prose).
+pub fn report_slice(state: &ServeState, section: &str) -> Result<String, QueryError> {
+    let r = &state.report;
+    match section {
+        "crawl" => {
+            let c = &r.crawl;
+            Ok(format!(
+                "{{\"section\": \"crawl\", \"domains\": {}, \"unrecoverable_names\": {}, \
+                 \"subdomains\": {}, \"addresses_crawled\": {}, \"transactions\": {}, \
+                 \"gaps\": {}, \"lost_items_estimate\": {}, \"degraded\": {}, \
+                 \"recovery_rate\": {}}}",
+                c.domains,
+                c.unrecoverable_names,
+                c.subdomains,
+                c.addresses_crawled,
+                c.transactions,
+                c.gaps.len(),
+                c.lost_items_estimate,
+                c.degraded,
+                f2(c.recovery_rate()),
+            ))
+        }
+        "overview" => {
+            let o = &r.overview;
+            let mut months = String::new();
+            for (i, m) in o.timeline.months.iter().enumerate() {
+                if i > 0 {
+                    months.push_str(", ");
+                }
+                let _ = write!(
+                    months,
+                    "{{\"month\": {}, \"registrations\": {}, \"expirations\": {}, \
+                     \"reregistrations\": {}}}",
+                    str_lit(&m.month),
+                    m.registrations,
+                    m.expirations,
+                    m.reregistrations
+                );
+            }
+            let delays = ens_dropcatch::stats::Ecdf::new(o.delays.delays_days.clone());
+            let mut frequency = String::new();
+            for (i, (count, domains)) in o.domain_frequency.frequency.iter().enumerate() {
+                if i > 0 {
+                    frequency.push_str(", ");
+                }
+                let _ = write!(frequency, "{}: {}", str_lit(&count.to_string()), domains);
+            }
+            let multi_catchers = o
+                .catchers
+                .counts_desc
+                .iter()
+                .filter(|(_, c)| *c > 1)
+                .count();
+            let mut top = String::new();
+            for (i, (addr, count)) in o.catchers.counts_desc.iter().take(10).enumerate() {
+                if i > 0 {
+                    top.push_str(", ");
+                }
+                let _ = write!(
+                    top,
+                    "{{\"address\": {}, \"catches\": {}}}",
+                    str_lit(&addr.to_hex()),
+                    count
+                );
+            }
+            Ok(format!(
+                "{{\"section\": \"overview\", \"reregistrations\": {}, \"months\": [{months}], \
+                 \"delays\": {{\"count\": {}, \"at_premium\": {}, \"on_premium_end_day\": {}, \
+                 \"shortly_after_premium\": {}, \"median_days\": {}, \"p90_days\": {}}}, \
+                 \"domain_frequency\": {{{frequency}}}, \
+                 \"catchers\": {{\"addresses\": {}, \"multi_catchers\": {multi_catchers}, \
+                 \"top\": [{top}]}}}}",
+                o.reregistrations.len(),
+                delays.len(),
+                o.delays.at_premium,
+                o.delays.on_premium_end_day,
+                o.delays.shortly_after_premium,
+                opt_f2(delays.quantile(0.5)),
+                opt_f2(delays.quantile(0.9)),
+                o.catchers.counts_desc.len(),
+            ))
+        }
+        "features" => {
+            let f = &r.features;
+            let mut rows = String::new();
+            for (i, row) in f.rows.iter().enumerate() {
+                if i > 0 {
+                    rows.push_str(", ");
+                }
+                match row {
+                    FeatureRow::Numeric {
+                        name,
+                        mean_rereg,
+                        mean_control,
+                        test,
+                    } => {
+                        let _ = write!(
+                            rows,
+                            "{{\"name\": {}, \"type\": \"numeric\", \"mean_rereg\": {}, \
+                             \"mean_control\": {}, \"p_value\": {}, \"significant\": {}}}",
+                            str_lit(name),
+                            f2(*mean_rereg),
+                            f2(*mean_control),
+                            opt_f2(test.as_ref().map(|t| t.p_value)),
+                            test.as_ref().is_some_and(|t| t.significant()),
+                        );
+                    }
+                    FeatureRow::Categorical {
+                        name,
+                        count_rereg,
+                        frac_rereg,
+                        count_control,
+                        frac_control,
+                        test,
+                    } => {
+                        let _ = write!(
+                            rows,
+                            "{{\"name\": {}, \"type\": \"categorical\", \"count_rereg\": {}, \
+                             \"frac_rereg\": {}, \"count_control\": {}, \"frac_control\": {}, \
+                             \"p_value\": {}, \"significant\": {}}}",
+                            str_lit(name),
+                            count_rereg,
+                            f2(*frac_rereg),
+                            count_control,
+                            f2(*frac_control),
+                            opt_f2(test.as_ref().map(|t| t.p_value)),
+                            test.as_ref().is_some_and(|t| t.significant()),
+                        );
+                    }
+                }
+            }
+            Ok(format!(
+                "{{\"section\": \"features\", \"n_rereg\": {}, \"n_control\": {}, \
+                 \"rows\": [{rows}], \
+                 \"income_rereg\": {}, \"income_control\": {}}}",
+                f.n_rereg,
+                f.n_control,
+                ecdf_summary(&f.income_rereg),
+                ecdf_summary(&f.income_control),
+            ))
+        }
+        "losses" => {
+            let l = &r.losses;
+            Ok(format!(
+                "{{\"section\": \"losses\", \"findings\": {}, \
+                 \"domains_noncustodial\": {}, \"domains_with_coinbase\": {}, \
+                 \"txs_noncustodial\": {}, \"txs_incl_coinbase\": {}, \
+                 \"unique_senders_noncustodial\": {}, \"unique_senders_incl_coinbase\": {}, \
+                 \"avg_usd_noncustodial\": {}, \"avg_usd_incl_coinbase\": {}, \
+                 \"hijackable\": {{\"domains_considered\": {}, \"domains_with_funds\": {}}}}}",
+                l.findings.len(),
+                l.domains_noncustodial,
+                l.domains_with_coinbase,
+                l.txs_noncustodial,
+                l.txs_incl_coinbase,
+                l.unique_senders_noncustodial,
+                l.unique_senders_incl_coinbase,
+                f2(l.avg_usd_noncustodial),
+                f2(l.avg_usd_incl_coinbase),
+                l.hijackable.domains_considered,
+                l.hijackable.usd_per_domain.len(),
+            ))
+        }
+        "resale" => {
+            let s = &r.resale;
+            let prices = ens_dropcatch::stats::Ecdf::new(s.sale_prices_usd.clone());
+            Ok(format!(
+                "{{\"section\": \"resale\", \"reregistered_domains\": {}, \"listed\": {}, \
+                 \"sold\": {}, \"listed_fraction\": {}, \"sold_fraction\": {}, \
+                 \"sale_prices_usd\": {}}}",
+                s.reregistered_domains,
+                s.listed,
+                s.sold,
+                f2(s.listed_fraction()),
+                f2(s.sold_fraction()),
+                ecdf_summary(&prices),
+            ))
+        }
+        "countermeasures" => {
+            let c = &r.countermeasures;
+            let mut table2 = String::new();
+            for (i, row) in c.table2.iter().enumerate() {
+                if i > 0 {
+                    table2.push_str(", ");
+                }
+                let _ = write!(
+                    table2,
+                    "{{\"wallet\": {}, \"version\": {}, \"displays_warning\": {}}}",
+                    str_lit(&row.wallet),
+                    str_lit(&row.version),
+                    row.displays_warning
+                );
+            }
+            let policy = |p: &ens_dropcatch::countermeasures::PolicyOutcome| {
+                format!(
+                    "{{\"misdirected_txs\": {}, \"flagged_txs\": {}, \"misdirected_usd\": {}, \
+                     \"flagged_usd\": {}, \"legit_txs\": {}, \"false_positive_txs\": {}}}",
+                    p.misdirected_txs,
+                    p.flagged_txs,
+                    f2(p.misdirected_usd),
+                    f2(p.flagged_usd),
+                    p.legit_txs,
+                    p.false_positive_txs
+                )
+            };
+            Ok(format!(
+                "{{\"section\": \"countermeasures\", \"warning_window_days\": {}, \
+                 \"interception_rate\": {}, \"table2\": [{table2}], \
+                 \"risk_policy\": {}, \"rereg_policy\": {}, \"reverse_policy\": {}, \
+                 \"combined_policy\": {}}}",
+                c.warning_window_days,
+                f2(c.interception_rate()),
+                policy(&c.risk_policy),
+                policy(&c.rereg_policy),
+                policy(&c.reverse_policy),
+                policy(&c.combined_policy),
+            ))
+        }
+        other => Err(QueryError::UnknownSection(other.to_string())),
+    }
+}
+
+/// `Some(expiry)` as its unix-seconds number, `None` as `null`.
+fn opt_ts(t: Option<Timestamp>) -> String {
+    match t {
+        Some(t) => t.0.to_string(),
+        None => "null".to_string(),
+    }
+}
+
+/// A compact distribution summary: sample size plus type-7 quantiles.
+/// Quantiles of an empty sample are `null`, never a panic — the
+/// adversarial-input audit's poster child.
+fn ecdf_summary(e: &ens_dropcatch::stats::Ecdf) -> String {
+    format!(
+        "{{\"n\": {}, \"p25\": {}, \"p50\": {}, \"p75\": {}, \"p90\": {}}}",
+        e.len(),
+        opt_f2(e.quantile(0.25)),
+        opt_f2(e.quantile(0.5)),
+        opt_f2(e.quantile(0.75)),
+        opt_f2(e.quantile(0.9)),
+    )
+}

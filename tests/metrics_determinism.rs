@@ -187,6 +187,32 @@ fn index_query_counters_count_each_public_call_exactly_once() {
 }
 
 #[test]
+fn pipeline_histograms_expose_underflow_explicitly() {
+    let (_, _, snap) = metered_study(1);
+    assert!(
+        !snap.histograms.is_empty(),
+        "the metered pipeline records histograms"
+    );
+    for (name, h) in &snap.histograms {
+        // Every pipeline histogram starts its edges at 0, so no u64
+        // observation can underflow — but the counter must exist and be
+        // serialized, so out-of-range samples can never silently fold
+        // into bucket 0 again.
+        assert_eq!(h.edges[0], 0, "{name} edges start at 0");
+        assert_eq!(h.underflow, 0, "{name} has no underflow");
+        assert_eq!(
+            h.total(),
+            h.counts.iter().sum::<u64>() + h.underflow,
+            "{name} total accounts for underflow"
+        );
+    }
+    assert!(
+        snap.deterministic_json().contains("\"underflow\": 0"),
+        "the deterministic snapshot serializes the underflow counter"
+    );
+}
+
+#[test]
 fn instrumentation_never_changes_dataset_or_report() {
     let (metered_json, metered_render, _) = metered_study(2);
 
